@@ -1,0 +1,42 @@
+# Convenience targets for the clusteragg reproduction.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments experiments-full fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark per table/figure plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at the default (reduced) scale.
+experiments:
+	$(GO) run ./cmd/experiments all
+
+# The paper's original sizes (minutes).
+experiments-full:
+	$(GO) run ./cmd/experiments -full all
+
+# Short fuzzing passes over the CSV loader and partition invariants.
+fuzz:
+	$(GO) test -run FuzzReadCSV -fuzz FuzzReadCSV -fuzztime 30s ./internal/dataset/
+	$(GO) test -run FuzzNormalize -fuzz FuzzNormalize -fuzztime 30s ./internal/partition/
+	$(GO) test -run FuzzDistance -fuzz FuzzDistance -fuzztime 30s ./internal/partition/
+
+clean:
+	$(GO) clean ./...
+	rm -rf internal/dataset/testdata/fuzz internal/partition/testdata/fuzz

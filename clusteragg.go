@@ -1,0 +1,158 @@
+package clusteragg
+
+// This file is the library's public API. The implementation lives under
+// internal/; the facade re-exports the aggregation framework, the partition
+// primitives, and a CSV convenience entry point so downstream modules can
+// depend on a single import path:
+//
+//	problem, _ := clusteragg.NewProblem(inputs, clusteragg.ProblemOptions{})
+//	labels, _ := problem.Aggregate(clusteragg.MethodAgglomerative, clusteragg.AggregateOptions{})
+
+import (
+	"fmt"
+	"io"
+
+	"clusteragg/internal/core"
+	"clusteragg/internal/dataset"
+	"clusteragg/internal/partition"
+)
+
+// Labels is a clustering: one cluster label per object. Label Missing marks
+// objects a clustering carries no information about.
+type Labels = partition.Labels
+
+// Missing is the label of objects a clustering says nothing about.
+const Missing = partition.Missing
+
+// Distance returns the Mirkin distance between two clusterings: the number
+// of unordered object pairs on which they disagree.
+func Distance(a, b Labels) (int, error) { return partition.Distance(a, b) }
+
+// RandIndex returns the fraction of unordered pairs two clusterings agree
+// on.
+func RandIndex(a, b Labels) (float64, error) { return partition.RandIndex(a, b) }
+
+// Problem is a clustering-aggregation instance over m input clusterings.
+type Problem = core.Problem
+
+// ProblemOptions configures NewProblem (missing-value model, weights).
+type ProblemOptions = core.ProblemOptions
+
+// NewProblem validates the input clusterings and builds an aggregation
+// problem.
+func NewProblem(clusterings []Labels, opts ProblemOptions) (*Problem, error) {
+	return core.NewProblem(clusterings, opts)
+}
+
+// MissingMode selects the missing-value strategy of Section 2 of the paper.
+type MissingMode = core.MissingMode
+
+// Missing-value strategies.
+const (
+	// MissingCoin is the paper's adopted coin model (default).
+	MissingCoin = core.MissingCoin
+	// MissingAverage lets the remaining attributes decide.
+	MissingAverage = core.MissingAverage
+)
+
+// Method identifies an aggregation algorithm.
+type Method = core.Method
+
+// The paper's five aggregation algorithms plus the two documented
+// extensions.
+const (
+	MethodBest          = core.MethodBest
+	MethodBalls         = core.MethodBalls
+	MethodAgglomerative = core.MethodAgglomerative
+	MethodFurthest      = core.MethodFurthest
+	MethodLocalSearch   = core.MethodLocalSearch
+	MethodPivot         = core.MethodPivot
+	MethodAnneal        = core.MethodAnneal
+)
+
+// Methods lists the paper's five aggregation methods in paper order.
+func Methods() []Method { return core.Methods() }
+
+// ExtensionMethods lists the methods implemented beyond the paper.
+func ExtensionMethods() []Method { return core.ExtensionMethods() }
+
+// AggregateOptions tunes Problem.Aggregate.
+type AggregateOptions = core.AggregateOptions
+
+// SamplingOptions configures the SAMPLING wrapper for large datasets.
+type SamplingOptions = core.SamplingOptions
+
+// CSVOptions configures AggregateCSV.
+type CSVOptions struct {
+	// HasHeader treats the first record as column names.
+	HasHeader bool
+	// ClassColumn names a column to exclude from clustering (typically a
+	// class label kept for evaluation). Requires HasHeader.
+	ClassColumn string
+	// Method selects the aggregation algorithm. The zero value is
+	// MethodBest (the paper's first algorithm); most callers want
+	// MethodAgglomerative or MethodLocalSearch.
+	Method Method
+	// Options tunes the aggregation.
+	Options AggregateOptions
+	// SampleSize, when positive, switches to the SAMPLING algorithm with
+	// this sample size.
+	SampleSize int
+}
+
+// CSVResult is the outcome of AggregateCSV.
+type CSVResult struct {
+	// Labels is the aggregate clustering of the rows.
+	Labels Labels
+	// Class holds the class column's labels when one was designated.
+	Class Labels
+	// Disagreement and LowerBound are the objective value and its trivial
+	// lower bound (unordered-pair scale).
+	Disagreement float64
+	LowerBound   float64
+	// Attributes is the number of categorical attributes used.
+	Attributes int
+}
+
+// AggregateCSV clusters categorical CSV data end to end: every categorical
+// attribute becomes an input clustering (the Section 2 reduction) and the
+// aggregate is computed with the chosen method. Numeric columns are ignored;
+// "?" and empty cells are missing values.
+func AggregateCSV(r io.Reader, opts CSVOptions) (*CSVResult, error) {
+	t, err := dataset.ReadCSV(r, dataset.CSVOptions{
+		HasHeader:   opts.HasHeader,
+		ClassColumn: opts.ClassColumn,
+	})
+	if err != nil {
+		return nil, err
+	}
+	clusterings, err := t.Clusterings()
+	if err != nil {
+		return nil, fmt.Errorf("clusteragg: %w", err)
+	}
+	problem, err := core.NewProblem(clusterings, core.ProblemOptions{})
+	if err != nil {
+		return nil, err
+	}
+	var labels Labels
+	if opts.SampleSize > 0 {
+		labels, err = problem.Sample(opts.Method, opts.Options, core.SamplingOptions{
+			SampleSize: opts.SampleSize,
+		})
+	} else {
+		labels, err = problem.Aggregate(opts.Method, opts.Options)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &CSVResult{
+		Labels:       labels,
+		Disagreement: problem.Disagreement(labels),
+		LowerBound:   problem.LowerBound(),
+		Attributes:   problem.M(),
+	}
+	if t.Class != nil {
+		res.Class = t.Class
+	}
+	return res, nil
+}

@@ -1,0 +1,124 @@
+package clusteragg_test
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+	"testing"
+
+	"clusteragg"
+)
+
+func TestFacadeFigure1(t *testing.T) {
+	problem, err := clusteragg.NewProblem([]clusteragg.Labels{
+		{0, 0, 1, 1, 2, 2},
+		{0, 1, 0, 1, 2, 3},
+		{0, 1, 0, 1, 2, 2},
+	}, clusteragg.ProblemOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range append(clusteragg.Methods(), clusteragg.ExtensionMethods()...) {
+		if method == clusteragg.MethodBalls {
+			continue // needs alpha=0.4 on this tiny instance
+		}
+		labels, err := problem.Aggregate(method, clusteragg.AggregateOptions{})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if d := problem.Disagreement(labels); math.Abs(d-5) > 1e-9 {
+			t.Errorf("%v: disagreement %v, want 5", method, d)
+		}
+	}
+}
+
+func TestFacadeDistanceHelpers(t *testing.T) {
+	a := clusteragg.Labels{0, 0, 1}
+	b := clusteragg.Labels{0, 1, 1}
+	d, err := clusteragg.Distance(a, b)
+	if err != nil || d != 2 {
+		t.Errorf("Distance = %d, %v", d, err)
+	}
+	ri, err := clusteragg.RandIndex(a, a)
+	if err != nil || ri != 1 {
+		t.Errorf("RandIndex = %v, %v", ri, err)
+	}
+	if clusteragg.Missing != -1 {
+		t.Error("Missing constant drifted")
+	}
+}
+
+func TestAggregateCSV(t *testing.T) {
+	csv := "a,b,class\nx,p,A\nx,p,A\ny,q,B\ny,q,B\n"
+	res, err := clusteragg.AggregateCSV(strings.NewReader(csv), clusteragg.CSVOptions{
+		HasHeader:   true,
+		ClassColumn: "class",
+		Method:      clusteragg.MethodAgglomerative,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels.K() != 2 {
+		t.Errorf("K = %d, want 2", res.Labels.K())
+	}
+	if res.Disagreement != 0 {
+		t.Errorf("disagreement %v, want 0 on unanimous attributes", res.Disagreement)
+	}
+	if res.Attributes != 2 {
+		t.Errorf("attributes = %d, want 2 (class excluded)", res.Attributes)
+	}
+	if len(res.Class) != 4 {
+		t.Errorf("class labels = %v", res.Class)
+	}
+}
+
+func TestAggregateCSVSampling(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("a\n")
+	for i := 0; i < 80; i++ {
+		if i%2 == 0 {
+			b.WriteString("x\n")
+		} else {
+			b.WriteString("y\n")
+		}
+	}
+	res, err := clusteragg.AggregateCSV(strings.NewReader(b.String()), clusteragg.CSVOptions{
+		HasHeader:  true,
+		Method:     clusteragg.MethodFurthest,
+		SampleSize: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels.K() != 2 {
+		t.Errorf("sampled K = %d, want 2", res.Labels.K())
+	}
+}
+
+func TestAggregateCSVErrors(t *testing.T) {
+	if _, err := clusteragg.AggregateCSV(strings.NewReader(""), clusteragg.CSVOptions{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := clusteragg.AggregateCSV(strings.NewReader("1\n2\n"), clusteragg.CSVOptions{}); err == nil {
+		t.Error("numeric-only input accepted")
+	}
+}
+
+// The package-level example shown in godoc.
+func Example() {
+	problem, err := clusteragg.NewProblem([]clusteragg.Labels{
+		{0, 0, 1, 1, 2, 2},
+		{0, 1, 0, 1, 2, 3},
+		{0, 1, 0, 1, 2, 2},
+	}, clusteragg.ProblemOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels, err := problem.Aggregate(clusteragg.MethodAgglomerative, clusteragg.AggregateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(labels, problem.Disagreement(labels))
+	// Output: [0 1 0 1 2 2] 5
+}

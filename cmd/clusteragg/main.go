@@ -1,0 +1,199 @@
+// Command clusteragg clusters categorical CSV data by clustering
+// aggregation: every categorical attribute becomes an input clustering and
+// the aggregate minimizing the total pairwise disagreement is computed with
+// one of the paper's algorithms.
+//
+// Usage:
+//
+//	clusteragg [flags] <file.csv>
+//
+// Reading from standard input: pass "-" as the file name.
+//
+// Flags:
+//
+//	-method NAME   best | balls | agglomerative | furthest | localsearch |
+//	               pivot | anneal | bestof (default agglomerative; bestof
+//	               races the paper's five and keeps the lowest disagreement)
+//	-alpha F       BALLS alpha parameter (default 0.4)
+//	-k N           force N clusters where the method supports it
+//	-refine        post-process with LOCALSEARCH
+//	-header        treat the first CSV record as column names
+//	-class NAME    column holding class labels (reported, not clustered on)
+//	-sample N      use SAMPLING with a sample of N rows (0 = exact)
+//	-seed N        random seed for sampling (default 1)
+//	-summary       print cluster sizes instead of per-row assignments
+//	-describe      print each cluster's dominant attribute values
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"clusteragg/internal/core"
+	"clusteragg/internal/dataset"
+	"clusteragg/internal/eval"
+	"clusteragg/internal/partition"
+)
+
+// cliConfig carries the parsed flags.
+type cliConfig struct {
+	method   string
+	alpha    float64
+	k        int
+	refine   bool
+	header   bool
+	class    string
+	sample   int
+	seed     int64
+	summary  bool
+	describe bool
+}
+
+func main() {
+	var cfg cliConfig
+	flag.StringVar(&cfg.method, "method", "agglomerative", "aggregation method: best|balls|agglomerative|furthest|localsearch|pivot|anneal|bestof")
+	flag.Float64Var(&cfg.alpha, "alpha", 0.4, "BALLS alpha parameter")
+	flag.IntVar(&cfg.k, "k", 0, "force this many clusters where supported (0 = parameter-free)")
+	flag.BoolVar(&cfg.refine, "refine", false, "post-process with LOCALSEARCH")
+	flag.BoolVar(&cfg.header, "header", false, "first CSV record is a header")
+	flag.StringVar(&cfg.class, "class", "", "class column name (requires -header)")
+	flag.IntVar(&cfg.sample, "sample", 0, "SAMPLING sample size (0 = exact algorithm)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for sampling and randomized methods")
+	flag.BoolVar(&cfg.summary, "summary", false, "print cluster sizes instead of assignments")
+	flag.BoolVar(&cfg.describe, "describe", false, "print each cluster's dominant attribute values")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: clusteragg [flags] <file.csv|->")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "clusteragg: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, cfg cliConfig) error {
+	var in io.Reader
+	if path == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	tab, err := dataset.ReadCSV(in, dataset.CSVOptions{
+		Name:        path,
+		HasHeader:   cfg.header,
+		ClassColumn: cfg.class,
+	})
+	if err != nil {
+		return err
+	}
+	clusterings, err := tab.Clusterings()
+	if err != nil {
+		return err
+	}
+	problem, err := core.NewProblem(clusterings, core.ProblemOptions{})
+	if err != nil {
+		return err
+	}
+
+	bestOf := strings.EqualFold(cfg.method, "bestof")
+	var method core.Method
+	if !bestOf {
+		if method, err = parseMethod(cfg.method); err != nil {
+			return err
+		}
+	} else {
+		method = core.MethodAgglomerative // used under SAMPLING for bestof
+	}
+	opts := core.AggregateOptions{
+		BallsAlpha:  cfg.alpha,
+		K:           cfg.k,
+		Refine:      cfg.refine,
+		Materialize: cfg.sample == 0 && tab.N() <= 4000,
+		Rand:        rand.New(rand.NewSource(cfg.seed)),
+	}
+
+	var labels partition.Labels
+	switch {
+	case cfg.sample > 0:
+		labels, err = problem.Sample(method, opts, core.SamplingOptions{
+			SampleSize: cfg.sample,
+			Rand:       rand.New(rand.NewSource(cfg.seed)),
+		})
+	case bestOf:
+		var winner core.Method
+		labels, winner, err = problem.BestOf(nil, opts)
+		if err == nil {
+			fmt.Printf("# bestof winner=%s\n", winner)
+		}
+	default:
+		labels, err = problem.Aggregate(method, opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("# n=%d attributes=%d clusters=%d disagreement=%.0f lower-bound=%.0f\n",
+		tab.N(), problem.M(), labels.K(), problem.Disagreement(labels), problem.LowerBound())
+	if tab.Class != nil {
+		ec, err := eval.ClassificationError(labels, tab.Class)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# classification-error=%.1f%%\n", 100*ec)
+	}
+	if cfg.describe {
+		profiles, err := dataset.Describe(tab, labels)
+		if err != nil {
+			return err
+		}
+		for _, p := range profiles {
+			fmt.Printf("cluster %d: %s\n", p.Cluster, p)
+		}
+		return nil
+	}
+	if cfg.summary {
+		for i, size := range labels.Sizes() {
+			fmt.Printf("cluster %d: %d rows\n", i, size)
+		}
+		return nil
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		fmt.Fprintf(&b, "%d,%d\n", i, l)
+	}
+	fmt.Print(b.String())
+	return nil
+}
+
+func parseMethod(name string) (core.Method, error) {
+	switch strings.ToLower(name) {
+	case "best":
+		return core.MethodBest, nil
+	case "balls":
+		return core.MethodBalls, nil
+	case "agglomerative":
+		return core.MethodAgglomerative, nil
+	case "furthest":
+		return core.MethodFurthest, nil
+	case "localsearch":
+		return core.MethodLocalSearch, nil
+	case "pivot":
+		return core.MethodPivot, nil
+	case "anneal":
+		return core.MethodAnneal, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", name)
+	}
+}

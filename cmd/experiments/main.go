@@ -1,0 +1,192 @@
+// Command experiments regenerates the tables and figures of "Clustering
+// Aggregation" (Gionis, Mannila, Tsaparas; ICDE 2005).
+//
+// Usage:
+//
+//	experiments [flags] <artifact>
+//
+// where <artifact> is one of: fig3, fig4, table1, table2, table3, census,
+// fig5left, fig5middle, fig5right, ensembles, missing, all. The fig5left
+// and fig5middle panels come from the same sweep and print together; the
+// "ensembles" (related-work consensus methods) and "missing" (missing-value
+// robustness) artifacts extend the paper's own evaluation — see
+// EXPERIMENTS.md.
+//
+// Flags:
+//
+//	-seed N        random seed (default 1)
+//	-full          run the paper's original sizes (slower)
+//	-mushrooms N   override the Mushrooms subsample size
+//	-census N      override the Census size
+//	-plot          render ASCII scatter plots for fig3/fig4
+//	-json          emit results as JSON instead of text tables
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"clusteragg/internal/asciiplot"
+	"clusteragg/internal/experiments"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "random seed")
+		full      = flag.Bool("full", false, "run the paper's original sizes")
+		mushrooms = flag.Int("mushrooms", 0, "Mushrooms subsample size (0 = default)")
+		census    = flag.Int("census", 0, "Census size (0 = default)")
+		plot      = flag.Bool("plot", false, "render ASCII scatter plots for fig3/fig4")
+		asJSON    = flag.Bool("json", false, "emit results as JSON instead of text tables")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <fig3|fig4|table1|table2|table3|census|fig5left|fig5middle|fig5right|ensembles|missing|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{
+		Seed:          *seed,
+		Full:          *full,
+		MushroomsRows: *mushrooms,
+		CensusRows:    *census,
+	}
+	if err := run(flag.Arg(0), cfg, *plot, *asJSON); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(artifact string, cfg experiments.Config, plot, asJSON bool) error {
+	emit := func(v any) error {
+		if asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(v)
+		}
+		fmt.Print(v)
+		return nil
+	}
+	switch artifact {
+	case "fig3":
+		res, err := experiments.Fig3Robustness(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(res); err != nil {
+			return err
+		}
+		if plot {
+			fmt.Println("\nground truth:")
+			fmt.Print(asciiplot.Scatter(res.Scene.Points, res.Scene.Truth, 78, 22))
+			for _, in := range res.Inputs {
+				fmt.Printf("\n%s:\n", in.Name)
+				fmt.Print(asciiplot.Scatter(res.Scene.Points, in.Labels, 78, 22))
+			}
+			fmt.Println("\naggregation:")
+			fmt.Print(asciiplot.Scatter(res.Scene.Points, res.Aggregate.Labels, 78, 22))
+		}
+	case "fig4":
+		res, err := experiments.Fig4CorrectClusters(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(res); err != nil {
+			return err
+		}
+		if plot {
+			for _, c := range res.Cases {
+				fmt.Printf("\nk* = %d, aggregate:\n", c.KTrue)
+				fmt.Print(asciiplot.Scatter(c.Data.Points, c.Labels, 78, 22))
+			}
+		}
+	case "table1":
+		res, err := experiments.Table1Confusion(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(res); err != nil {
+			return err
+		}
+	case "table2":
+		res, err := experiments.Table2Votes(cfg)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			return emit(res)
+		}
+		fmt.Printf("Table 2 — %s", res)
+	case "table3":
+		res, err := experiments.Table3Mushrooms(cfg)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			return emit(res)
+		}
+		fmt.Printf("Table 3 — %s", res)
+	case "census":
+		res, err := experiments.CensusSampling(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(res); err != nil {
+			return err
+		}
+	case "fig5left", "fig5middle":
+		res, err := experiments.Fig5Sampling(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(res); err != nil {
+			return err
+		}
+	case "fig5right":
+		res, err := experiments.Fig5Scalability(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(res); err != nil {
+			return err
+		}
+	case "missing":
+		res, err := experiments.MissingValueSweep(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(res); err != nil {
+			return err
+		}
+	case "ensembles":
+		results, err := experiments.EnsembleComparison(cfg)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			return emit(results)
+		}
+		fmt.Println("Extension — paper aggregators vs related-work consensus methods")
+		for _, res := range results {
+			fmt.Print(res)
+			fmt.Println()
+		}
+	case "all":
+		for _, a := range []string{"fig3", "fig4", "table1", "table2", "table3", "census", "fig5left", "fig5right", "ensembles", "missing"} {
+			fmt.Printf("==== %s ====\n", a)
+			if err := run(a, cfg, plot, asJSON); err != nil {
+				return fmt.Errorf("%s: %w", a, err)
+			}
+			fmt.Println()
+		}
+	default:
+		return fmt.Errorf("unknown artifact %q", artifact)
+	}
+	return nil
+}

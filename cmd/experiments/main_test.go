@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"clusteragg/internal/experiments"
+)
+
+func tinyCfg() experiments.Config {
+	return experiments.Config{
+		Seed:             1,
+		MushroomsRows:    300,
+		CensusRows:       800,
+		Quiet:            true,
+		SampleSizes:      []int{50},
+		ScalabilitySizes: []int{1200},
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	if err := run("nope", tinyCfg(), false, false); err == nil {
+		t.Error("unknown artifact accepted")
+	}
+}
+
+func TestRunArtifacts(t *testing.T) {
+	for _, artifact := range []string{"fig3", "fig4", "table1", "table2", "census", "fig5left", "fig5right"} {
+		artifact := artifact
+		t.Run(artifact, func(t *testing.T) {
+			if err := run(artifact, tinyCfg(), false, false); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunWithPlots(t *testing.T) {
+	if err := run("fig3", tinyCfg(), true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	for _, artifact := range []string{"fig4", "table2", "missing"} {
+		if err := run(artifact, tinyCfg(), false, true); err != nil {
+			t.Fatalf("%s as JSON: %v", artifact, err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command gendata writes the synthetic UCI stand-in datasets as CSV, so
+// they can be inspected, shipped, or fed back through cmd/clusteragg:
+//
+//	gendata -dataset votes | clusteragg -header -class class -summary -
+//
+// Usage:
+//
+//	gendata [flags]
+//
+// Flags:
+//
+//	-dataset NAME   votes | mushrooms | census (default votes)
+//	-seed N         generator seed (default 1)
+//	-rows N         row count for census (0 = the real 32561)
+//	-o FILE         output path (default standard output)
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+
+	"clusteragg/internal/dataset"
+)
+
+func main() {
+	var (
+		name = flag.String("dataset", "votes", "dataset to generate: votes|mushrooms|census")
+		seed = flag.Int64("seed", 1, "generator seed")
+		rows = flag.Int("rows", 0, "row count for census (0 = full size)")
+		out  = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		w = bw
+	}
+	if err := run(w, *name, *seed, *rows); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gendata: %v\n", err)
+	os.Exit(1)
+}
+
+func run(w io.Writer, name string, seed int64, rows int) error {
+	var t *dataset.Table
+	switch name {
+	case "votes":
+		t = dataset.SyntheticVotes(seed)
+	case "mushrooms":
+		t = dataset.SyntheticMushrooms(seed)
+	case "census":
+		t = dataset.SyntheticCensus(seed, rows)
+	default:
+		return fmt.Errorf("unknown dataset %q (want votes|mushrooms|census)", name)
+	}
+	return WriteCSV(w, t)
+}
+
+// WriteCSV emits a table as CSV with a header row, the UCI "?" convention
+// for missing values, and the class label in a trailing "class" column.
+func WriteCSV(w io.Writer, t *dataset.Table) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(t.Cols)+1)
+	for _, c := range t.Cols {
+		header = append(header, c.Name)
+	}
+	hasClass := t.Class != nil
+	if hasClass {
+		header = append(header, "class")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	n := t.N()
+	record := make([]string, len(header))
+	for row := 0; row < n; row++ {
+		for ci, c := range t.Cols {
+			switch c.Kind {
+			case dataset.Categorical:
+				if v := c.Values[row]; v == dataset.MissingValue {
+					record[ci] = "?"
+				} else {
+					record[ci] = c.Names[v]
+				}
+			case dataset.Numeric:
+				if f := c.Floats[row]; math.IsNaN(f) {
+					record[ci] = "?"
+				} else {
+					record[ci] = strconv.FormatFloat(f, 'g', -1, 64)
+				}
+			}
+		}
+		if hasClass {
+			record[len(record)-1] = t.ClassNames[t.Class[row]]
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clusteragg/internal/dataset"
+)
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run(&bytes.Buffer{}, "nope", 1, 0); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestRoundTripVotes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "votes", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := dataset.ReadCSV(&buf, dataset.CSVOptions{
+		HasHeader:   true,
+		ClassColumn: "class",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.N() != 435 {
+		t.Errorf("round-trip N = %d, want 435", tab.N())
+	}
+	if got := len(tab.CategoricalColumns()); got != 16 {
+		t.Errorf("round-trip columns = %d, want 16", got)
+	}
+	if got := tab.MissingTotal(); got != 288 {
+		t.Errorf("round-trip missing = %d, want 288", got)
+	}
+	if len(tab.ClassNames) != 2 {
+		t.Errorf("round-trip classes = %v", tab.ClassNames)
+	}
+}
+
+func TestRoundTripCensusNumericColumns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "census", 1, 200); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := dataset.ReadCSV(&buf, dataset.CSVOptions{
+		HasHeader:   true,
+		ClassColumn: "class",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.N() != 200 {
+		t.Errorf("N = %d", tab.N())
+	}
+	if tab.Column("age") == nil || tab.Column("age").Kind != dataset.Numeric {
+		t.Error("age column not numeric after round trip")
+	}
+	if got := len(tab.CategoricalColumns()); got != 8 {
+		t.Errorf("categorical columns = %d, want 8", got)
+	}
+}
+
+func TestWriteCSVHeaderAndMissing(t *testing.T) {
+	var buf bytes.Buffer
+	tab := dataset.SyntheticVotes(2)
+	if err := WriteCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	if !strings.HasPrefix(lines[0], "issue01,") || !strings.HasSuffix(lines[0], ",class") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(buf.String(), "?") {
+		t.Error("missing values not written as ?")
+	}
+}

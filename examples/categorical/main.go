@@ -1,0 +1,81 @@
+// Categorical-data clustering (Section 2 of the paper): every categorical
+// attribute of a table induces one clustering of the rows — one cluster per
+// value, with missing values contributing no information — and the
+// aggregate of those clusterings is a clustering of the table that needs no
+// distance function on mixed attribute domains and no preset k.
+//
+// This example clusters the Votes stand-in dataset (435 congresspeople, 16
+// yes/no votes, 288 missing values), compares every aggregation method, and
+// cross-tabulates the best result against the hidden party labels.
+//
+// Run with: go run ./examples/categorical
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clusteragg/internal/core"
+	"clusteragg/internal/dataset"
+	"clusteragg/internal/eval"
+	"clusteragg/internal/partition"
+)
+
+func main() {
+	table := dataset.SyntheticVotes(1)
+	fmt.Printf("dataset: %s — %d rows, %d categorical attributes, %d missing values\n\n",
+		table.Name, table.N(), len(table.CategoricalColumns()), table.MissingTotal())
+
+	clusterings, err := table.Clusterings()
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem, err := core.NewProblem(clusterings, core.ProblemOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-15s %4s %8s %12s\n", "method", "k", "E_C", "E_D")
+	var best struct {
+		method core.Method
+		ec     float64
+		labels partition.Labels
+	}
+	best.ec = 1
+	for _, method := range core.Methods() {
+		labels, err := problem.Aggregate(method, core.AggregateOptions{
+			BallsAlpha:  0.4,
+			Materialize: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ec, err := eval.ClassificationError(labels, table.Class)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s %4d %7.1f%% %12.0f\n",
+			method, labels.K(), 100*ec, problem.Disagreement(labels))
+		if ec < best.ec {
+			best.method, best.ec, best.labels = method, ec, labels
+		}
+	}
+
+	fmt.Printf("\nconfusion matrix for %s (classes × clusters):\n", best.method)
+	conf, err := eval.Confusion(best.labels, table.Class)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s", "")
+	for i := range conf.ClusterSizes {
+		fmt.Printf("%8s", fmt.Sprintf("c%d", i+1))
+	}
+	fmt.Println()
+	for j, name := range table.ClassNames {
+		fmt.Printf("%-12s", name)
+		for i := range conf.ClusterSizes {
+			fmt.Printf("%8d", conf.Counts[i][j])
+		}
+		fmt.Println()
+	}
+}

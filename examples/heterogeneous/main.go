@@ -1,0 +1,66 @@
+// Heterogeneous-data clustering (Section 2 of the paper): when a table
+// mixes categorical attributes with numeric attributes whose units are
+// incomparable (age in years, capital gain in dollars), no single distance
+// function makes sense. Clustering aggregation sidesteps the problem:
+// partition the attributes vertically into homogeneous groups, cluster each
+// group with an appropriate algorithm (categorical attributes induce
+// clusterings directly; numeric ones are clustered with k-means), and
+// aggregate.
+//
+// This example runs on the Census stand-in, which carries the real Adult
+// schema: 8 categorical + 6 numeric attributes.
+//
+// Run with: go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"clusteragg/internal/core"
+	"clusteragg/internal/dataset"
+	"clusteragg/internal/eval"
+	"clusteragg/internal/hetero"
+)
+
+func main() {
+	table := dataset.SyntheticCensus(1, 4000)
+	nCat := len(table.CategoricalColumns())
+	nNum := len(table.Cols) - nCat
+	fmt.Printf("dataset: %s — %d rows, %d categorical + %d numeric attributes\n\n",
+		table.Name, table.N(), nCat, nNum)
+
+	run := func(name string, opts hetero.Options, catOnly bool) {
+		var inputs, err = hetero.Clusterings(table, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if catOnly {
+			inputs = inputs[:nCat] // categorical attributes come first
+		}
+		problem, err := core.NewProblem(inputs, core.ProblemOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		labels, err := problem.Sample(core.MethodFurthest, core.AggregateOptions{},
+			core.SamplingOptions{SampleSize: 600, Rand: rand.New(rand.NewSource(7))})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ec, err := eval.ClassificationError(labels, table.Class)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-36s m=%2d inputs  k=%3d  E_C=%5.1f%%\n",
+			name, problem.M(), labels.K(), 100*ec)
+	}
+
+	run("categorical attributes only", hetero.Options{}, true)
+	run("categorical + per-attribute numeric", hetero.Options{NumericK: 4}, false)
+	run("... + joint numeric clustering", hetero.Options{NumericK: 4, Joint: true, JointK: 8}, false)
+
+	fmt.Println("\nEvery attribute votes in its own units; only co-clustering")
+	fmt.Println("information crosses attribute boundaries, so dollars never get")
+	fmt.Println("compared against years.")
+}

@@ -1,0 +1,107 @@
+// Privacy-preserving clustering (Section 2 of the paper): a table is split
+// vertically across sites that must not reveal attribute values to each
+// other (say, a tax office, a hospital, and a bank holding different
+// attributes of the same population). Each site clusters its own attributes
+// locally and publishes only its clustering — which rows it groups
+// together, never any value. Aggregating the published clusterings yields a
+// global clustering without a trusted third party.
+//
+// This example simulates three sites over the Votes stand-in, verifies that
+// the only shared artifacts are label vectors, and compares the federated
+// result against clustering the pooled table directly.
+//
+// Run with: go run ./examples/privacy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clusteragg/internal/core"
+	"clusteragg/internal/dataset"
+	"clusteragg/internal/eval"
+	"clusteragg/internal/partition"
+)
+
+// site holds a vertical slice of the table. Nothing outside clusterLocal
+// ever touches its columns.
+type site struct {
+	name string
+	cols []*dataset.Column
+}
+
+// clusterLocal aggregates the site's own attribute clusterings and
+// publishes a single clustering of the shared row ids.
+func (s *site) clusterLocal() (partition.Labels, error) {
+	var inputs []partition.Labels
+	for _, c := range s.cols {
+		labels, err := c.Clustering()
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, labels)
+	}
+	problem, err := core.NewProblem(inputs, core.ProblemOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return problem.Aggregate(core.MethodAgglomerative, core.AggregateOptions{Materialize: true})
+}
+
+func main() {
+	table := dataset.SyntheticVotes(1)
+	cats := table.CategoricalColumns()
+
+	// Vertical split: issues 1-5, 6-10, 11-16 live at different sites.
+	sites := []*site{
+		{name: "site-A (issues 1-5)", cols: cats[0:5]},
+		{name: "site-B (issues 6-10)", cols: cats[5:10]},
+		{name: "site-C (issues 11-16)", cols: cats[10:16]},
+	}
+
+	// Each site publishes one clustering: a label vector, no values.
+	var published []partition.Labels
+	for _, s := range sites {
+		labels, err := s.clusterLocal()
+		if err != nil {
+			log.Fatal(err)
+		}
+		published = append(published, labels)
+		fmt.Printf("%-22s publishes a clustering with %d clusters (labels only)\n",
+			s.name, labels.K())
+	}
+
+	// The coordinator sees only the published label vectors.
+	federated, err := core.NewProblem(published, core.ProblemOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fedLabels, err := federated.Aggregate(core.MethodAgglomerative, core.AggregateOptions{Materialize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: clustering the pooled table with all 16 attributes.
+	pooledInputs, err := table.Clusterings()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pooled, err := core.NewProblem(pooledInputs, core.ProblemOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pooledLabels, err := pooled.Aggregate(core.MethodAgglomerative, core.AggregateOptions{Materialize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fedEC, _ := eval.ClassificationError(fedLabels, table.Class)
+	poolEC, _ := eval.ClassificationError(pooledLabels, table.Class)
+	agreement, _ := partition.RandIndex(fedLabels, pooledLabels)
+
+	fmt.Printf("\nfederated aggregate:  k=%d  E_C=%.1f%%\n", fedLabels.K(), 100*fedEC)
+	fmt.Printf("pooled (non-private): k=%d  E_C=%.1f%%\n", pooledLabels.K(), 100*poolEC)
+	fmt.Printf("Rand agreement between the two: %.4f\n", agreement)
+	fmt.Println("\nNo attribute value ever left its site — only which rows each")
+	fmt.Println("site groups together, exactly the privacy model of Section 2.")
+}

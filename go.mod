@@ -1,0 +1,3 @@
+module clusteragg
+
+go 1.22

@@ -1,0 +1,97 @@
+package clusteragg_test
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strconv"
+	"testing"
+
+	"clusteragg"
+	"clusteragg/internal/dataset"
+	"clusteragg/internal/eval"
+)
+
+// TestIntegrationVotesPipeline drives the whole public surface end to end:
+// generate the Votes stand-in, serialize it to CSV, aggregate through the
+// facade, and check the headline quality numbers hold.
+func TestIntegrationVotesPipeline(t *testing.T) {
+	tab := dataset.SyntheticVotes(1)
+	var buf bytes.Buffer
+	if err := writeTableCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := clusteragg.AggregateCSV(&buf, clusteragg.CSVOptions{
+		HasHeader:   true,
+		ClassColumn: "class",
+		Method:      clusteragg.MethodAgglomerative,
+		Options:     clusteragg.AggregateOptions{Materialize: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attributes != 16 {
+		t.Errorf("attributes = %d, want 16", res.Attributes)
+	}
+	if k := res.Labels.K(); k < 2 || k > 5 {
+		t.Errorf("k = %d, want near 2", k)
+	}
+	if res.Disagreement < res.LowerBound {
+		t.Errorf("disagreement %v below lower bound %v", res.Disagreement, res.LowerBound)
+	}
+	ec, err := eval.ClassificationError(res.Labels, res.Class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec > 0.20 {
+		t.Errorf("E_C = %v, want the paper's low-teens band", ec)
+	}
+	// CSV round trip must preserve the exact objective value computed on
+	// the in-memory table.
+	clusterings, err := tab.Clusterings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := clusteragg.NewProblem(clusterings, clusteragg.ProblemOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := direct.Disagreement(res.Labels); math.Abs(d-res.Disagreement) > 1e-6 {
+		t.Errorf("round-trip disagreement %v != direct %v", res.Disagreement, d)
+	}
+}
+
+// writeTableCSV is a minimal CSV serializer for categorical tables (the
+// full one lives in cmd/gendata; duplicating the few lines here keeps the
+// integration test self-contained at the module root).
+func writeTableCSV(buf *bytes.Buffer, t *dataset.Table) error {
+	w := csv.NewWriter(buf)
+	var header []string
+	for _, c := range t.Cols {
+		header = append(header, c.Name)
+	}
+	header = append(header, "class")
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for row := 0; row < t.N(); row++ {
+		var rec []string
+		for _, c := range t.Cols {
+			switch {
+			case c.Kind == dataset.Categorical && c.Values[row] == dataset.MissingValue:
+				rec = append(rec, "?")
+			case c.Kind == dataset.Categorical:
+				rec = append(rec, c.Names[c.Values[row]])
+			default:
+				rec = append(rec, strconv.FormatFloat(c.Floats[row], 'g', -1, 64))
+			}
+		}
+		rec = append(rec, t.ClassNames[t.Class[row]])
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,62 @@
+// Package asciiplot renders labeled two-dimensional point sets as text
+// scatter plots, used by the example programs and the experiment CLI to
+// show the Figure 3 / Figure 4 cluster structure in a terminal.
+package asciiplot
+
+import (
+	"strings"
+
+	"clusteragg/internal/partition"
+	"clusteragg/internal/points"
+)
+
+// glyphs assigns one character per cluster label; labels beyond the set
+// wrap around.
+const glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// Scatter renders the points into a width×height character grid. Each cell
+// shows the glyph of the cluster owning the majority of its points (the
+// most recent on ties); empty cells are spaces; points labeled
+// partition.Missing render as '.'.
+func Scatter(pts []points.Point, labels partition.Labels, width, height int) string {
+	if width < 1 {
+		width = 60
+	}
+	if height < 1 {
+		height = 20
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	if len(pts) == 0 {
+		return render(grid)
+	}
+	minX, minY, maxX, maxY := points.Bounds(pts)
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	for i, p := range pts {
+		col := int((p.X - minX) / spanX * float64(width-1))
+		row := int((maxY - p.Y) / spanY * float64(height-1)) // y grows upward
+		ch := byte('.')
+		if i < len(labels) && labels[i] != partition.Missing {
+			ch = glyphs[labels[i]%len(glyphs)]
+		}
+		grid[row][col] = ch
+	}
+	return render(grid)
+}
+
+func render(grid [][]byte) string {
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

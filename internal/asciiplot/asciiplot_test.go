@@ -1,0 +1,59 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+
+	"clusteragg/internal/partition"
+	"clusteragg/internal/points"
+)
+
+func TestScatterEmpty(t *testing.T) {
+	out := Scatter(nil, nil, 10, 4)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want 4", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 10 {
+			t.Fatalf("line width %d, want 10", len(l))
+		}
+		if strings.TrimSpace(l) != "" {
+			t.Fatalf("non-empty line %q", l)
+		}
+	}
+}
+
+func TestScatterPlacement(t *testing.T) {
+	pts := []points.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	labels := partition.Labels{0, 1}
+	out := Scatter(pts, labels, 10, 5)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Point (0,0) is bottom-left; (1,1) is top-right.
+	if lines[4][0] != '0' {
+		t.Errorf("bottom-left = %q, want '0'", lines[4][0])
+	}
+	if lines[0][9] != '1' {
+		t.Errorf("top-right = %q, want '1'", lines[0][9])
+	}
+}
+
+func TestScatterMissingAndWrap(t *testing.T) {
+	pts := []points.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	labels := partition.Labels{partition.Missing, len(glyphs)}
+	out := Scatter(pts, labels, 10, 1)
+	if !strings.Contains(out, ".") {
+		t.Error("missing point not rendered as '.'")
+	}
+	if !strings.Contains(out, "0") {
+		t.Error("wrapped label not rendered")
+	}
+}
+
+func TestScatterDefaultsAndShortLabels(t *testing.T) {
+	pts := []points.Point{{X: 0.5, Y: 0.5}}
+	out := Scatter(pts, nil, 0, 0) // defaults; labels shorter than points
+	if !strings.Contains(out, ".") {
+		t.Error("unlabeled point not rendered as '.'")
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clusteragg/internal/partition"
+)
+
+// slowBest is the reference O(m²·n²) implementation.
+func slowBest(p *Problem) (partition.Labels, int, float64) {
+	bestIdx, bestD := -1, 0.0
+	var best partition.Labels
+	for i, c := range p.clusterings {
+		cand := completeMissing(c)
+		d := p.Disagreement(cand)
+		if bestIdx == -1 || d < bestD {
+			bestIdx, bestD, best = i, d, cand
+		}
+	}
+	return best, bestIdx, bestD
+}
+
+func TestBestClusteringFastMatchesSlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(15)
+		m := 2 + rng.Intn(6)
+		cs := make([]partition.Labels, m)
+		for i := range cs {
+			c := make(partition.Labels, n)
+			for j := range c {
+				c[j] = rng.Intn(4)
+			}
+			cs[i] = c
+		}
+		var opts ProblemOptions
+		if trial%2 == 1 {
+			w := make([]float64, m)
+			for i := range w {
+				w[i] = 0.5 + rng.Float64()*3
+			}
+			opts.Weights = w
+		}
+		p, err := NewProblem(cs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.fastBestApplicable() {
+			t.Fatal("fast path should apply to missing-free inputs")
+		}
+		fastL, fastI, fastD := p.BestClustering()
+		slowL, slowI, slowD := slowBest(p)
+		if math.Abs(fastD-slowD) > 1e-6 {
+			t.Fatalf("trial %d: fast D %v != slow D %v", trial, fastD, slowD)
+		}
+		// Indices may differ only on exact ties.
+		if fastI != slowI {
+			dFast := p.Disagreement(p.clusterings[fastI].Normalize())
+			dSlow := p.Disagreement(p.clusterings[slowI].Normalize())
+			if math.Abs(dFast-dSlow) > 1e-6 {
+				t.Fatalf("trial %d: fast picked %d (%v), slow %d (%v)", trial, fastI, dFast, slowI, dSlow)
+			}
+		}
+		if len(fastL) != len(slowL) {
+			t.Fatalf("trial %d: label lengths differ", trial)
+		}
+	}
+}
+
+func TestBestClusteringMissingUsesSlowPath(t *testing.T) {
+	p, err := NewProblem([]partition.Labels{
+		{0, 0, partition.Missing},
+		{0, 1, 1},
+	}, ProblemOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.fastBestApplicable() {
+		t.Fatal("fast path must not apply with missing values")
+	}
+	labels, _, _ := p.BestClustering()
+	for _, l := range labels {
+		if l == partition.Missing {
+			t.Fatal("missing label leaked into result")
+		}
+	}
+}
+
+func BenchmarkBestClusteringFast(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, m := 2000, 12
+	cs := make([]partition.Labels, m)
+	for i := range cs {
+		c := make(partition.Labels, n)
+		for j := range c {
+			c[j] = rng.Intn(6)
+		}
+		cs[i] = c
+	}
+	p, err := NewProblem(cs, ProblemOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.BestClustering()
+	}
+}

@@ -1,0 +1,306 @@
+// Package core implements the clustering-aggregation framework of
+// "Clustering Aggregation" (Gionis, Mannila, Tsaparas; ICDE 2005).
+//
+// A Problem holds m input clusterings C_1..C_m over the same n objects. The
+// goal is a single clustering C minimizing the total disagreement
+// D(C) = Σ_i d_V(C_i, C), where d_V counts object pairs placed together by
+// one clustering and apart by the other. The Problem is itself a
+// correlation-clustering Instance (Section 3's reduction): the distance
+// X_uv is the fraction of input clusterings separating u and v, so
+// D(C) = m · cost(C) and every algorithm from package corrclust applies.
+//
+// Missing values (label partition.Missing in an input clustering) follow the
+// paper's coin model: an attribute missing a value on a pair reports
+// "together" with probability p (MissingTogether, default 1/2), so it
+// contributes 1−p to X_uv and all costs are expectations.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"clusteragg/internal/corrclust"
+	"clusteragg/internal/partition"
+)
+
+// DefaultMissingTogether is the default probability p with which a
+// clustering carrying a missing value reports a pair as co-clustered.
+const DefaultMissingTogether = 0.5
+
+// MissingMode selects how input clusterings with missing labels contribute
+// to the pairwise distances. Section 2 of the paper describes both
+// strategies.
+type MissingMode int
+
+const (
+	// MissingCoin is the paper's adopted approach: a clustering with a
+	// missing value on a pair reports "together" with probability p
+	// (MissingTogether) and costs become expectations.
+	MissingCoin MissingMode = iota
+	// MissingAverage is the paper's alternative: "an attribute that
+	// contains a missing value in some tuple does not have any information
+	// about how this tuple should be clustered, so we should let the
+	// remaining attributes decide" — X_uv is the disagreeing fraction among
+	// only the clusterings that have values on both objects. A pair missing
+	// from every clustering gets distance 1/2 (no information either way).
+	MissingAverage
+)
+
+// Problem is a clustering-aggregation instance: m input clusterings over n
+// objects. It implements corrclust.Instance, so it can be fed directly to
+// any correlation-clustering algorithm. Construct with NewProblem.
+type Problem struct {
+	n           int
+	clusterings []partition.Labels
+	missingP    float64
+	missingMode MissingMode
+	weights     []float64 // nil means uniform
+	totalWeight float64
+}
+
+// ProblemOptions configures NewProblem.
+type ProblemOptions struct {
+	// MissingTogether is the coin-model probability p that a clustering with
+	// a missing value reports a pair as co-clustered. Zero means the default
+	// of 1/2; values must lie in [0,1]. Only meaningful with MissingCoin.
+	MissingTogether float64
+	// MissingMode selects the missing-value strategy (MissingCoin, the
+	// paper's adopted model, is the zero value).
+	MissingMode MissingMode
+	// Weights assigns a positive importance to each input clustering; the
+	// objective becomes Σ w_i·d_V(C_i, C) and X_uv the weighted separating
+	// fraction. Nil means uniform weights (the paper's formulation). When
+	// set, the length must match the number of clusterings.
+	Weights []float64
+}
+
+// ErrNoClusterings is returned when a Problem is constructed without inputs.
+var ErrNoClusterings = errors.New("core: no input clusterings")
+
+// NewProblem validates the inputs and builds an aggregation problem. All
+// clusterings must have the same length and contain only valid labels.
+func NewProblem(clusterings []partition.Labels, opts ProblemOptions) (*Problem, error) {
+	if len(clusterings) == 0 {
+		return nil, ErrNoClusterings
+	}
+	n := len(clusterings[0])
+	for i, c := range clusterings {
+		if len(c) != n {
+			return nil, fmt.Errorf("core: clustering %d has %d objects, want %d: %w",
+				i, len(c), n, partition.ErrLengthMismatch)
+		}
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("core: clustering %d: %w", i, err)
+		}
+	}
+	p := opts.MissingTogether
+	if p == 0 {
+		p = DefaultMissingTogether
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("core: MissingTogether %v outside [0,1]", p)
+	}
+	if opts.MissingMode != MissingCoin && opts.MissingMode != MissingAverage {
+		return nil, fmt.Errorf("core: unknown MissingMode %d", opts.MissingMode)
+	}
+	prob := &Problem{
+		n:           n,
+		clusterings: clusterings,
+		missingP:    p,
+		missingMode: opts.MissingMode,
+		totalWeight: float64(len(clusterings)),
+	}
+	if opts.Weights != nil {
+		if len(opts.Weights) != len(clusterings) {
+			return nil, fmt.Errorf("core: %d weights for %d clusterings", len(opts.Weights), len(clusterings))
+		}
+		prob.totalWeight = 0
+		for i, w := range opts.Weights {
+			if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("core: weight %d is %v, want positive and finite", i, w)
+			}
+			prob.totalWeight += w
+		}
+		prob.weights = append([]float64(nil), opts.Weights...)
+	}
+	return prob, nil
+}
+
+// weight returns the weight of input clustering i.
+func (p *Problem) weight(i int) float64 {
+	if p.weights == nil {
+		return 1
+	}
+	return p.weights[i]
+}
+
+// N returns the number of objects.
+func (p *Problem) N() int { return p.n }
+
+// M returns the number of input clusterings.
+func (p *Problem) M() int { return len(p.clusterings) }
+
+// Clusterings returns the input clusterings (not a copy; callers must not
+// modify them).
+func (p *Problem) Clusterings() []partition.Labels { return p.clusterings }
+
+// Dist returns X_uv: the (expected) fraction of input clusterings that place
+// u and v in different clusters. Dist satisfies corrclust.Instance and obeys
+// the triangle inequality.
+func (p *Problem) Dist(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	if p.missingMode == MissingAverage {
+		return p.distAverage(u, v)
+	}
+	var x float64
+	for i, c := range p.clusterings {
+		lu, lv := c[u], c[v]
+		switch {
+		case lu == partition.Missing || lv == partition.Missing:
+			x += (1 - p.missingP) * p.weight(i)
+		case lu != lv:
+			x += p.weight(i)
+		}
+	}
+	return x / p.totalWeight
+}
+
+// distAverage is Dist under MissingAverage: only clusterings with values on
+// both objects vote; a pair with no votes at all is maximally uncertain
+// (distance 1/2).
+//
+// Note that unlike the coin model, the averaged distances need not obey the
+// triangle inequality (different pairs average over different clusterings),
+// so the BALLS approximation guarantee does not formally carry over; the
+// algorithms still apply as heuristics.
+func (p *Problem) distAverage(u, v int) float64 {
+	var x, votes float64
+	for i, c := range p.clusterings {
+		lu, lv := c[u], c[v]
+		if lu == partition.Missing || lv == partition.Missing {
+			continue
+		}
+		w := p.weight(i)
+		votes += w
+		if lu != lv {
+			x += w
+		}
+	}
+	if votes == 0 {
+		return 0.5
+	}
+	return x / votes
+}
+
+// Matrix materializes the pairwise distances into a dense matrix. Algorithms
+// that probe distances many times (LOCALSEARCH, FURTHEST) run substantially
+// faster on the materialized form; the cost is O(m·n²) time and O(n²) space.
+// Materialization runs on all CPUs for large instances.
+func (p *Problem) Matrix() *corrclust.Matrix {
+	return corrclust.MatrixFromInstanceParallel(p, 0)
+}
+
+// Disagreement returns the (expected) total number of unordered-pair
+// disagreements D(C) = Σ_i d_V(C_i, C) between labels and the inputs. This
+// is the objective of Problem 1 on the unordered-pair scale; the paper's
+// ordered-pair figure is exactly twice this value.
+func (p *Problem) Disagreement(labels partition.Labels) float64 {
+	return p.totalWeight * corrclust.Cost(p, labels)
+}
+
+// LowerBound returns m · Σ_{u<v} min(X_uv, 1−X_uv), a lower bound on the
+// disagreement of every possible clustering (the "Lower bound" rows of
+// Tables 2 and 3).
+func (p *Problem) LowerBound() float64 {
+	return p.totalWeight * corrclust.LowerBound(p)
+}
+
+// completeMissing returns labels with every Missing entry replaced by a
+// fresh singleton cluster, making an attribute-derived clustering usable as
+// a candidate solution.
+func completeMissing(labels partition.Labels) partition.Labels {
+	out := labels.Clone()
+	next := 0
+	for _, v := range out {
+		if v >= next {
+			next = v + 1
+		}
+	}
+	for i, v := range out {
+		if v == partition.Missing {
+			out[i] = next
+			next++
+		}
+	}
+	return out.Normalize()
+}
+
+// BestClustering implements the BESTCLUSTERING algorithm: it returns the
+// input clustering with the smallest total disagreement, its index among the
+// inputs, and that disagreement. Missing labels in the winning input are
+// completed as singleton clusters. The result is a 2(1−1/m)-approximation of
+// the optimal aggregation.
+//
+// On inputs without missing values (and uniform weights under the coin
+// model's expectations not being needed), the disagreements are computed
+// through pairwise contingency tables in O(m²·(n + k²)) — the near-linear
+// regime the paper attributes to the Barthélemy–Leclerc data structures —
+// instead of the O(m²·n²) pair scan.
+func (p *Problem) BestClustering() (labels partition.Labels, index int, disagreement float64) {
+	if p.fastBestApplicable() {
+		return p.bestClusteringFast()
+	}
+	bestIdx, bestD := -1, 0.0
+	var best partition.Labels
+	for i, c := range p.clusterings {
+		cand := completeMissing(c)
+		d := p.Disagreement(cand)
+		if bestIdx == -1 || d < bestD {
+			bestIdx, bestD, best = i, d, cand
+		}
+	}
+	return best, bestIdx, bestD
+}
+
+// fastBestApplicable reports whether the contingency-table shortcut computes
+// exactly the same objective as the pairwise scan: no missing values (the
+// coin model's expected disagreements have no contingency analogue).
+// Weights are fine — they scale each pairwise distance.
+func (p *Problem) fastBestApplicable() bool {
+	for _, c := range p.clusterings {
+		for _, l := range c {
+			if l == partition.Missing {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bestClusteringFast evaluates D(C_i) = Σ_j w_j·d_V(C_j, C_i) with Mirkin
+// distances from contingency tables.
+func (p *Problem) bestClusteringFast() (partition.Labels, int, float64) {
+	m := len(p.clusterings)
+	bestIdx, bestD := -1, 0.0
+	for i := 0; i < m; i++ {
+		var d float64
+		for j := 0; j < m; j++ {
+			if i == j {
+				continue
+			}
+			dij, err := partition.Distance(p.clusterings[i], p.clusterings[j])
+			if err != nil {
+				// Unreachable: lengths were validated at construction.
+				panic(err)
+			}
+			d += p.weight(j) * float64(dij)
+		}
+		if bestIdx == -1 || d < bestD {
+			bestIdx, bestD = i, d
+		}
+	}
+	return p.clusterings[bestIdx].Normalize(), bestIdx, bestD
+}

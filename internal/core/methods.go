@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clusteragg/internal/corrclust"
+	"clusteragg/internal/partition"
+)
+
+// Method identifies one of the paper's aggregation algorithms.
+type Method int
+
+// The aggregation methods of Section 4.
+const (
+	// MethodBest is BESTCLUSTERING: pick the input clustering with the
+	// smallest total disagreement (2(1−1/m)-approximation).
+	MethodBest Method = iota
+	// MethodBalls is the BALLS algorithm (3-approximation at α = 1/4).
+	MethodBalls
+	// MethodAgglomerative is the average-linkage AGGLOMERATIVE algorithm.
+	MethodAgglomerative
+	// MethodFurthest is the furthest-first top-down FURTHEST algorithm.
+	MethodFurthest
+	// MethodLocalSearch is LOCALSEARCH started from singletons.
+	MethodLocalSearch
+	// MethodPivot is the randomized pivot extension (see corrclust.Pivot);
+	// not one of the paper's five algorithms.
+	MethodPivot
+	// MethodAnneal is the simulated-annealing extension in the style of
+	// Filkov and Skiena (see corrclust.Anneal); not one of the paper's five
+	// algorithms.
+	MethodAnneal
+)
+
+// String returns the paper's name for the method.
+func (m Method) String() string {
+	switch m {
+	case MethodBest:
+		return "BestClustering"
+	case MethodBalls:
+		return "Balls"
+	case MethodAgglomerative:
+		return "Agglomerative"
+	case MethodFurthest:
+		return "Furthest"
+	case MethodLocalSearch:
+		return "LocalSearch"
+	case MethodPivot:
+		return "Pivot"
+	case MethodAnneal:
+		return "Anneal"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Methods lists the paper's five aggregation methods in paper order.
+// ExtensionMethods lists the extras implemented beyond the paper.
+func Methods() []Method {
+	return []Method{MethodBest, MethodBalls, MethodAgglomerative, MethodFurthest, MethodLocalSearch}
+}
+
+// ExtensionMethods lists the aggregation methods implemented beyond the
+// paper's five (see their doc comments for provenance).
+func ExtensionMethods() []Method {
+	return []Method{MethodPivot, MethodAnneal}
+}
+
+// AggregateOptions tunes Aggregate.
+type AggregateOptions struct {
+	// BallsAlpha is the α parameter of MethodBalls. Zero means
+	// corrclust.DefaultBallsAlpha (1/4, the value of Theorem 1).
+	BallsAlpha float64
+	// K, when positive, asks the method to produce exactly K clusters where
+	// the method supports it (MethodAgglomerative, MethodFurthest). The
+	// other methods remain parameter-free and ignore K.
+	K int
+	// Refine applies a LOCALSEARCH post-processing pass to the method's
+	// output (Section 4 suggests LOCALSEARCH "can be used ... as a
+	// postprocessing step, to improve upon an existing solution").
+	Refine bool
+	// Materialize precomputes the dense distance matrix before running the
+	// algorithm. Recommended whenever n is small enough for O(n²) memory;
+	// it turns each O(m) distance probe into an array read.
+	Materialize bool
+	// Rand supplies randomness to the randomized methods (MethodPivot,
+	// MethodAnneal). Nil means a deterministic source seeded with 1. The
+	// paper's five methods are deterministic and ignore it.
+	Rand *rand.Rand
+	// PivotRounds is the number of independent pivot orders MethodPivot
+	// tries, keeping the best (zero means 10).
+	PivotRounds int
+}
+
+// Aggregate runs the chosen aggregation method on the problem and returns
+// the aggregate clustering with normalized labels.
+func (p *Problem) Aggregate(method Method, opts AggregateOptions) (partition.Labels, error) {
+	var inst corrclust.Instance = p
+	if opts.Materialize {
+		inst = p.Matrix()
+	}
+	return p.aggregateOn(inst, method, opts)
+}
+
+// aggregateOn is Aggregate against an explicit distance oracle, shared by
+// Aggregate and BestOf.
+func (p *Problem) aggregateOn(inst corrclust.Instance, method Method, opts AggregateOptions) (partition.Labels, error) {
+	var labels partition.Labels
+	switch method {
+	case MethodBest:
+		labels, _, _ = p.BestClustering()
+	case MethodBalls:
+		alpha := opts.BallsAlpha
+		if alpha == 0 {
+			alpha = corrclust.DefaultBallsAlpha
+		}
+		var err error
+		labels, err = corrclust.Balls(inst, alpha)
+		if err != nil {
+			return nil, err
+		}
+	case MethodAgglomerative:
+		labels = corrclust.AgglomerativeK(inst, opts.K)
+	case MethodFurthest:
+		labels, _ = corrclust.FurthestK(inst, opts.K)
+	case MethodLocalSearch:
+		labels = corrclust.LocalSearch(inst, corrclust.LocalSearchOptions{})
+	case MethodPivot:
+		rounds := opts.PivotRounds
+		if rounds <= 0 {
+			rounds = 10
+		}
+		labels = corrclust.PivotBest(inst, rounds, opts.Rand)
+	case MethodAnneal:
+		labels = corrclust.Anneal(inst, corrclust.AnnealOptions{Rand: opts.Rand})
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", method)
+	}
+	if opts.Refine && method != MethodLocalSearch {
+		labels = corrclust.LocalSearch(inst, corrclust.LocalSearchOptions{Init: labels})
+	}
+	return labels.Normalize(), nil
+}
+
+// BestOf runs every given method (all five paper methods when methods is
+// empty) and returns the clustering with the smallest total disagreement,
+// together with the method that produced it. Since all the algorithms are
+// cheap relative to building the distance matrix, racing them and keeping
+// the best is the natural way to use the framework when solution quality
+// matters more than a few extra O(n²) passes. The matrix is materialized
+// once and shared.
+func (p *Problem) BestOf(methods []Method, opts AggregateOptions) (partition.Labels, Method, error) {
+	if len(methods) == 0 {
+		methods = Methods()
+	}
+	var inst corrclust.Instance = p
+	if opts.Materialize {
+		inst = p.Matrix()
+		opts.Materialize = false // reuse the shared matrix below
+	}
+	var best partition.Labels
+	var bestMethod Method
+	bestCost := 0.0
+	for _, method := range methods {
+		labels, err := p.aggregateOn(inst, method, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		cost := corrclust.Cost(inst, labels)
+		if best == nil || cost < bestCost {
+			best, bestMethod, bestCost = labels, method, cost
+		}
+	}
+	return best, bestMethod, nil
+}

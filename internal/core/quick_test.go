@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clusteragg/internal/corrclust"
+	"clusteragg/internal/partition"
+)
+
+// quickProblem decodes a seed into a random aggregation problem.
+func quickProblem(seed int64, withMissing bool) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(12)
+	m := 1 + rng.Intn(6)
+	cs := make([]partition.Labels, m)
+	for i := range cs {
+		c := make(partition.Labels, n)
+		for j := range c {
+			if withMissing && rng.Float64() < 0.15 {
+				c[j] = partition.Missing
+			} else {
+				c[j] = rng.Intn(4)
+			}
+		}
+		cs[i] = c
+	}
+	p, err := NewProblem(cs, ProblemOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Property: the coin-model distances obey the triangle inequality (Section
+// 3 notes this holds for aggregation-induced instances), including with
+// missing values.
+func TestQuickDistTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		p := quickProblem(seed, true)
+		n := p.N()
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				duv := p.Dist(u, v)
+				for w := v + 1; w < n; w++ {
+					duw, dvw := p.Dist(u, w), p.Dist(v, w)
+					if duv > duw+dvw+1e-9 || duw > duv+dvw+1e-9 || dvw > duv+duw+1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dist is symmetric, zero on the diagonal, and within [0,1].
+func TestQuickDistRangeAndSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		p := quickProblem(seed, true)
+		n := p.N()
+		for u := 0; u < n; u++ {
+			if p.Dist(u, u) != 0 {
+				return false
+			}
+			for v := 0; v < n; v++ {
+				d := p.Dist(u, v)
+				if d < 0 || d > 1+1e-12 || d != p.Dist(v, u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any candidate clustering, Disagreement lies between the
+// lower bound and m·(number of pairs), and equals m·Cost.
+func TestQuickDisagreementBounds(t *testing.T) {
+	f := func(seed int64, raw []uint8) bool {
+		p := quickProblem(seed, false)
+		n := p.N()
+		cand := make(partition.Labels, n)
+		for i := range cand {
+			if i < len(raw) {
+				cand[i] = int(raw[i]) % 5
+			}
+		}
+		d := p.Disagreement(cand)
+		if d < p.LowerBound()-1e-9 {
+			return false
+		}
+		maxD := float64(p.M()) * float64(n*(n-1)/2)
+		if d > maxD+1e-9 {
+			return false
+		}
+		return math.Abs(d-float64(p.M())*corrclust.Cost(p, cand)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every aggregation method returns a valid normalized partition
+// of the right size.
+func TestQuickAggregateAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		p := quickProblem(seed, true)
+		for _, method := range Methods() {
+			labels, err := p.Aggregate(method, AggregateOptions{})
+			if err != nil {
+				return false
+			}
+			if len(labels) != p.N() || !labels.IsNormalized() {
+				return false
+			}
+			for _, l := range labels {
+				if l == partition.Missing {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: materialized and lazy instances agree on every method's result
+// quality (costs computed either way are identical).
+func TestQuickMaterializeConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		p := quickProblem(seed, true)
+		m := p.Matrix()
+		n := p.N()
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if math.Abs(p.Dist(u, v)-m.Dist(u, v)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"clusteragg/internal/partition"
+)
+
+// SamplingOptions configures the SAMPLING wrapper of Section 4.1.
+type SamplingOptions struct {
+	// SampleSize is the number of objects clustered exactly. Zero selects
+	// an automatic size of ceil(20·ln n) (a constant multiple of the
+	// O(log n) the paper derives from Chernoff bounds), capped at n.
+	SampleSize int
+	// Rand is the randomness source for drawing the sample. Nil means a
+	// deterministic source seeded with 1.
+	Rand *rand.Rand
+	// NoSingletonRecluster disables the post-processing round that gathers
+	// all singleton clusters and aggregates them again (enabled by default,
+	// as in the paper).
+	NoSingletonRecluster bool
+}
+
+// Sample runs the SAMPLING algorithm on top of the given aggregation method:
+// it aggregates a uniform random sample exactly, assigns every remaining
+// object to the sampled cluster (or to a fresh singleton) that minimizes the
+// LOCALSEARCH assignment cost, and finally gathers all singleton clusters
+// and aggregates them again. Pre- and post-processing are linear in n for a
+// fixed sample size.
+func (p *Problem) Sample(method Method, aggOpts AggregateOptions, sOpts SamplingOptions) (partition.Labels, error) {
+	n := p.n
+	s := sOpts.SampleSize
+	if s == 0 {
+		s = autoSampleSize(n)
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("core: negative sample size %d", s)
+	}
+	if s >= n {
+		return p.Aggregate(method, aggOpts)
+	}
+	rng := sOpts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+
+	sample := rng.Perm(n)[:s]
+	sort.Ints(sample)
+
+	sampleLabels, err := p.subProblem(sample).Aggregate(method, withMaterialize(aggOpts))
+	if err != nil {
+		return nil, err
+	}
+
+	// Clusters of the sample, holding original object indices.
+	k := sampleLabels.K()
+	members := make([][]int, k)
+	for si, c := range sampleLabels {
+		members[c] = append(members[c], sample[si])
+	}
+
+	labels := make(partition.Labels, n)
+	for i := range labels {
+		labels[i] = partition.Missing
+	}
+	for si, c := range sampleLabels {
+		labels[sample[si]] = c
+	}
+
+	// Assignment phase: place each non-sampled object into the sampled
+	// cluster minimizing d(v, C_i) = M(v,C_i) + Σ_{j≠i}(|C_j| − M(v,C_j)),
+	// or into a fresh singleton when that is cheaper.
+	inSample := make([]bool, n)
+	for _, i := range sample {
+		inSample[i] = true
+	}
+	next := k
+	m := make([]float64, k)
+	for v := 0; v < n; v++ {
+		if inSample[v] {
+			continue
+		}
+		var totalAway float64
+		for ci := range members {
+			m[ci] = 0
+			for _, u := range members[ci] {
+				m[ci] += p.Dist(v, u)
+			}
+			totalAway += float64(len(members[ci])) - m[ci]
+		}
+		bestC, bestCost := -1, totalAway // -1 = fresh singleton
+		for ci := range members {
+			d := m[ci] + totalAway - (float64(len(members[ci])) - m[ci])
+			if d < bestCost {
+				bestC, bestCost = ci, d
+			}
+		}
+		if bestC == -1 {
+			labels[v] = next
+			next++
+		} else {
+			labels[v] = bestC
+		}
+	}
+
+	if !sOpts.NoSingletonRecluster {
+		if err := p.reclusterSingletons(labels, method, aggOpts, rng); err != nil {
+			return nil, err
+		}
+	}
+	return labels.Normalize(), nil
+}
+
+// autoSampleSize returns ceil(20·ln n), clamped to [1, n].
+func autoSampleSize(n int) int {
+	if n <= 1 {
+		return n
+	}
+	s := int(math.Ceil(20 * math.Log(float64(n))))
+	if s > n {
+		s = n
+	}
+	return s
+}
+
+// withMaterialize forces matrix materialization, which is always worthwhile
+// on a small sample.
+func withMaterialize(o AggregateOptions) AggregateOptions {
+	o.Materialize = true
+	return o
+}
+
+// subProblem restricts the inputs to the given (sorted) object indices.
+func (p *Problem) subProblem(idx []int) *Problem {
+	sub := make([]partition.Labels, len(p.clusterings))
+	for ci, c := range p.clusterings {
+		sc := make(partition.Labels, len(idx))
+		for i, obj := range idx {
+			sc[i] = c[obj]
+		}
+		sub[ci] = sc
+	}
+	return &Problem{
+		n:           len(idx),
+		clusterings: sub,
+		missingP:    p.missingP,
+		missingMode: p.missingMode,
+		weights:     p.weights,
+		totalWeight: p.totalWeight,
+	}
+}
+
+// reclusterSingletons gathers every object currently in a singleton cluster
+// and aggregates that subset again, splicing the result back into labels.
+// Very large singleton sets are handled by a recursive Sample call so the
+// post-processing stays near-linear.
+func (p *Problem) reclusterSingletons(labels partition.Labels, method Method, aggOpts AggregateOptions, rng *rand.Rand) error {
+	counts := make(map[int]int)
+	for _, c := range labels {
+		counts[c]++
+	}
+	var singles []int
+	for i, c := range labels {
+		if counts[c] == 1 {
+			singles = append(singles, i)
+		}
+	}
+	if len(singles) < 2 {
+		return nil
+	}
+
+	sub := p.subProblem(singles)
+	var subLabels partition.Labels
+	var err error
+	const reclusterCap = 4096 // beyond this, recurse with sampling
+	if len(singles) > reclusterCap {
+		subLabels, err = sub.Sample(method, aggOpts, SamplingOptions{Rand: rng, NoSingletonRecluster: true})
+	} else {
+		subLabels, err = sub.Aggregate(method, withMaterialize(aggOpts))
+	}
+	if err != nil {
+		return err
+	}
+
+	base := 0
+	for _, c := range labels {
+		if c >= base {
+			base = c + 1
+		}
+	}
+	for i, obj := range singles {
+		labels[obj] = base + subLabels[i]
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"clusteragg/internal/partition"
+)
+
+func TestWeightsValidation(t *testing.T) {
+	cs := []partition.Labels{{0, 1}, {0, 0}}
+	if _, err := NewProblem(cs, ProblemOptions{Weights: []float64{1}}); err == nil {
+		t.Error("wrong-length weights accepted")
+	}
+	if _, err := NewProblem(cs, ProblemOptions{Weights: []float64{1, 0}}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewProblem(cs, ProblemOptions{Weights: []float64{1, -2}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewProblem(cs, ProblemOptions{Weights: []float64{1, math.NaN()}}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if _, err := NewProblem(cs, ProblemOptions{Weights: []float64{1, math.Inf(1)}}); err == nil {
+		t.Error("infinite weight accepted")
+	}
+}
+
+func TestUniformWeightsMatchUnweighted(t *testing.T) {
+	cs := []partition.Labels{
+		{0, 0, 1, 1},
+		{0, 1, 0, 1},
+		{0, 0, 0, 1},
+	}
+	plain, err := NewProblem(cs, ProblemOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := NewProblem(cs, ProblemOptions{Weights: []float64{2, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			if math.Abs(plain.Dist(u, v)-weighted.Dist(u, v)) > 1e-12 {
+				t.Fatalf("uniform weights change Dist(%d,%d)", u, v)
+			}
+		}
+	}
+	labels := partition.Labels{0, 0, 1, 1}
+	// Disagreement scales with total weight: 2x weights double it.
+	if got, want := weighted.Disagreement(labels), 2*plain.Disagreement(labels); math.Abs(got-want) > 1e-9 {
+		t.Errorf("weighted disagreement %v, want %v", got, want)
+	}
+}
+
+func TestWeightsDominantInput(t *testing.T) {
+	// Two conflicting clusterings; crushing weight on the second must make
+	// the aggregate follow it.
+	cs := []partition.Labels{
+		{0, 0, 1, 1},
+		{0, 1, 0, 1},
+	}
+	p, err := NewProblem(cs, ProblemOptions{Weights: []float64{1, 99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := p.Aggregate(MethodAgglomerative, AggregateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := partition.Distance(labels, cs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("heavily weighted input not followed: %v (distance %d)", labels, d)
+	}
+}
+
+func TestWeightsReplicationEquivalence(t *testing.T) {
+	// Integer weight w on a clustering must equal repeating it w times.
+	a := partition.Labels{0, 0, 1, 1, 2}
+	b := partition.Labels{0, 1, 1, 0, 2}
+	weighted, err := NewProblem([]partition.Labels{a, b}, ProblemOptions{Weights: []float64{3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicated, err := NewProblem([]partition.Labels{a, a, a, b}, ProblemOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			if math.Abs(weighted.Dist(u, v)-replicated.Dist(u, v)) > 1e-12 {
+				t.Fatalf("weight-3 != replicate-3 at (%d,%d)", u, v)
+			}
+		}
+	}
+	labels := partition.Labels{0, 0, 1, 1, 2}
+	if math.Abs(weighted.Disagreement(labels)-replicated.Disagreement(labels)) > 1e-9 {
+		t.Error("disagreement differs between weighting and replication")
+	}
+	if math.Abs(weighted.LowerBound()-replicated.LowerBound()) > 1e-9 {
+		t.Error("lower bound differs between weighting and replication")
+	}
+}
+
+func TestWeightsWithMissingAverage(t *testing.T) {
+	cs := []partition.Labels{
+		{0, 0},
+		{0, 1},
+		{0, partition.Missing},
+	}
+	p, err := NewProblem(cs, ProblemOptions{
+		MissingMode: MissingAverage,
+		Weights:     []float64{3, 1, 10}, // the missing input must not vote
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Votes: weight 3 says together, weight 1 says apart -> X = 1/4.
+	if got := p.Dist(0, 1); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Dist = %v, want 0.25", got)
+	}
+}
+
+func TestWeightsSurviveSampling(t *testing.T) {
+	cs := make([]partition.Labels, 4)
+	for i := range cs {
+		c := make(partition.Labels, 200)
+		for j := range c {
+			c[j] = j % 3
+		}
+		cs[i] = c
+	}
+	p, err := NewProblem(cs, ProblemOptions{Weights: []float64{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := p.Sample(MethodAgglomerative, AggregateOptions{}, SamplingOptions{SampleSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels.K() != 3 {
+		t.Errorf("weighted sampling found %d clusters, want 3", labels.K())
+	}
+}

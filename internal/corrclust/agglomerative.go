@@ -1,0 +1,152 @@
+package corrclust
+
+import (
+	"container/heap"
+
+	"clusteragg/internal/partition"
+)
+
+// Agglomerative runs the AGGLOMERATIVE algorithm of Section 4: start with
+// every object in a singleton cluster and repeatedly merge the pair of
+// clusters with the smallest average inter-cluster distance, as long as that
+// average is below 1/2. The result therefore has the property that the
+// average distance between any two merged groups was below 1/2 at merge
+// time, and the paper shows the final clusters have average intra-cluster
+// pair distance at most 1/2.
+//
+// The implementation keeps the total inter-cluster edge weight for each
+// cluster pair (the average-linkage Lance–Williams update) and a lazy
+// min-heap of candidate merges, for O(n² log n) time and O(n²) space after
+// the O(n²) distance scan.
+func Agglomerative(inst Instance) partition.Labels {
+	return AgglomerativeK(inst, 0)
+}
+
+// AgglomerativeK is Agglomerative with an optional cluster-count constraint:
+// when k > 0 the algorithm keeps merging the closest pair (even past the 1/2
+// threshold) until exactly k clusters remain, or stops early at k clusters
+// before the threshold is reached. With k = 0 the parameter-free rule of the
+// paper applies.
+func AgglomerativeK(inst Instance, k int) partition.Labels {
+	n := inst.N()
+	if n == 0 {
+		return partition.Labels{}
+	}
+	if k > n {
+		k = n
+	}
+
+	state := &mergeState{
+		n:       n,
+		size:    make([]int, n),
+		version: make([]int, n),
+		alive:   make([]bool, n),
+		total:   make([]float64, n*(n-1)/2),
+	}
+	for i := 0; i < n; i++ {
+		state.size[i] = 1
+		state.alive[i] = true
+	}
+
+	h := &mergeHeap{}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			x := inst.Dist(u, v)
+			state.total[state.index(u, v)] = x
+			// Pairs at distance >= 1/2 cannot trigger a merge while both
+			// endpoints are untouched; fresh candidates are pushed whenever a
+			// cluster changes, so skipping them here loses nothing.
+			if k > 0 || x < 0.5 {
+				heap.Push(h, mergeCand{a: u, b: v, avg: x})
+			}
+		}
+	}
+
+	labels := partition.Singletons(n)
+	clusters := n
+	for h.Len() > 0 && clusters > 1 {
+		if k > 0 && clusters <= k {
+			break // exact-k request satisfied
+		}
+		cand := heap.Pop(h).(mergeCand)
+		if !state.alive[cand.a] || !state.alive[cand.b] ||
+			state.version[cand.a] != cand.verA || state.version[cand.b] != cand.verB {
+			continue
+		}
+		if k == 0 && cand.avg >= 0.5 {
+			break // parameter-free stop: no pair below the threshold remains
+		}
+		state.merge(cand.a, cand.b, h, k)
+		for i := range labels {
+			if labels[i] == cand.b {
+				labels[i] = cand.a
+			}
+		}
+		clusters--
+	}
+	return labels.Normalize()
+}
+
+type mergeCand struct {
+	a, b       int
+	verA, verB int
+	avg        float64
+}
+
+type mergeHeap []mergeCand
+
+func (h mergeHeap) Len() int      { return len(h) }
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].avg != h[j].avg {
+		return h[i].avg < h[j].avg
+	}
+	if h[i].a != h[j].a {
+		return h[i].a < h[j].a
+	}
+	return h[i].b < h[j].b
+}
+func (h *mergeHeap) Push(x any) { *h = append(*h, x.(mergeCand)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+type mergeState struct {
+	n       int
+	size    []int
+	version []int
+	alive   []bool
+	total   []float64 // condensed pairwise total inter-cluster weight
+}
+
+func (s *mergeState) index(u, v int) int {
+	if u > v {
+		u, v = v, u
+	}
+	return u*(2*s.n-u-1)/2 + (v - u - 1)
+}
+
+// merge folds cluster b into cluster a and pushes refreshed candidates for
+// every surviving cluster against a.
+func (s *mergeState) merge(a, b int, h *mergeHeap, k int) {
+	s.alive[b] = false
+	s.size[a] += s.size[b]
+	s.version[a]++
+	for c := 0; c < s.n; c++ {
+		if !s.alive[c] || c == a {
+			continue
+		}
+		s.total[s.index(a, c)] += s.total[s.index(b, c)]
+		avg := s.total[s.index(a, c)] / float64(s.size[a]*s.size[c])
+		if k > 0 || avg < 0.5 {
+			heap.Push(h, mergeCand{
+				a: min(a, c), b: max(a, c),
+				verA: s.version[min(a, c)], verB: s.version[max(a, c)],
+				avg: avg,
+			})
+		}
+	}
+}

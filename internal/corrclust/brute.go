@@ -1,0 +1,37 @@
+package corrclust
+
+import (
+	"fmt"
+
+	"clusteragg/internal/partition"
+)
+
+// MaxBruteForceN bounds the instance size BruteForce accepts; the Bell
+// number B(13) ≈ 27M partitions is the largest enumeration that stays
+// comfortably fast.
+const MaxBruteForceN = 13
+
+// BruteForce returns an optimal correlation clustering of inst by
+// enumerating every set partition, together with its cost. It is intended
+// for validating the approximation algorithms in tests and refuses
+// instances larger than MaxBruteForceN objects.
+func BruteForce(inst Instance) (partition.Labels, float64, error) {
+	n := inst.N()
+	if n > MaxBruteForceN {
+		return nil, 0, fmt.Errorf("corrclust: brute force limited to n <= %d, got %d", MaxBruteForceN, n)
+	}
+	if n == 0 {
+		return partition.Labels{}, 0, nil
+	}
+	var best partition.Labels
+	bestCost := -1.0
+	partition.EnumeratePartitions(n, func(labels partition.Labels) bool {
+		c := Cost(inst, labels)
+		if bestCost < 0 || c < bestCost {
+			bestCost = c
+			best = labels.Clone()
+		}
+		return true
+	})
+	return best, bestCost, nil
+}

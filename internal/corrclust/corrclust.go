@@ -1,0 +1,173 @@
+// Package corrclust implements correlation clustering on complete graphs
+// with edge distances in [0,1], as defined in Section 3 of "Clustering
+// Aggregation" (Gionis, Mannila, Tsaparas; ICDE 2005).
+//
+// An Instance supplies the pairwise distance X_uv ∈ [0,1] for every
+// unordered pair of objects. The cost of a partition C is
+//
+//	d(C) = Σ_{C(u)=C(v)} X_uv + Σ_{C(u)≠C(v)} (1 − X_uv)
+//
+// summed over unordered pairs u < v. The package provides the BALLS,
+// AGGLOMERATIVE, FURTHEST, and LOCALSEARCH algorithms from Section 4 of the
+// paper, an exact brute-force solver for validation, the trivial lower
+// bound Σ min(X_uv, 1−X_uv), and a dense condensed-matrix Instance.
+package corrclust
+
+import (
+	"fmt"
+	"math"
+
+	"clusteragg/internal/partition"
+)
+
+// Instance is a correlation-clustering input: a complete graph on N objects
+// with distances in [0,1]. Implementations must be symmetric
+// (Dist(u,v) == Dist(v,u)) and zero on the diagonal. Dist must be safe for
+// concurrent use.
+type Instance interface {
+	// N returns the number of objects.
+	N() int
+	// Dist returns the distance X_uv in [0,1].
+	Dist(u, v int) float64
+}
+
+// Cost returns the correlation-clustering objective of labels on inst,
+// summed over unordered pairs: co-clustered pairs pay X_uv and separated
+// pairs pay 1-X_uv.
+func Cost(inst Instance, labels partition.Labels) float64 {
+	n := inst.N()
+	var cost float64
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			x := inst.Dist(u, v)
+			if labels[u] == labels[v] {
+				cost += x
+			} else {
+				cost += 1 - x
+			}
+		}
+	}
+	return cost
+}
+
+// LowerBound returns Σ_{u<v} min(X_uv, 1−X_uv), a lower bound on the cost of
+// every partition: each pair pays at least the cheaper of its two options.
+func LowerBound(inst Instance) float64 {
+	n := inst.N()
+	var lb float64
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			lb += math.Min(inst.Dist(u, v), 1-inst.Dist(u, v))
+		}
+	}
+	return lb
+}
+
+// Matrix is a dense Instance backed by condensed upper-triangular storage
+// (n(n-1)/2 float64 values). The zero value is unusable; construct with
+// NewMatrix.
+type Matrix struct {
+	n    int
+	data []float64
+}
+
+// NewMatrix returns an n-object Matrix with all distances zero.
+func NewMatrix(n int) *Matrix {
+	if n < 0 {
+		panic("corrclust: negative matrix size")
+	}
+	return &Matrix{n: n, data: make([]float64, n*(n-1)/2)}
+}
+
+// MatrixFromInstance materializes any Instance into a Matrix. Useful when an
+// on-the-fly instance will be probed many times.
+func MatrixFromInstance(inst Instance) *Matrix {
+	n := inst.N()
+	m := NewMatrix(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			m.data[m.index(u, v)] = inst.Dist(u, v)
+		}
+	}
+	return m
+}
+
+// N returns the number of objects.
+func (m *Matrix) N() int { return m.n }
+
+func (m *Matrix) index(u, v int) int {
+	if u > v {
+		u, v = v, u
+	}
+	// Row u occupies n-1-u entries starting at u*n - u*(u+1)/2 - u... use the
+	// standard condensed index: offset(u) = u*(2n-u-1)/2, column v-u-1.
+	return u*(2*m.n-u-1)/2 + (v - u - 1)
+}
+
+// Dist returns the stored distance; Dist(u,u) is 0.
+func (m *Matrix) Dist(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	return m.data[m.index(u, v)]
+}
+
+// Set stores a distance for the unordered pair {u,v}. Setting a diagonal
+// entry or a value outside [0,1] is an error.
+func (m *Matrix) Set(u, v int, x float64) error {
+	if u == v {
+		return fmt.Errorf("corrclust: cannot set diagonal entry (%d,%d)", u, v)
+	}
+	if u < 0 || v < 0 || u >= m.n || v >= m.n {
+		return fmt.Errorf("corrclust: pair (%d,%d) out of range [0,%d)", u, v, m.n)
+	}
+	if x < 0 || x > 1 || math.IsNaN(x) {
+		return fmt.Errorf("corrclust: distance %v outside [0,1]", x)
+	}
+	m.data[m.index(u, v)] = x
+	return nil
+}
+
+// Validate checks that all distances are within [0,1] and, when checkTriangle
+// is set, that the triangle inequality X_uw <= X_uv + X_vw holds for every
+// triple (an O(n^3) scan; intended for tests).
+func (m *Matrix) Validate(checkTriangle bool) error {
+	for _, x := range m.data {
+		if x < 0 || x > 1 || math.IsNaN(x) {
+			return fmt.Errorf("corrclust: distance %v outside [0,1]", x)
+		}
+	}
+	if !checkTriangle {
+		return nil
+	}
+	const eps = 1e-9
+	for u := 0; u < m.n; u++ {
+		for v := u + 1; v < m.n; v++ {
+			duv := m.Dist(u, v)
+			for w := v + 1; w < m.n; w++ {
+				duw, dvw := m.Dist(u, w), m.Dist(v, w)
+				if duv > duw+dvw+eps || duw > duv+dvw+eps || dvw > duv+duw+eps {
+					return fmt.Errorf("corrclust: triangle inequality violated on (%d,%d,%d)", u, v, w)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Sub returns the sub-instance of inst induced by the given object indices:
+// object i of the result corresponds to idx[i] of inst.
+func Sub(inst Instance, idx []int) Instance {
+	return &subInstance{parent: inst, idx: idx}
+}
+
+type subInstance struct {
+	parent Instance
+	idx    []int
+}
+
+func (s *subInstance) N() int { return len(s.idx) }
+
+func (s *subInstance) Dist(u, v int) float64 {
+	return s.parent.Dist(s.idx[u], s.idx[v])
+}

@@ -1,0 +1,70 @@
+package corrclust_test
+
+import (
+	"fmt"
+	"log"
+
+	"clusteragg/internal/corrclust"
+	"clusteragg/internal/partition"
+)
+
+// fig2 builds the correlation-clustering instance of the paper's Figure 2.
+func fig2() *corrclust.Matrix {
+	clusterings := []partition.Labels{
+		{0, 0, 1, 1, 2, 2},
+		{0, 1, 0, 1, 2, 3},
+		{0, 1, 0, 1, 2, 2},
+	}
+	m := corrclust.NewMatrix(6)
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			sep := 0
+			for _, c := range clusterings {
+				if c[u] != c[v] {
+					sep++
+				}
+			}
+			if err := m.Set(u, v, float64(sep)/3); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	return m
+}
+
+// Agglomerative merging stops on its own when no cluster pair has average
+// distance below 1/2 — no k needed.
+func ExampleAgglomerative() {
+	labels := corrclust.Agglomerative(fig2())
+	fmt.Println(labels, labels.K())
+	// Output: [0 1 0 1 2 2] 3
+}
+
+// The cost of a partition charges X_uv for co-clustered pairs and 1−X_uv
+// for separated ones; the lower bound charges every pair its cheaper side.
+func ExampleCost() {
+	inst := fig2()
+	labels := partition.Labels{0, 1, 0, 1, 2, 2}
+	fmt.Printf("cost=%.3f lower-bound=%.3f\n", corrclust.Cost(inst, labels), corrclust.LowerBound(inst))
+	// Output: cost=1.667 lower-bound=1.667
+}
+
+// Balls with the paper's practical α = 2/5.
+func ExampleBalls() {
+	labels, err := corrclust.Balls(fig2(), corrclust.RecommendedBallsAlpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(labels)
+	// Output: [0 1 0 1 2 2]
+}
+
+// BruteForce certifies optimality on tiny instances.
+func ExampleBruteForce() {
+	labels, cost, err := corrclust.BruteForce(fig2())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v %.3f\n", labels, cost)
+	// Output: [0 1 0 1 2 2] 1.667
+}

@@ -1,0 +1,110 @@
+package corrclust
+
+import "clusteragg/internal/partition"
+
+// Furthest runs the FURTHEST algorithm of Section 4, a top-down procedure
+// inspired by the furthest-first traversal of Hochbaum and Shmoys. It starts
+// with all objects in a single cluster, then repeatedly promotes to a new
+// center the object furthest from the existing centers, reassigns every
+// object to the center that incurs the least cost, and keeps going while the
+// objective improves; the solution preceding the first cost increase is
+// returned.
+func Furthest(inst Instance) partition.Labels {
+	labels, _ := FurthestK(inst, 0)
+	return labels
+}
+
+// FurthestK is Furthest with an optional cluster-count constraint: when
+// k > 0 the algorithm runs for exactly k centers (or n if k > n) regardless
+// of cost, mirroring how the paper's algorithms can be forced to a
+// predefined number of clusters. It returns the labels and the cost of the
+// returned solution. With k = 0 the parameter-free stopping rule applies.
+func FurthestK(inst Instance, k int) (partition.Labels, float64) {
+	n := inst.N()
+	if n == 0 {
+		return partition.Labels{}, 0
+	}
+	if k > n {
+		k = n
+	}
+
+	best := partition.Single(n)
+	bestCost := Cost(inst, best)
+	if k == 1 {
+		return best, bestCost
+	}
+
+	// minDist[v] = distance from v to its nearest current center.
+	minDist := make([]float64, n)
+	var centers []int
+
+	addCenter := func(c int) {
+		centers = append(centers, c)
+		for v := 0; v < n; v++ {
+			if d := inst.Dist(c, v); len(centers) == 1 || d < minDist[v] {
+				minDist[v] = d
+			}
+		}
+	}
+
+	// The first two centers are the furthest-apart pair.
+	u0, v0 := furthestPair(inst)
+	addCenter(u0)
+
+	labels := make(partition.Labels, n)
+	for {
+		if len(centers) == 1 {
+			addCenter(v0)
+		} else {
+			// Next center: the object furthest from all existing centers.
+			next, nextDist := -1, -1.0
+			for v := 0; v < n; v++ {
+				if minDist[v] > nextDist {
+					next, nextDist = v, minDist[v]
+				}
+			}
+			if nextDist == 0 {
+				break // every object coincides with a center
+			}
+			addCenter(next)
+		}
+
+		// Assign every object to the center incurring the least cost.
+		for v := 0; v < n; v++ {
+			bestC, bestD := 0, inst.Dist(v, centers[0])
+			for ci := 1; ci < len(centers); ci++ {
+				if d := inst.Dist(v, centers[ci]); d < bestD {
+					bestC, bestD = ci, d
+				}
+			}
+			labels[v] = bestC
+		}
+		cost := Cost(inst, labels)
+
+		switch {
+		case k == 0 && cost >= bestCost:
+			return best.Normalize(), bestCost // cost stopped improving
+		case cost < bestCost || k > 0:
+			best, bestCost = labels.Clone(), cost
+		}
+		if (k > 0 && len(centers) >= k) || len(centers) == n {
+			return best.Normalize(), bestCost
+		}
+	}
+	return best.Normalize(), bestCost
+}
+
+// furthestPair returns the pair of objects with the largest distance,
+// breaking ties toward smaller indices.
+func furthestPair(inst Instance) (int, int) {
+	n := inst.N()
+	bu, bv, bd := 0, 0, -1.0
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if d := inst.Dist(u, v); d > bd {
+				bu, bv, bd = u, v, d
+			}
+		}
+	}
+	return bu, bv
+}

@@ -1,0 +1,136 @@
+package corrclust
+
+import (
+	"clusteragg/internal/partition"
+)
+
+// LocalSearchOptions configures LocalSearch.
+type LocalSearchOptions struct {
+	// Init is the starting clustering. When nil, every object starts in its
+	// own singleton cluster.
+	Init partition.Labels
+	// MaxPasses caps the number of full passes over the objects. Zero means
+	// the package default (DefaultLocalSearchPasses). The algorithm always
+	// stops as soon as a pass makes no improving move.
+	MaxPasses int
+	// Epsilon is the minimum cost improvement required to accept a move,
+	// guarding against non-termination from floating-point noise. Zero means
+	// the package default of 1e-9.
+	Epsilon float64
+}
+
+// DefaultLocalSearchPasses bounds the number of passes when the caller does
+// not specify one. Convergence is typically reached much earlier.
+const DefaultLocalSearchPasses = 100
+
+// LocalSearch runs the LOCALSEARCH algorithm of Section 4: repeatedly sweep
+// the objects and move each one to the cluster (or to a fresh singleton)
+// that minimizes its assignment cost
+//
+//	d(v, C_i) = M(v, C_i) + Σ_{j≠i} (|C_j| − M(v, C_j)),
+//
+// where M(v, C) = Σ_{u∈C} X_vu, until a full pass makes no improving move.
+// It can be used standalone or to post-process the output of another
+// algorithm (pass that output as opts.Init).
+func LocalSearch(inst Instance, opts LocalSearchOptions) partition.Labels {
+	n := inst.N()
+	if n == 0 {
+		return partition.Labels{}
+	}
+	maxPasses := opts.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = DefaultLocalSearchPasses
+	}
+	eps := opts.Epsilon
+	if eps <= 0 {
+		eps = 1e-9
+	}
+
+	var labels partition.Labels
+	if opts.Init != nil {
+		labels = opts.Init.Normalize()
+	} else {
+		labels = partition.Singletons(n)
+	}
+
+	// size[c] = cluster size; free = recycled cluster ids for fresh
+	// singletons. k tracks the number of allocated cluster slots.
+	k := labels.K()
+	size := make([]int, k, k+1)
+	for _, c := range labels {
+		size[c]++
+	}
+	var free []int
+
+	m := make([]float64, len(size), cap(size)) // M(v, C_i), rebuilt per object
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for v := 0; v < n; v++ {
+			if cap(m) < len(size) {
+				m = make([]float64, len(size))
+			} else {
+				m = m[:len(size)]
+			}
+			for i := range m {
+				m[i] = 0
+			}
+			for u := 0; u < n; u++ {
+				if u != v {
+					m[labels[u]] += inst.Dist(v, u)
+				}
+			}
+			// totalAway = Σ_j (|C_j| − M(v,C_j)) over all clusters, with v
+			// itself excluded from its own cluster's size.
+			var totalAway float64
+			for i := range m {
+				sz := size[i]
+				if i == labels[v] {
+					sz--
+				}
+				totalAway += float64(sz) - m[i]
+			}
+			// d(v, C_i) = M(v,C_i) + (totalAway − (|C_i| − M(v,C_i))).
+			// d(v, singleton) = totalAway.
+			cur := labels[v]
+			bestCluster, bestCost := -1, totalAway // -1 = fresh singleton
+			curCost := totalAway
+			for i := range m {
+				sz := size[i]
+				if i == cur {
+					sz--
+				}
+				d := m[i] + totalAway - (float64(sz) - m[i])
+				if i == cur {
+					curCost = d
+				}
+				if d < bestCost {
+					bestCluster, bestCost = i, d
+				}
+			}
+			if bestCost >= curCost-eps || bestCluster == cur {
+				continue
+			}
+			// Apply the move.
+			improved = true
+			size[cur]--
+			if size[cur] == 0 {
+				free = append(free, cur)
+			}
+			if bestCluster == -1 {
+				if len(free) > 0 {
+					bestCluster = free[len(free)-1]
+					free = free[:len(free)-1]
+				} else {
+					bestCluster = len(size)
+					size = append(size, 0)
+				}
+			}
+			size[bestCluster]++
+			labels[v] = bestCluster
+		}
+		if !improved {
+			break
+		}
+	}
+	return labels.Normalize()
+}

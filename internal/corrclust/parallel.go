@@ -1,0 +1,89 @@
+package corrclust
+
+import (
+	"runtime"
+	"sync"
+
+	"clusteragg/internal/partition"
+)
+
+// MatrixFromInstanceParallel materializes an Instance into a Matrix using
+// the given number of worker goroutines (0 means GOMAXPROCS). Instance.Dist
+// must be safe for concurrent use, which holds for every Instance in this
+// repository. Materialization is O(m·n²) work for aggregation problems and
+// dominates full-size runs, so it parallelizes almost perfectly.
+func MatrixFromInstanceParallel(inst Instance, workers int) *Matrix {
+	n := inst.N()
+	m := NewMatrix(n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 256 {
+		return MatrixFromInstance(inst)
+	}
+
+	// Static row interleaving: row u costs n-1-u entries, so contiguous
+	// blocks would be badly imbalanced; striding by worker count balances
+	// to within one row.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for u := start; u < n; u += workers {
+				base := u*(2*n-u-1)/2 - (u + 1)
+				for v := u + 1; v < n; v++ {
+					m.data[base+v] = inst.Dist(u, v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return m
+}
+
+// CostParallel computes Cost with the given number of worker goroutines
+// (0 means GOMAXPROCS). Useful for evaluating candidate clusterings on
+// full-size instances where the O(n²) pair scan dominates.
+func CostParallel(inst Instance, labels partition.Labels, workers int) float64 {
+	n := inst.N()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 256 {
+		return Cost(inst, labels)
+	}
+	partial := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			var sum float64
+			for u := idx; u < n; u += workers {
+				lu := labels[u]
+				for v := u + 1; v < n; v++ {
+					x := inst.Dist(u, v)
+					if lu == labels[v] {
+						sum += x
+					} else {
+						sum += 1 - x
+					}
+				}
+			}
+			partial[idx] = sum
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}

@@ -1,0 +1,64 @@
+package corrclust
+
+import (
+	"math/rand"
+	"testing"
+
+	"clusteragg/internal/partition"
+)
+
+func TestMatrixFromInstanceParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, n := range []int{1, 2, 100, 300, 517} {
+		inst := aggInstance(t, randClusterings(rng, 5, n, 4)...)
+		for _, workers := range []int{0, 1, 3, 16} {
+			got := MatrixFromInstanceParallel(inst, workers)
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					if got.Dist(u, v) != inst.Dist(u, v) {
+						t.Fatalf("n=%d workers=%d: mismatch at (%d,%d)", n, workers, u, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCostParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for _, n := range []int{1, 2, 300, 400} {
+		inst := aggInstance(t, randClusterings(rng, 4, n, 3)...)
+		labels := make(partition.Labels, n)
+		for i := range labels {
+			labels[i] = rng.Intn(5)
+		}
+		want := Cost(inst, labels)
+		for _, workers := range []int{0, 1, 4, 32} {
+			if got := CostParallel(inst, labels, workers); !almostEqual(got, want) {
+				t.Fatalf("n=%d workers=%d: CostParallel = %v, want %v", n, workers, got, want)
+			}
+		}
+	}
+}
+
+func almostEqual(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := 1.0
+	if b > 1 {
+		scale = b
+	}
+	return diff <= 1e-9*scale
+}
+
+func TestParallelEmptyInstance(t *testing.T) {
+	empty := NewMatrix(0)
+	if got := MatrixFromInstanceParallel(empty, 8); got.N() != 0 {
+		t.Error("parallel materialization of empty instance")
+	}
+	if got := CostParallel(empty, partition.Labels{}, 8); got != 0 {
+		t.Errorf("parallel cost of empty = %v", got)
+	}
+}

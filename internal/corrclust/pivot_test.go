@@ -1,0 +1,148 @@
+package corrclust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clusteragg/internal/partition"
+)
+
+func TestPivotValidOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(15)
+		inst := aggInstance(t, randClusterings(rng, 1+rng.Intn(5), n, 1+rng.Intn(4))...)
+		labels := Pivot(inst, rand.New(rand.NewSource(int64(trial))))
+		checkValidClustering(t, labels, n)
+	}
+}
+
+func TestPivotOnFigure2(t *testing.T) {
+	inst := figure2Instance(t)
+	labels := PivotBest(inst, 10, rand.New(rand.NewSource(1)))
+	if got := Cost(inst, labels); math.Abs(got-5.0/3.0) > 1e-9 {
+		t.Errorf("pivot cost %v, want optimum 5/3 (labels %v)", got, labels)
+	}
+}
+
+func TestPivotEmptyAndNilRand(t *testing.T) {
+	if got := Pivot(NewMatrix(0), nil); len(got) != 0 {
+		t.Errorf("pivot on empty = %v", got)
+	}
+	if got := Pivot(NewMatrix(3), nil); got.K() != 1 {
+		// all-zero distances: everything joins the first pivot
+		t.Errorf("pivot on zero matrix: %v", got)
+	}
+}
+
+func TestPivotBestNeverWorseThanSingleRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(10)
+		inst := aggInstance(t, randClusterings(rng, 3, n, 3)...)
+		one := Pivot(inst, rand.New(rand.NewSource(99)))
+		best := PivotBest(inst, 20, rand.New(rand.NewSource(99)))
+		if Cost(inst, best) > Cost(inst, one)+1e-9 {
+			t.Errorf("trial %d: PivotBest %v worse than first single run %v",
+				trial, Cost(inst, best), Cost(inst, one))
+		}
+	}
+}
+
+func TestPivotBestRoundsFloor(t *testing.T) {
+	inst := figure2Instance(t)
+	labels := PivotBest(inst, 0, nil) // treated as 1 round
+	checkValidClustering(t, labels, inst.N())
+}
+
+func TestPivotExpectedApproximation(t *testing.T) {
+	// CC-PIVOT's guarantee is in expectation; with 20 rounds on tiny
+	// triangle-inequality instances the best run should land within 5x of
+	// optimal (the weighted bound) with huge margin.
+	rng := rand.New(rand.NewSource(57))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(5)
+		inst := aggInstance(t, randClusterings(rng, 2+rng.Intn(4), n, 1+rng.Intn(4))...)
+		labels := PivotBest(inst, 20, rand.New(rand.NewSource(int64(trial))))
+		_, opt, err := BruteForce(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := Cost(inst, labels)
+		if opt == 0 {
+			if cost > 1e-9 {
+				t.Errorf("trial %d: optimum 0 but pivot %v", trial, cost)
+			}
+			continue
+		}
+		if cost/opt > 5+1e-9 {
+			t.Errorf("trial %d: pivot ratio %v > 5", trial, cost/opt)
+		}
+	}
+}
+
+func TestAnnealValidAndNotWorseThanInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(10)
+		inst := aggInstance(t, randClusterings(rng, 3, n, 3)...)
+		init := make(partition.Labels, n)
+		for i := range init {
+			init[i] = rng.Intn(3)
+		}
+		got := Anneal(inst, AnnealOptions{
+			Init:         init,
+			StartTemp:    0.5,
+			EndTemp:      0.01,
+			Cooling:      0.95,
+			MovesPerTemp: 2 * n,
+			Rand:         rand.New(rand.NewSource(int64(trial))),
+		})
+		checkValidClustering(t, got, n)
+		if Cost(inst, got) > Cost(inst, init)+1e-9 {
+			t.Errorf("trial %d: anneal returned worse than init: %v > %v",
+				trial, Cost(inst, got), Cost(inst, init))
+		}
+	}
+}
+
+func TestAnnealOnFigure2(t *testing.T) {
+	inst := figure2Instance(t)
+	got := Anneal(inst, AnnealOptions{Rand: rand.New(rand.NewSource(3))})
+	if c := Cost(inst, got); math.Abs(c-5.0/3.0) > 1e-9 {
+		t.Errorf("anneal cost %v, want optimum 5/3 (labels %v)", c, got)
+	}
+}
+
+func TestAnnealEmptyAndDefaults(t *testing.T) {
+	if got := Anneal(NewMatrix(0), AnnealOptions{}); len(got) != 0 {
+		t.Errorf("anneal on empty = %v", got)
+	}
+	got := Anneal(NewMatrix(2), AnnealOptions{}) // all defaults, zero matrix
+	checkValidClustering(t, got, 2)
+	if got.K() != 1 {
+		t.Errorf("zero-distance pair should merge: %v", got)
+	}
+}
+
+func TestAnnealIncrementalCostConsistency(t *testing.T) {
+	// The incremental cost bookkeeping must agree with a full recompute:
+	// the returned (best) clustering's cost can be verified directly, and
+	// annealing from singletons on a random instance should match
+	// LocalSearch's neighborhood optimum or better on small instances.
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(6)
+		inst := aggInstance(t, randClusterings(rng, 2+rng.Intn(4), n, 2)...)
+		got := Anneal(inst, AnnealOptions{Rand: rand.New(rand.NewSource(int64(trial)))})
+		_, opt, err := BruteForce(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Cost(inst, got) < opt-1e-9 {
+			t.Fatalf("trial %d: anneal cost %v below brute-force optimum %v — bookkeeping bug",
+				trial, Cost(inst, got), opt)
+		}
+	}
+}

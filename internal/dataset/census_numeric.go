@@ -1,0 +1,68 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// addCensusNumeric appends the six numeric attributes of the UCI Census
+// (Adult) schema — age, fnlwgt, education-num, capital-gain, capital-loss,
+// hours-per-week — with group-dependent distributions, so heterogeneous
+// (vertical-partition) clustering has numeric signal correlated with the
+// same latent groups as the categorical attributes.
+func addCensusNumeric(rng *rand.Rand, t *Table, member []int, nGroups int) {
+	n := len(member)
+
+	// Per-group parameters.
+	type numSpec struct {
+		name     string
+		mean     []float64 // per group
+		std      []float64
+		min, max float64
+		// zeroProb draws a hard zero with this probability (capital
+		// gain/loss are zero for most people).
+		zeroProb float64
+		round    bool
+	}
+	mk := func(name string, lo, hi, relStd, zeroProb float64, round bool) numSpec {
+		s := numSpec{name: name, min: lo, max: hi, zeroProb: zeroProb, round: round}
+		s.mean = make([]float64, nGroups)
+		s.std = make([]float64, nGroups)
+		for g := 0; g < nGroups; g++ {
+			s.mean[g] = lo + rng.Float64()*(hi-lo)
+			s.std[g] = relStd * (hi - lo)
+		}
+		return s
+	}
+	specs := []numSpec{
+		mk("age", 17, 90, 0.08, 0, true),
+		mk("fnlwgt", 12285, 1484705, 0.10, 0, true),
+		mk("education-num", 1, 16, 0.08, 0, true),
+		mk("capital-gain", 0, 99999, 0.05, 0.92, true),
+		mk("capital-loss", 0, 4356, 0.05, 0.95, true),
+		mk("hours-per-week", 1, 99, 0.08, 0, true),
+	}
+
+	for _, s := range specs {
+		col := &Column{Name: s.name, Kind: Numeric, Floats: make([]float64, n)}
+		for row := 0; row < n; row++ {
+			if s.zeroProb > 0 && rng.Float64() < s.zeroProb {
+				col.Floats[row] = 0
+				continue
+			}
+			g := member[row]
+			v := s.mean[g] + rng.NormFloat64()*s.std[g]
+			if v < s.min {
+				v = s.min
+			}
+			if v > s.max {
+				v = s.max
+			}
+			if s.round {
+				v = math.Round(v)
+			}
+			col.Floats[row] = v
+		}
+		t.Cols = append(t.Cols, col)
+	}
+}

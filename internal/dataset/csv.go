@@ -1,0 +1,180 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// CSVOptions configures ReadCSV.
+type CSVOptions struct {
+	// Name names the resulting table.
+	Name string
+	// HasHeader treats the first record as column names; otherwise columns
+	// are named col0, col1, ...
+	HasHeader bool
+	// MissingTokens are cell values treated as missing. Empty means
+	// {"?", ""} (the UCI convention).
+	MissingTokens []string
+	// ClassColumn designates a column (by name) as the class label; it is
+	// stored in Table.Class and excluded from Table.Cols. Empty means no
+	// class column.
+	ClassColumn string
+	// NumericColumns forces the named columns to be parsed as numeric.
+	// Columns not listed are inferred: numeric when every non-missing value
+	// parses as a float, categorical otherwise.
+	NumericColumns []string
+	// CategoricalColumns forces the named columns to be categorical even if
+	// all values parse as numbers (e.g. zip codes).
+	CategoricalColumns []string
+	// Comma is the field delimiter. Zero means ','.
+	Comma rune
+	// TrimSpace trims surrounding whitespace from every cell (the UCI
+	// Census file uses ", " separators).
+	TrimSpace bool
+}
+
+// ReadCSV loads a table from CSV data. All rows must have the same number
+// of fields; the csv reader enforces this and reports ragged input.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: empty csv input")
+	}
+
+	var header []string
+	if opts.HasHeader {
+		header = records[0]
+		records = records[1:]
+		if len(records) == 0 {
+			return nil, fmt.Errorf("dataset: csv has a header but no data rows")
+		}
+	} else {
+		header = make([]string, len(records[0]))
+		for i := range header {
+			header[i] = fmt.Sprintf("col%d", i)
+		}
+	}
+
+	missing := opts.MissingTokens
+	if missing == nil {
+		missing = []string{"?", ""}
+	}
+	isMissing := func(s string) bool {
+		for _, tok := range missing {
+			if s == tok {
+				return true
+			}
+		}
+		return false
+	}
+
+	if opts.TrimSpace {
+		for _, rec := range records {
+			for i := range rec {
+				rec[i] = strings.TrimSpace(rec[i])
+			}
+		}
+	}
+
+	forced := func(list []string, name string) bool {
+		for _, x := range list {
+			if x == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	classIdx := -1
+	if opts.ClassColumn != "" {
+		for i, h := range header {
+			if h == opts.ClassColumn {
+				classIdx = i
+				break
+			}
+		}
+		if classIdx == -1 {
+			return nil, fmt.Errorf("dataset: class column %q not found in header %v", opts.ClassColumn, header)
+		}
+	}
+
+	t := &Table{Name: opts.Name}
+	for col, name := range header {
+		values := make([]string, len(records))
+		for row, rec := range records {
+			values[row] = rec[col]
+		}
+		if col == classIdx {
+			in := newIntern()
+			t.Class = make([]int, len(values))
+			for row, v := range values {
+				if isMissing(v) {
+					return nil, fmt.Errorf("dataset: missing class label at row %d", row)
+				}
+				t.Class[row] = in.id(v)
+			}
+			t.ClassNames = in.names
+			continue
+		}
+
+		numeric := forced(opts.NumericColumns, name)
+		if !numeric && !forced(opts.CategoricalColumns, name) {
+			numeric = inferNumeric(values, isMissing)
+		}
+		if numeric {
+			c := &Column{Name: name, Kind: Numeric, Floats: make([]float64, len(values))}
+			for row, v := range values {
+				if isMissing(v) {
+					c.Floats[row] = math.NaN()
+					continue
+				}
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: column %q row %d: %q is not numeric", name, row, v)
+				}
+				c.Floats[row] = f
+			}
+			t.Cols = append(t.Cols, c)
+			continue
+		}
+		c := &Column{Name: name, Kind: Categorical, Values: make([]int, len(values))}
+		in := newIntern()
+		for row, v := range values {
+			if isMissing(v) {
+				c.Values[row] = MissingValue
+			} else {
+				c.Values[row] = in.id(v)
+			}
+		}
+		c.Names = in.names
+		t.Cols = append(t.Cols, c)
+	}
+	return t, nil
+}
+
+// inferNumeric reports whether every non-missing value parses as a float
+// and at least one value is present.
+func inferNumeric(values []string, isMissing func(string) bool) bool {
+	seen := false
+	for _, v := range values {
+		if isMissing(v) {
+			continue
+		}
+		if _, err := strconv.ParseFloat(v, 64); err != nil {
+			return false
+		}
+		seen = true
+	}
+	return seen
+}

@@ -1,0 +1,300 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"clusteragg/internal/partition"
+)
+
+func TestReadCSVBasics(t *testing.T) {
+	in := "color,size,weight,class\nred,big,1.5,A\nblue,small,2.0,B\nred,?,?,A\n"
+	tab, err := ReadCSV(strings.NewReader(in), CSVOptions{
+		Name: "t", HasHeader: true, ClassColumn: "class",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.N() != 3 {
+		t.Fatalf("N = %d, want 3", tab.N())
+	}
+	if len(tab.Cols) != 3 {
+		t.Fatalf("%d columns, want 3 (class excluded)", len(tab.Cols))
+	}
+	color := tab.Column("color")
+	if color == nil || color.Kind != Categorical {
+		t.Fatal("color column wrong")
+	}
+	if color.Cardinality() != 2 {
+		t.Errorf("color cardinality %d, want 2", color.Cardinality())
+	}
+	size := tab.Column("size")
+	if size.MissingCount() != 1 {
+		t.Errorf("size missing = %d, want 1", size.MissingCount())
+	}
+	weight := tab.Column("weight")
+	if weight.Kind != Numeric {
+		t.Error("weight not inferred numeric")
+	}
+	if !math.IsNaN(weight.Floats[2]) {
+		t.Error("missing numeric not NaN")
+	}
+	if len(tab.Class) != 3 || tab.Class[0] != 0 || tab.Class[1] != 1 || tab.Class[2] != 0 {
+		t.Errorf("class labels = %v", tab.Class)
+	}
+	if tab.ClassNames[0] != "A" || tab.ClassNames[1] != "B" {
+		t.Errorf("class names = %v", tab.ClassNames)
+	}
+	if tab.MissingTotal() != 2 {
+		t.Errorf("MissingTotal = %d, want 2", tab.MissingTotal())
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	tab, err := ReadCSV(strings.NewReader("a,1\nb,2\n"), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Column("col0") == nil || tab.Column("col1") == nil {
+		t.Error("default column names missing")
+	}
+	if tab.Column("col1").Kind != Numeric {
+		t.Error("col1 not numeric")
+	}
+}
+
+func TestReadCSVForcedKinds(t *testing.T) {
+	in := "zip,score\n02139,1\n10001,2\n"
+	tab, err := ReadCSV(strings.NewReader(in), CSVOptions{
+		HasHeader:          true,
+		CategoricalColumns: []string{"zip"},
+		NumericColumns:     []string{"score"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Column("zip").Kind != Categorical {
+		t.Error("zip forced categorical ignored")
+	}
+	if tab.Column("score").Kind != Numeric {
+		t.Error("score forced numeric ignored")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), CSVOptions{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n"), CSVOptions{HasHeader: true}); err == nil {
+		t.Error("header-only input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n"), CSVOptions{HasHeader: true}); err == nil {
+		t.Error("ragged row accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n"), CSVOptions{HasHeader: true, ClassColumn: "nope"}); err == nil {
+		t.Error("unknown class column accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,class\n1,?\n"), CSVOptions{HasHeader: true, ClassColumn: "class"}); err == nil {
+		t.Error("missing class label accepted")
+	}
+}
+
+func TestReadCSVTrimSpace(t *testing.T) {
+	in := "a, b\n x , 1 \n y , 2 \n"
+	tab, err := ReadCSV(strings.NewReader(in), CSVOptions{HasHeader: true, TrimSpace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Cols[0].Names[0] != "x" {
+		t.Errorf("value not trimmed: %q", tab.Cols[0].Names[0])
+	}
+}
+
+func TestColumnClustering(t *testing.T) {
+	c := &Column{Name: "c", Kind: Categorical, Values: []int{1, 0, 1, MissingValue}, Names: []string{"a", "b"}}
+	labels, err := c.Clustering()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := partition.Labels{0, 1, 0, partition.Missing}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("Clustering = %v, want %v", labels, want)
+		}
+	}
+	num := &Column{Name: "n", Kind: Numeric, Floats: []float64{1}}
+	if _, err := num.Clustering(); err == nil {
+		t.Error("numeric column clustering accepted")
+	}
+}
+
+func TestTableClusterings(t *testing.T) {
+	tab := SyntheticVotes(1)
+	cs, err := tab.Clusterings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 16 {
+		t.Fatalf("%d clusterings, want 16", len(cs))
+	}
+	for i, c := range cs {
+		if len(c) != 435 {
+			t.Fatalf("clustering %d has %d labels", i, len(c))
+		}
+	}
+	empty := &Table{Name: "e", Cols: []*Column{{Name: "n", Kind: Numeric, Floats: []float64{1}}}}
+	if _, err := empty.Clusterings(); err == nil {
+		t.Error("numeric-only table clusterings accepted")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	tab := SyntheticVotes(1)
+	sub := tab.Subset([]int{0, 10, 20})
+	if sub.N() != 3 {
+		t.Fatalf("subset N = %d", sub.N())
+	}
+	if sub.Class[1] != tab.Class[10] {
+		t.Error("class not carried through subset")
+	}
+	if sub.Cols[3].Values[2] != tab.Cols[3].Values[20] {
+		t.Error("values not carried through subset")
+	}
+}
+
+func TestSyntheticVotesShape(t *testing.T) {
+	tab := SyntheticVotes(42)
+	if tab.N() != 435 {
+		t.Errorf("N = %d, want 435", tab.N())
+	}
+	if got := len(tab.CategoricalColumns()); got != 16 {
+		t.Errorf("%d categorical columns, want 16", got)
+	}
+	if got := tab.MissingTotal(); got != 288 {
+		t.Errorf("missing = %d, want 288", got)
+	}
+	dem, rep := 0, 0
+	for _, c := range tab.Class {
+		if c == 0 {
+			dem++
+		} else {
+			rep++
+		}
+	}
+	if dem != 267 || rep != 168 {
+		t.Errorf("class mixture %d/%d, want 267/168", dem, rep)
+	}
+	for _, c := range tab.CategoricalColumns() {
+		if c.Cardinality() != 2 {
+			t.Errorf("column %s cardinality %d, want 2", c.Name, c.Cardinality())
+		}
+	}
+}
+
+func TestSyntheticMushroomsShape(t *testing.T) {
+	tab := SyntheticMushrooms(42)
+	if tab.N() != 8124 {
+		t.Errorf("N = %d, want 8124", tab.N())
+	}
+	if got := len(tab.CategoricalColumns()); got != 22 {
+		t.Errorf("%d categorical columns, want 22", got)
+	}
+	if got := tab.MissingTotal(); got != 2480 {
+		t.Errorf("missing = %d, want 2480", got)
+	}
+	edible, poisonous := 0, 0
+	for _, c := range tab.Class {
+		if c == 0 {
+			edible++
+		} else {
+			poisonous++
+		}
+	}
+	if edible+poisonous != 8124 {
+		t.Fatal("class labels incomplete")
+	}
+	// Real data: 4208 edible / 3916 poisonous; the stand-in should be close.
+	if edible < 4000 || edible > 4400 {
+		t.Errorf("edible = %d, want ~4208", edible)
+	}
+}
+
+func TestSyntheticCensusShape(t *testing.T) {
+	tab := SyntheticCensus(42, 5000)
+	if tab.N() != 5000 {
+		t.Errorf("N = %d, want 5000", tab.N())
+	}
+	if got := len(tab.CategoricalColumns()); got != 8 {
+		t.Errorf("%d categorical columns, want 8", got)
+	}
+	rich := 0
+	for _, c := range tab.Class {
+		if c == 1 {
+			rich++
+		}
+	}
+	frac := float64(rich) / 5000
+	if frac < 0.15 || frac > 0.40 {
+		t.Errorf(">50K fraction = %v, want ~0.24", frac)
+	}
+	// Default row count.
+	if def := SyntheticCensus(1, 0); def.N() != SyntheticCensusRows {
+		t.Errorf("default census rows = %d, want %d", def.N(), SyntheticCensusRows)
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	a := SyntheticVotes(7)
+	b := SyntheticVotes(7)
+	for ci := range a.Cols {
+		for i := range a.Cols[ci].Values {
+			if a.Cols[ci].Values[i] != b.Cols[ci].Values[i] {
+				t.Fatalf("column %d row %d differs across identical seeds", ci, i)
+			}
+		}
+	}
+}
+
+func TestSyntheticVotesPartisanStructure(t *testing.T) {
+	// The two parties must disagree on most issues: the fraction of
+	// cross-party pairs separated by an attribute should far exceed the
+	// within-party fraction.
+	tab := SyntheticVotes(3)
+	cs, err := tab.Clusterings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	within, cross, withinN, crossN := 0.0, 0.0, 0, 0
+	for u := 0; u < tab.N(); u += 7 {
+		for v := u + 1; v < tab.N(); v += 7 {
+			sep := 0
+			valid := 0
+			for _, c := range cs {
+				if c[u] == partition.Missing || c[v] == partition.Missing {
+					continue
+				}
+				valid++
+				if c[u] != c[v] {
+					sep++
+				}
+			}
+			if valid == 0 {
+				continue
+			}
+			f := float64(sep) / float64(valid)
+			if tab.Class[u] == tab.Class[v] {
+				within += f
+				withinN++
+			} else {
+				cross += f
+				crossN++
+			}
+		}
+	}
+	within /= float64(withinN)
+	cross /= float64(crossN)
+	if cross < within+0.2 {
+		t.Errorf("cross-party separation %v not clearly above within-party %v", cross, within)
+	}
+}

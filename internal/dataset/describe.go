@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"clusteragg/internal/partition"
+)
+
+// ClusterProfile summarizes one cluster of a table by its dominant
+// attribute values — the tool behind the paper's Section 5.2 observation
+// that the Census clusters "corresponded to distinct social groups, for
+// example, male Eskimos occupied with farming-fishing".
+type ClusterProfile struct {
+	// Cluster is the cluster label.
+	Cluster int
+	// Size is the number of rows.
+	Size int
+	// Dominant lists, for each categorical attribute in table order, the
+	// attribute's most common value in the cluster and the fraction of the
+	// cluster holding it.
+	Dominant []DominantValue
+}
+
+// DominantValue is one attribute's majority value within a cluster.
+type DominantValue struct {
+	Attribute string
+	Value     string
+	Fraction  float64
+}
+
+// Describe profiles every cluster of a clustering of t's rows, ordered by
+// decreasing size. Missing values are ignored when computing majorities; an
+// attribute whose values are all missing within a cluster reports the empty
+// value with fraction 0.
+func Describe(t *Table, labels partition.Labels) ([]ClusterProfile, error) {
+	if len(labels) != t.N() {
+		return nil, fmt.Errorf("dataset: %d labels for %d rows: %w",
+			len(labels), t.N(), partition.ErrLengthMismatch)
+	}
+	norm := labels.Normalize()
+	k := norm.K()
+	profiles := make([]ClusterProfile, k)
+	for c := range profiles {
+		profiles[c].Cluster = c
+	}
+	for _, l := range norm {
+		if l != partition.Missing {
+			profiles[l].Size++
+		}
+	}
+
+	for _, col := range t.CategoricalColumns() {
+		counts := make([]map[int]int, k)
+		for c := range counts {
+			counts[c] = make(map[int]int)
+		}
+		for row, l := range norm {
+			if l == partition.Missing {
+				continue
+			}
+			if v := col.Values[row]; v != MissingValue {
+				counts[l][v]++
+			}
+		}
+		for c := 0; c < k; c++ {
+			bestV, bestN := -1, 0
+			for v, n := range counts[c] {
+				if n > bestN || (n == bestN && v < bestV) {
+					bestV, bestN = v, n
+				}
+			}
+			dv := DominantValue{Attribute: col.Name}
+			if bestV >= 0 && profiles[c].Size > 0 {
+				dv.Value = col.Names[bestV]
+				dv.Fraction = float64(bestN) / float64(profiles[c].Size)
+			}
+			profiles[c].Dominant = append(profiles[c].Dominant, dv)
+		}
+	}
+
+	sort.SliceStable(profiles, func(i, j int) bool { return profiles[i].Size > profiles[j].Size })
+	return profiles, nil
+}
+
+// String renders the profile as "size=N attr=value(fraction) ...", keeping
+// only attributes whose dominant value covers at least half the cluster.
+func (p ClusterProfile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "size=%d", p.Size)
+	for _, d := range p.Dominant {
+		if d.Fraction >= 0.5 && d.Value != "" {
+			fmt.Fprintf(&b, " %s=%s(%.0f%%)", d.Attribute, d.Value, 100*d.Fraction)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"clusteragg/internal/partition"
+)
+
+func describeTable() *Table {
+	mk := func(name string, vals []int, names []string) *Column {
+		return &Column{Name: name, Kind: Categorical, Values: vals, Names: names}
+	}
+	return &Table{
+		Name: "t",
+		Cols: []*Column{
+			mk("sex", []int{0, 0, 0, 1, 1}, []string{"male", "female"}),
+			mk("job", []int{0, 0, 1, 2, 2}, []string{"farming", "fishing", "exec"}),
+			mk("edu", []int{MissingValue, 0, 0, 1, MissingValue}, []string{"hs", "phd"}),
+		},
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	tab := describeTable()
+	labels := partition.Labels{0, 0, 0, 1, 1}
+	profiles, err := Describe(tab, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 2 {
+		t.Fatalf("%d profiles, want 2", len(profiles))
+	}
+	// Sorted by size: cluster of 3 first.
+	if profiles[0].Size != 3 || profiles[1].Size != 2 {
+		t.Fatalf("sizes = %d, %d", profiles[0].Size, profiles[1].Size)
+	}
+	first := profiles[0]
+	if first.Dominant[0].Value != "male" || first.Dominant[0].Fraction != 1 {
+		t.Errorf("sex profile = %+v", first.Dominant[0])
+	}
+	if first.Dominant[1].Value != "farming" {
+		t.Errorf("job profile = %+v", first.Dominant[1])
+	}
+	// edu has 2/3 present, majority "hs" with fraction 2/3.
+	if first.Dominant[2].Value != "hs" {
+		t.Errorf("edu profile = %+v", first.Dominant[2])
+	}
+	s := first.String()
+	if !strings.Contains(s, "sex=male(100%)") || !strings.Contains(s, "size=3") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestDescribeLengthMismatch(t *testing.T) {
+	if _, err := Describe(describeTable(), partition.Labels{0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestDescribeAllMissingAttribute(t *testing.T) {
+	tab := &Table{
+		Name: "t",
+		Cols: []*Column{
+			{Name: "a", Kind: Categorical, Values: []int{MissingValue, MissingValue}, Names: []string{"x"}},
+		},
+	}
+	profiles, err := Describe(tab, partition.Labels{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := profiles[0].Dominant[0]; got.Value != "" || got.Fraction != 0 {
+		t.Errorf("all-missing attribute profile = %+v", got)
+	}
+	// The empty value must not appear in the rendered string.
+	if strings.Contains(profiles[0].String(), "a=") {
+		t.Errorf("String leaked empty value: %q", profiles[0].String())
+	}
+}
+
+func TestDescribeOnVotes(t *testing.T) {
+	tab := SyntheticVotes(1)
+	profiles, err := Describe(tab, tab.Class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 2 {
+		t.Fatalf("%d profiles", len(profiles))
+	}
+	// The two party clusters should have opposite dominant votes on the
+	// most partisan issue (issue01, noise 0.08).
+	var dem, rep ClusterProfile
+	if profiles[0].Size == 267 {
+		dem, rep = profiles[0], profiles[1]
+	} else {
+		rep, dem = profiles[0], profiles[1]
+	}
+	if dem.Dominant[0].Value == rep.Dominant[0].Value {
+		t.Errorf("parties share dominant value on issue01: %v vs %v",
+			dem.Dominant[0], rep.Dominant[0])
+	}
+}

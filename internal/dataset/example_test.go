@@ -1,0 +1,40 @@
+package dataset_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"clusteragg/internal/dataset"
+)
+
+// ReadCSV loads a table, inferring numeric columns, treating "?" as
+// missing, and splitting off a class column.
+func ExampleReadCSV() {
+	csv := "color,weight,class\nred,1.5,A\nblue,?,B\nred,2.5,A\n"
+	t, err := dataset.ReadCSV(strings.NewReader(csv), dataset.CSVOptions{
+		HasHeader:   true,
+		ClassColumn: "class",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t.N(), len(t.CategoricalColumns()), t.Column("weight").Kind == dataset.Numeric, t.MissingTotal())
+	// Output: 3 1 true 1
+}
+
+// Every categorical attribute induces one input clustering: one cluster
+// per value, Missing for absent entries.
+func ExampleTable_Clusterings() {
+	csv := "a,b\nx,p\nx,q\ny,?\n"
+	t, err := dataset.ReadCSV(strings.NewReader(csv), dataset.CSVOptions{HasHeader: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs, err := t.Clusterings()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cs[0], cs[1])
+	// Output: [0 0 1] [0 1 -1]
+}

@@ -1,0 +1,69 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary text through the CSV loader: it must never
+// panic, and any table it accepts must satisfy the structural invariants
+// the rest of the repository relies on.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\nx,1\ny,2\n", true, "")
+	f.Add("x,1\ny,?\n", false, "")
+	f.Add("a,b,class\n?,1,A\nx,,B\n", true, "class")
+	f.Add("", false, "")
+	f.Add("a\n\"unclosed", false, "")
+	f.Add("a,b\nonly-one\n", true, "")
+	f.Add("\x00\xff,\n1,", false, "")
+
+	f.Fuzz(func(t *testing.T, data string, header bool, class string) {
+		tab, err := ReadCSV(strings.NewReader(data), CSVOptions{
+			HasHeader:   header,
+			ClassColumn: class,
+		})
+		if err != nil {
+			return // rejecting is always fine; panicking is not
+		}
+		n := tab.N()
+		if n <= 0 {
+			t.Fatalf("accepted table with %d rows", n)
+		}
+		for _, c := range tab.Cols {
+			switch c.Kind {
+			case Categorical:
+				if len(c.Values) != n {
+					t.Fatalf("column %q has %d values, want %d", c.Name, len(c.Values), n)
+				}
+				for _, v := range c.Values {
+					if v != MissingValue && (v < 0 || v >= len(c.Names)) {
+						t.Fatalf("column %q has value id %d outside [0,%d)", c.Name, v, len(c.Names))
+					}
+				}
+			case Numeric:
+				if len(c.Floats) != n {
+					t.Fatalf("column %q has %d floats, want %d", c.Name, len(c.Floats), n)
+				}
+			default:
+				t.Fatalf("column %q has invalid kind %d", c.Name, c.Kind)
+			}
+		}
+		if tab.Class != nil {
+			if len(tab.Class) != n {
+				t.Fatalf("class has %d labels, want %d", len(tab.Class), n)
+			}
+			for _, cl := range tab.Class {
+				if cl < 0 || cl >= len(tab.ClassNames) {
+					t.Fatalf("class id %d outside [0,%d)", cl, len(tab.ClassNames))
+				}
+			}
+		}
+		// A table accepted by the loader must round-trip into clusterings
+		// without errors when it has categorical columns.
+		if len(tab.CategoricalColumns()) > 0 {
+			if _, err := tab.Clusterings(); err != nil {
+				t.Fatalf("Clusterings on accepted table: %v", err)
+			}
+		}
+	})
+}

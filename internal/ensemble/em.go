@@ -1,0 +1,201 @@
+package ensemble
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"clusteragg/internal/partition"
+)
+
+// EMOptions configures EMConsensus.
+type EMOptions struct {
+	// K is the number of consensus clusters (required).
+	K int
+	// MaxIter caps EM iterations. Zero means 200.
+	MaxIter int
+	// Tol stops EM when the log-likelihood improves by less than this.
+	// Zero means 1e-6.
+	Tol float64
+	// Restarts runs EM this many times from independent random starts and
+	// keeps the best likelihood. Zero means 3.
+	Restarts int
+	// Rand supplies randomness; nil means a deterministic source seeded
+	// with 1.
+	Rand *rand.Rand
+}
+
+// EMConsensus implements the mixture-model consensus of Topchy, Jain and
+// Punch (SDM 2004): each object's vector of input labels is modeled as
+// drawn from one of K components, each component being a product of
+// per-input multinomials over that input's label alphabet. EM fits the
+// mixture; objects are assigned to their maximum-responsibility component.
+// Missing labels simply drop out of the likelihood.
+func EMConsensus(clusterings []partition.Labels, opts EMOptions) (partition.Labels, error) {
+	n, err := validate(clusterings, opts.K)
+	if err != nil {
+		return nil, err
+	}
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("ensemble: EMConsensus requires K > 0")
+	}
+	if n == 0 {
+		return partition.Labels{}, nil
+	}
+	k := opts.K
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 3
+	}
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+
+	// Normalize inputs and record alphabet sizes.
+	inputs := make([]partition.Labels, len(clusterings))
+	alphabet := make([]int, len(clusterings))
+	for l, c := range clusterings {
+		inputs[l] = c.Normalize()
+		alphabet[l] = inputs[l].K()
+		if alphabet[l] == 0 {
+			alphabet[l] = 1 // all-missing input contributes nothing
+		}
+	}
+
+	var bestLabels partition.Labels
+	bestLL := math.Inf(-1)
+	for r := 0; r < restarts; r++ {
+		labels, ll := emOnce(inputs, alphabet, n, k, maxIter, tol, rng)
+		if ll > bestLL {
+			bestLL = ll
+			bestLabels = labels
+		}
+	}
+	return bestLabels.Normalize(), nil
+}
+
+func emOnce(inputs []partition.Labels, alphabet []int, n, k, maxIter int, tol float64, rng *rand.Rand) (partition.Labels, float64) {
+	m := len(inputs)
+
+	// Parameters: mixing weights pi[j]; theta[j][l][v] = P(label v in input
+	// l | component j). Initialize from a random soft assignment.
+	resp := make([][]float64, n)
+	for i := range resp {
+		resp[i] = make([]float64, k)
+		var sum float64
+		for j := range resp[i] {
+			resp[i][j] = 0.1 + rng.Float64()
+			sum += resp[i][j]
+		}
+		for j := range resp[i] {
+			resp[i][j] /= sum
+		}
+	}
+
+	pi := make([]float64, k)
+	theta := make([][][]float64, k)
+	for j := range theta {
+		theta[j] = make([][]float64, m)
+		for l := range theta[j] {
+			theta[j][l] = make([]float64, alphabet[l])
+		}
+	}
+
+	const smooth = 1e-6 // Laplace smoothing keeps probabilities positive
+	mstep := func() {
+		for j := 0; j < k; j++ {
+			var weight float64
+			for i := 0; i < n; i++ {
+				weight += resp[i][j]
+			}
+			pi[j] = (weight + smooth) / (float64(n) + float64(k)*smooth)
+			for l := 0; l < m; l++ {
+				th := theta[j][l]
+				for v := range th {
+					th[v] = smooth
+				}
+				var total float64
+				for i := 0; i < n; i++ {
+					v := inputs[l][i]
+					if v == partition.Missing {
+						continue
+					}
+					th[v] += resp[i][j]
+					total += resp[i][j]
+				}
+				total += smooth * float64(len(th))
+				for v := range th {
+					th[v] /= total
+				}
+			}
+		}
+	}
+
+	estep := func() float64 {
+		var ll float64
+		logp := make([]float64, k)
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				lp := math.Log(pi[j])
+				for l := 0; l < m; l++ {
+					v := inputs[l][i]
+					if v == partition.Missing {
+						continue
+					}
+					lp += math.Log(theta[j][l][v])
+				}
+				logp[j] = lp
+			}
+			// Log-sum-exp normalization.
+			maxLP := logp[0]
+			for _, lp := range logp[1:] {
+				if lp > maxLP {
+					maxLP = lp
+				}
+			}
+			var sum float64
+			for j := range logp {
+				sum += math.Exp(logp[j] - maxLP)
+			}
+			lse := maxLP + math.Log(sum)
+			ll += lse
+			for j := range logp {
+				resp[i][j] = math.Exp(logp[j] - lse)
+			}
+		}
+		return ll
+	}
+
+	mstep()
+	prev := math.Inf(-1)
+	var ll float64
+	for iter := 0; iter < maxIter; iter++ {
+		ll = estep()
+		mstep()
+		if ll-prev < tol && iter > 0 {
+			break
+		}
+		prev = ll
+	}
+
+	labels := make(partition.Labels, n)
+	for i := 0; i < n; i++ {
+		best, bestR := 0, resp[i][0]
+		for j := 1; j < k; j++ {
+			if resp[i][j] > bestR {
+				best, bestR = j, resp[i][j]
+			}
+		}
+		labels[i] = best
+	}
+	return labels, ll
+}

@@ -1,0 +1,210 @@
+package ensemble
+
+import (
+	"math/rand"
+	"testing"
+
+	"clusteragg/internal/partition"
+)
+
+// noisyCopies builds m noisy clusterings of a planted kTrue-cluster
+// structure over n objects.
+func noisyCopies(seed int64, n, kTrue, m int, noise float64) ([]partition.Labels, partition.Labels) {
+	rng := rand.New(rand.NewSource(seed))
+	truth := make(partition.Labels, n)
+	for i := range truth {
+		truth[i] = i % kTrue
+	}
+	out := make([]partition.Labels, m)
+	for i := range out {
+		c := truth.Clone()
+		for j := range c {
+			if rng.Float64() < noise {
+				c[j] = rng.Intn(kTrue)
+			}
+		}
+		out[i] = c
+	}
+	return out, truth
+}
+
+func assertRecovers(t *testing.T, name string, labels, truth partition.Labels, minRI float64) {
+	t.Helper()
+	if err := labels.Validate(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if len(labels) != len(truth) {
+		t.Fatalf("%s: %d labels, want %d", name, len(labels), len(truth))
+	}
+	ri, err := partition.RandIndex(labels, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri < minRI {
+		t.Errorf("%s: Rand index %v < %v (k=%d)", name, ri, minRI, labels.K())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := EvidenceAccumulation(nil, 2); err == nil {
+		t.Error("empty input accepted")
+	}
+	bad := []partition.Labels{{0, 1}, {0}}
+	if _, err := EvidenceAccumulation(bad, 2); err == nil {
+		t.Error("ragged input accepted")
+	}
+	ok := []partition.Labels{{0, 1, 0}}
+	if _, err := EvidenceAccumulation(ok, 5); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := CSPA(ok, 0); err == nil {
+		t.Error("CSPA k=0 accepted")
+	}
+	if _, err := MCLA(ok, 0); err == nil {
+		t.Error("MCLA k=0 accepted")
+	}
+	if _, err := EMConsensus(ok, EMOptions{K: 0}); err == nil {
+		t.Error("EM K=0 accepted")
+	}
+}
+
+func TestEvidenceAccumulationFixedK(t *testing.T) {
+	cs, truth := noisyCopies(1, 120, 3, 8, 0.1)
+	labels, err := EvidenceAccumulation(cs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels.K() != 3 {
+		t.Fatalf("K = %d, want 3", labels.K())
+	}
+	assertRecovers(t, "EAC k=3", labels, truth, 0.95)
+}
+
+func TestEvidenceAccumulationLifetime(t *testing.T) {
+	cs, truth := noisyCopies(2, 120, 4, 10, 0.05)
+	labels, err := EvidenceAccumulation(cs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels.K() != 4 {
+		t.Errorf("lifetime criterion found %d clusters, want 4", labels.K())
+	}
+	assertRecovers(t, "EAC lifetime", labels, truth, 0.95)
+}
+
+func TestCSPARecovers(t *testing.T) {
+	cs, truth := noisyCopies(3, 100, 3, 8, 0.12)
+	labels, err := CSPA(cs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels.K() != 3 {
+		t.Fatalf("K = %d, want 3", labels.K())
+	}
+	assertRecovers(t, "CSPA", labels, truth, 0.95)
+}
+
+func TestMCLARecovers(t *testing.T) {
+	cs, truth := noisyCopies(4, 100, 3, 8, 0.12)
+	labels, err := MCLA(cs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRecovers(t, "MCLA", labels, truth, 0.9)
+}
+
+func TestEMConsensusRecovers(t *testing.T) {
+	cs, truth := noisyCopies(5, 150, 3, 8, 0.15)
+	labels, err := EMConsensus(cs, EMOptions{K: 3, Rand: rand.New(rand.NewSource(9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRecovers(t, "EM", labels, truth, 0.95)
+}
+
+func TestEMConsensusDeterministicWithSeed(t *testing.T) {
+	cs, _ := noisyCopies(6, 80, 3, 5, 0.2)
+	a, err := EMConsensus(cs, EMOptions{K: 3, Rand: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EMConsensus(cs, EMOptions{K: 3, Rand: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("EM not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestMethodsHandleMissingLabels(t *testing.T) {
+	cs, truth := noisyCopies(7, 90, 3, 6, 0.1)
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range cs {
+		for j := range c {
+			if rng.Float64() < 0.1 {
+				c[j] = partition.Missing
+			}
+		}
+	}
+	if labels, err := EvidenceAccumulation(cs, 3); err != nil {
+		t.Errorf("EAC with missing: %v", err)
+	} else {
+		assertRecovers(t, "EAC missing", labels, truth, 0.85)
+	}
+	if labels, err := CSPA(cs, 3); err != nil {
+		t.Errorf("CSPA with missing: %v", err)
+	} else {
+		assertRecovers(t, "CSPA missing", labels, truth, 0.85)
+	}
+	if labels, err := MCLA(cs, 3); err != nil {
+		t.Errorf("MCLA with missing: %v", err)
+	} else if len(labels) != 90 {
+		t.Errorf("MCLA with missing: %d labels", len(labels))
+	}
+	if labels, err := EMConsensus(cs, EMOptions{K: 3}); err != nil {
+		t.Errorf("EM with missing: %v", err)
+	} else {
+		assertRecovers(t, "EM missing", labels, truth, 0.85)
+	}
+}
+
+func TestTinyInputs(t *testing.T) {
+	one := []partition.Labels{{0}}
+	for name, run := range map[string]func() (partition.Labels, error){
+		"EAC":  func() (partition.Labels, error) { return EvidenceAccumulation(one, 1) },
+		"CSPA": func() (partition.Labels, error) { return CSPA(one, 1) },
+		"MCLA": func() (partition.Labels, error) { return MCLA(one, 1) },
+		"EM":   func() (partition.Labels, error) { return EMConsensus(one, EMOptions{K: 1}) },
+	} {
+		labels, err := run()
+		if err != nil {
+			t.Errorf("%s on n=1: %v", name, err)
+			continue
+		}
+		if len(labels) != 1 || labels[0] != 0 {
+			t.Errorf("%s on n=1 = %v", name, labels)
+		}
+	}
+}
+
+func TestMCLAKAboveClusterCount(t *testing.T) {
+	cs := []partition.Labels{{0, 0, 1, 1}}
+	labels, err := MCLA(cs, 4) // only 2 meta-objects exist
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 4 {
+		t.Fatalf("%d labels", len(labels))
+	}
+}
+
+func TestCoassociationNoOpinion(t *testing.T) {
+	cs := []partition.Labels{{partition.Missing, partition.Missing}}
+	m := coassociation(cs, 2)
+	if got := m.Dist(0, 1); got != 0.5 {
+		t.Errorf("no-opinion distance = %v, want 0.5", got)
+	}
+}

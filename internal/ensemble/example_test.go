@@ -1,0 +1,41 @@
+package ensemble_test
+
+import (
+	"fmt"
+	"log"
+
+	"clusteragg/internal/ensemble"
+	"clusteragg/internal/partition"
+)
+
+// Evidence accumulation with the lifetime criterion discovers the cluster
+// count on its own, like the paper's aggregators.
+func ExampleEvidenceAccumulation() {
+	inputs := []partition.Labels{
+		{0, 0, 0, 1, 1, 1},
+		{0, 0, 0, 1, 1, 1},
+		{0, 0, 0, 1, 1, 1},
+		{0, 0, 1, 1, 1, 1}, // one object misplaced in one input
+	}
+	labels, err := ensemble.EvidenceAccumulation(inputs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(labels, labels.K())
+	// Output: [0 0 0 1 1 1] 2
+}
+
+// Voting aligns the inputs' arbitrary label names before tallying.
+func ExampleVoting() {
+	inputs := []partition.Labels{
+		{0, 0, 1, 1},
+		{1, 1, 0, 0}, // same partition, swapped names
+		{5, 5, 9, 9}, // same partition, arbitrary names
+	}
+	labels, err := ensemble.Voting(inputs, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(labels)
+	// Output: [0 0 1 1]
+}

@@ -1,0 +1,144 @@
+package ensemble
+
+import (
+	"fmt"
+	"sort"
+
+	"clusteragg/internal/partition"
+)
+
+// Voting implements consensus by label correspondence and plurality vote,
+// the approach of Boulis & Ostendorf (PKDD 2004): the clusters of every
+// input are matched to the clusters of a reference clustering, after which
+// each object is assigned the label most inputs voted for. Boulis &
+// Ostendorf solve the correspondence with linear programming; this
+// implementation uses greedy maximum-overlap matching (a documented
+// substitution that is exact when the confusion structure is dominated by
+// its diagonal, which is the regime voting works in at all).
+//
+// The reference is the input with k clusters whose own total overlap is
+// largest; k is required, inputs with other cluster counts still vote
+// through their matched labels. Objects whose labels are Missing in an
+// input simply contribute no vote there; an object with no votes at all
+// becomes a singleton.
+func Voting(clusterings []partition.Labels, k int) (partition.Labels, error) {
+	n, err := validate(clusterings, k)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("ensemble: Voting requires k > 0")
+	}
+	if n == 0 {
+		return partition.Labels{}, nil
+	}
+
+	norm := make([]partition.Labels, len(clusterings))
+	for i, c := range clusterings {
+		norm[i] = c.Normalize()
+	}
+
+	// Reference: prefer an input with exactly k clusters; otherwise the one
+	// whose cluster count is closest to k (ties to the first).
+	ref := 0
+	bestGap := 1 << 30
+	for i, c := range norm {
+		gap := c.K() - k
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap < bestGap {
+			ref, bestGap = i, gap
+		}
+	}
+
+	// Votes[obj][label] accumulated over matched inputs.
+	votes := make([][]float64, n)
+	for i := range votes {
+		votes[i] = make([]float64, k)
+	}
+	for _, c := range norm {
+		match := matchLabels(c, norm[ref], k)
+		for obj, l := range c {
+			if l == partition.Missing {
+				continue
+			}
+			if target := match[l]; target >= 0 {
+				votes[obj][target]++
+			}
+		}
+	}
+
+	labels := make(partition.Labels, n)
+	next := k
+	for i := range labels {
+		best, bestV := -1, 0.0
+		for l, v := range votes[i] {
+			if v > bestV {
+				best, bestV = l, v
+			}
+		}
+		if best == -1 {
+			labels[i] = next
+			next++
+			continue
+		}
+		labels[i] = best
+	}
+	return labels.Normalize(), nil
+}
+
+// matchLabels greedily matches the clusters of c to the first k clusters of
+// ref by descending overlap. Unmatched clusters of c map to their largest-
+// overlap reference cluster (many-to-one), or to -1 when they share no
+// object with any reference cluster.
+func matchLabels(c, ref partition.Labels, k int) map[int]int {
+	overlap := make(map[[2]int]int)
+	for i := range c {
+		if c[i] == partition.Missing || ref[i] == partition.Missing || ref[i] >= k {
+			continue
+		}
+		overlap[[2]int{c[i], ref[i]}]++
+	}
+	type cell struct {
+		from, to, count int
+	}
+	cells := make([]cell, 0, len(overlap))
+	for key, count := range overlap {
+		cells = append(cells, cell{from: key[0], to: key[1], count: count})
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].count != cells[j].count {
+			return cells[i].count > cells[j].count
+		}
+		if cells[i].from != cells[j].from {
+			return cells[i].from < cells[j].from
+		}
+		return cells[i].to < cells[j].to
+	})
+
+	match := make(map[int]int)
+	usedTo := make(map[int]bool)
+	// One-to-one phase.
+	for _, cl := range cells {
+		if _, ok := match[cl.from]; ok || usedTo[cl.to] {
+			continue
+		}
+		match[cl.from] = cl.to
+		usedTo[cl.to] = true
+	}
+	// Many-to-one fallback for leftover source clusters.
+	for _, cl := range cells {
+		if _, ok := match[cl.from]; !ok {
+			match[cl.from] = cl.to
+		}
+	}
+	// Clusters overlapping nothing map to -1.
+	maxLabel := c.K()
+	for l := 0; l < maxLabel; l++ {
+		if _, ok := match[l]; !ok {
+			match[l] = -1
+		}
+	}
+	return match
+}

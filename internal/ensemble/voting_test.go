@@ -1,0 +1,132 @@
+package ensemble
+
+import (
+	"math/rand"
+	"testing"
+
+	"clusteragg/internal/partition"
+)
+
+func TestVotingValidation(t *testing.T) {
+	if _, err := Voting(nil, 2); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Voting([]partition.Labels{{0, 1}}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestVotingRecovers(t *testing.T) {
+	cs, truth := noisyCopies(21, 150, 3, 9, 0.15)
+	labels, err := Voting(cs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRecovers(t, "Voting", labels, truth, 0.95)
+	if labels.K() != 3 {
+		t.Errorf("K = %d, want 3", labels.K())
+	}
+}
+
+func TestVotingPermutedLabels(t *testing.T) {
+	// The whole point of the correspondence step: inputs agree on the
+	// partition but use permuted label names.
+	truth := partition.Labels{0, 0, 0, 1, 1, 1, 2, 2, 2}
+	perms := [][]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}, {2, 1, 0}}
+	var cs []partition.Labels
+	for _, p := range perms {
+		c := make(partition.Labels, len(truth))
+		for i, l := range truth {
+			c[i] = p[l]
+		}
+		cs = append(cs, c)
+	}
+	labels, err := Voting(cs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := partition.RandIndex(labels, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != 1 {
+		t.Errorf("permuted-label voting Rand index %v, want 1 (%v)", ri, labels)
+	}
+}
+
+func TestVotingMixedClusterCounts(t *testing.T) {
+	// Inputs with different k still vote through matching.
+	cs := []partition.Labels{
+		{0, 0, 1, 1, 2, 2},
+		{0, 0, 1, 1, 1, 1}, // merged two clusters
+		{1, 1, 0, 0, 2, 2},
+		{0, 0, 1, 1, 2, 3}, // split one cluster
+	}
+	labels, err := Voting(cs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := partition.Labels{0, 0, 1, 1, 2, 2}
+	ri, err := partition.RandIndex(labels, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri < 0.99 {
+		t.Errorf("mixed-k voting = %v (rand %v)", labels, ri)
+	}
+}
+
+func TestVotingAllMissingObject(t *testing.T) {
+	cs := []partition.Labels{
+		{0, 0, partition.Missing},
+		{0, 0, partition.Missing},
+	}
+	labels, err := Voting(cs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[2] == labels[0] {
+		t.Errorf("voteless object merged: %v", labels)
+	}
+}
+
+func TestMatchLabelsGreedy(t *testing.T) {
+	c := partition.Labels{0, 0, 1, 1, 2}
+	ref := partition.Labels{1, 1, 0, 0, 0}
+	match := matchLabels(c, ref, 2)
+	if match[0] != 1 {
+		t.Errorf("cluster 0 matched to %d, want 1", match[0])
+	}
+	if match[1] != 0 {
+		t.Errorf("cluster 1 matched to %d, want 0", match[1])
+	}
+	// Cluster 2 overlaps ref cluster 0 only -> many-to-one fallback.
+	if match[2] != 0 {
+		t.Errorf("cluster 2 matched to %d, want 0", match[2])
+	}
+}
+
+func TestVotingDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cs := make([]partition.Labels, 5)
+	for i := range cs {
+		c := make(partition.Labels, 60)
+		for j := range c {
+			c[j] = rng.Intn(4)
+		}
+		cs[i] = c
+	}
+	a, err := Voting(cs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Voting(cs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("voting not deterministic")
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"math"
+
+	"clusteragg/internal/partition"
+)
+
+// AdjustedRandIndex returns the Rand index corrected for chance (Hubert &
+// Arabie): 1 for identical clusterings, ~0 for independent ones, possibly
+// negative for worse-than-chance agreement. Objects with Missing labels on
+// either side are excluded. Degenerate cases where the expected index
+// equals the maximum (both clusterings trivial) return 1.
+func AdjustedRandIndex(a, b partition.Labels) (float64, error) {
+	t, err := partition.Contingency(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if t.N < 2 {
+		return 1, nil
+	}
+	choose2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
+	var sumCells, sumRows, sumCols float64
+	for i, row := range t.Counts {
+		sumRows += choose2(t.RowSums[i])
+		for _, c := range row {
+			sumCells += choose2(c)
+		}
+	}
+	for _, c := range t.ColSums {
+		sumCols += choose2(c)
+	}
+	total := choose2(t.N)
+	expected := sumRows * sumCols / total
+	maximum := (sumRows + sumCols) / 2
+	if maximum == expected {
+		return 1, nil
+	}
+	return (sumCells - expected) / (maximum - expected), nil
+}
+
+// VariationOfInformation returns Meilă's VI distance between two
+// clusterings: H(A|B) + H(B|A), in nats. It is a true metric on the space
+// of clusterings; 0 means identical. Objects with Missing labels on either
+// side are excluded.
+func VariationOfInformation(a, b partition.Labels) (float64, error) {
+	t, err := partition.Contingency(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if t.N == 0 {
+		return 0, nil
+	}
+	n := float64(t.N)
+	var ha, hb, mi float64
+	for _, s := range t.RowSums {
+		if s > 0 {
+			p := float64(s) / n
+			ha -= p * math.Log(p)
+		}
+	}
+	for _, s := range t.ColSums {
+		if s > 0 {
+			p := float64(s) / n
+			hb -= p * math.Log(p)
+		}
+	}
+	for i, row := range t.Counts {
+		for j, c := range row {
+			if c == 0 {
+				continue
+			}
+			pij := float64(c) / n
+			pi := float64(t.RowSums[i]) / n
+			pj := float64(t.ColSums[j]) / n
+			mi += pij * math.Log(pij/(pi*pj))
+		}
+	}
+	vi := ha + hb - 2*mi
+	if vi < 0 {
+		vi = 0 // numeric guard
+	}
+	return vi, nil
+}

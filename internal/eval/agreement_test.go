@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clusteragg/internal/partition"
+)
+
+func TestAdjustedRandIdentical(t *testing.T) {
+	a := partition.Labels{0, 0, 1, 1, 2}
+	got, err := AdjustedRandIndex(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("ARI(a,a) = %v, want 1", got)
+	}
+}
+
+func TestAdjustedRandIndependentNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 2000
+	a := make(partition.Labels, n)
+	b := make(partition.Labels, n)
+	for i := range a {
+		a[i] = rng.Intn(4)
+		b[i] = rng.Intn(4)
+	}
+	got, err := AdjustedRandIndex(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got) > 0.05 {
+		t.Errorf("ARI(independent) = %v, want ~0", got)
+	}
+}
+
+func TestAdjustedRandDegenerate(t *testing.T) {
+	one := partition.Labels{0, 0, 0}
+	got, err := AdjustedRandIndex(one, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("ARI(trivial,trivial) = %v, want 1", got)
+	}
+	if got, _ := AdjustedRandIndex(partition.Labels{0}, partition.Labels{0}); got != 1 {
+		t.Errorf("ARI on n=1 = %v, want 1", got)
+	}
+}
+
+func TestAdjustedRandSymmetric(t *testing.T) {
+	a := partition.Labels{0, 0, 1, 1, 2, 2}
+	b := partition.Labels{0, 1, 1, 2, 2, 0}
+	ab, _ := AdjustedRandIndex(a, b)
+	ba, _ := AdjustedRandIndex(b, a)
+	if math.Abs(ab-ba) > 1e-12 {
+		t.Errorf("ARI not symmetric: %v vs %v", ab, ba)
+	}
+}
+
+func TestVIIdenticalZero(t *testing.T) {
+	a := partition.Labels{0, 1, 0, 2}
+	got, err := VariationOfInformation(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 1e-12 {
+		t.Errorf("VI(a,a) = %v, want 0", got)
+	}
+}
+
+func TestVIKnownValue(t *testing.T) {
+	// A = {01}{23}, B = {02}{13} on 4 objects: every cell of the 2x2
+	// contingency table is 1, so MI = 0 and VI = H(A)+H(B) = 2 log 2.
+	a := partition.Labels{0, 0, 1, 1}
+	b := partition.Labels{0, 1, 0, 1}
+	got, err := VariationOfInformation(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * math.Log(2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("VI = %v, want %v", got, want)
+	}
+}
+
+func TestVITriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(15)
+		mk := func() partition.Labels {
+			l := make(partition.Labels, n)
+			for i := range l {
+				l[i] = rng.Intn(4)
+			}
+			return l
+		}
+		a, b, c := mk(), mk(), mk()
+		ab, _ := VariationOfInformation(a, b)
+		bc, _ := VariationOfInformation(b, c)
+		ac, _ := VariationOfInformation(a, c)
+		if ac > ab+bc+1e-9 {
+			t.Fatalf("VI triangle inequality violated: %v > %v + %v", ac, ab, bc)
+		}
+	}
+}
+
+func TestVIEmptyAndMissing(t *testing.T) {
+	got, err := VariationOfInformation(partition.Labels{partition.Missing}, partition.Labels{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("VI with no counted objects = %v, want 0", got)
+	}
+}
+
+func TestAgreementLengthMismatch(t *testing.T) {
+	if _, err := AdjustedRandIndex(partition.Labels{0}, partition.Labels{0, 1}); err == nil {
+		t.Error("ARI length mismatch accepted")
+	}
+	if _, err := VariationOfInformation(partition.Labels{0}, partition.Labels{0, 1}); err == nil {
+		t.Error("VI length mismatch accepted")
+	}
+}

@@ -1,0 +1,161 @@
+// Package eval provides the quality measures of the paper's Section 5:
+// the classification error E_C against known class labels, confusion
+// matrices (Table 1), and auxiliary agreement scores (purity, normalized
+// mutual information) useful when analysing aggregation results.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"clusteragg/internal/partition"
+)
+
+// ClassificationError returns E_C = Σ_i (s_i − m_i) / n, where s_i is the
+// size of cluster i and m_i the size of its majority class: the fraction of
+// objects not belonging to their cluster's majority class. Objects whose
+// class is partition.Missing are excluded (the paper's synthetic noise
+// points have no class).
+func ClassificationError(clusters, class partition.Labels) (float64, error) {
+	conf, err := Confusion(clusters, class)
+	if err != nil {
+		return 0, err
+	}
+	if conf.N == 0 {
+		return 0, nil
+	}
+	errs := 0
+	for _, row := range conf.Counts {
+		s, m := 0, 0
+		for _, c := range row {
+			s += c
+			if c > m {
+				m = c
+			}
+		}
+		errs += s - m
+	}
+	return float64(errs) / float64(conf.N), nil
+}
+
+// ConfusionMatrix counts cluster × class co-occurrences.
+type ConfusionMatrix struct {
+	// Counts[i][j] is the number of objects in cluster i with class j.
+	Counts [][]int
+	// ClusterSizes and ClassSizes are the marginals.
+	ClusterSizes []int
+	ClassSizes   []int
+	// N is the number of counted objects (cluster and class both present).
+	N int
+}
+
+// Confusion builds the confusion matrix between a clustering and class
+// labels. Objects with a Missing entry on either side are skipped.
+func Confusion(clusters, class partition.Labels) (*ConfusionMatrix, error) {
+	if len(clusters) != len(class) {
+		return nil, fmt.Errorf("eval: %d cluster labels vs %d class labels: %w",
+			len(clusters), len(class), partition.ErrLengthMismatch)
+	}
+	t, err := partition.Contingency(clusters, class)
+	if err != nil {
+		return nil, err
+	}
+	return &ConfusionMatrix{
+		Counts:       t.Counts,
+		ClusterSizes: t.RowSums,
+		ClassSizes:   t.ColSums,
+		N:            t.N,
+	}, nil
+}
+
+// Purity returns the weighted purity of the clustering: 1 − E_C.
+func Purity(clusters, class partition.Labels) (float64, error) {
+	ec, err := ClassificationError(clusters, class)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - ec, nil
+}
+
+// NMI returns the normalized mutual information between two clusterings,
+// I(A;B) / sqrt(H(A)·H(B)), in [0,1]. By convention NMI is 1 when both
+// clusterings are trivial (zero entropy) and 0 when exactly one is.
+func NMI(a, b partition.Labels) (float64, error) {
+	t, err := partition.Contingency(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if t.N == 0 {
+		return 1, nil
+	}
+	n := float64(t.N)
+	entropy := func(sizes []int) float64 {
+		var h float64
+		for _, s := range sizes {
+			if s == 0 {
+				continue
+			}
+			p := float64(s) / n
+			h -= p * math.Log(p)
+		}
+		return h
+	}
+	ha, hb := entropy(t.RowSums), entropy(t.ColSums)
+	if ha == 0 && hb == 0 {
+		return 1, nil
+	}
+	if ha == 0 || hb == 0 {
+		return 0, nil
+	}
+	var mi float64
+	for i, row := range t.Counts {
+		for j, c := range row {
+			if c == 0 {
+				continue
+			}
+			pij := float64(c) / n
+			pi := float64(t.RowSums[i]) / n
+			pj := float64(t.ColSums[j]) / n
+			mi += pij * math.Log(pij/(pi*pj))
+		}
+	}
+	nmi := mi / math.Sqrt(ha*hb)
+	// Clamp floating-point overshoot.
+	if nmi > 1 {
+		nmi = 1
+	}
+	if nmi < 0 {
+		nmi = 0
+	}
+	return nmi, nil
+}
+
+// NoiseRecall reports, for datasets with planted noise (class label
+// partition.Missing), the fraction of noise objects that ended up in
+// "small" clusters — clusters holding fewer than smallFrac of the objects.
+// The paper's Figure 4 argues noise points are singled out into small
+// clusters; this quantifies that claim.
+func NoiseRecall(clusters, class partition.Labels, smallFrac float64) (float64, error) {
+	if len(clusters) != len(class) {
+		return 0, fmt.Errorf("eval: length mismatch: %w", partition.ErrLengthMismatch)
+	}
+	sizes := make(map[int]int)
+	for _, c := range clusters {
+		sizes[c]++
+	}
+	threshold := smallFrac * float64(len(clusters))
+	noise, inSmall := 0, 0
+	for i, cl := range class {
+		if cl != partition.Missing {
+			continue
+		}
+		noise++
+		if float64(sizes[clusters[i]]) < threshold {
+			inSmall++
+		}
+	}
+	if noise == 0 {
+		return 0, fmt.Errorf("eval: no noise objects in class labels")
+	}
+	return float64(inSmall) / float64(noise), nil
+}

@@ -1,0 +1,155 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"clusteragg/internal/partition"
+)
+
+func TestClassificationErrorPure(t *testing.T) {
+	clusters := partition.Labels{0, 0, 1, 1}
+	class := partition.Labels{0, 0, 1, 1}
+	ec, err := ClassificationError(clusters, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec != 0 {
+		t.Errorf("pure clusters E_C = %v, want 0", ec)
+	}
+}
+
+func TestClassificationErrorMixed(t *testing.T) {
+	// Cluster 0: 3 of class 0, 1 of class 1 -> 1 error. Cluster 1: pure.
+	clusters := partition.Labels{0, 0, 0, 0, 1, 1}
+	class := partition.Labels{0, 0, 0, 1, 1, 1}
+	ec, err := ClassificationError(clusters, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1.0 / 6.0; math.Abs(ec-want) > 1e-12 {
+		t.Errorf("E_C = %v, want %v", ec, want)
+	}
+}
+
+func TestClassificationErrorSingletonsPure(t *testing.T) {
+	// The paper notes k = n gives E_C = 0.
+	clusters := partition.Labels{0, 1, 2, 3}
+	class := partition.Labels{0, 1, 0, 1}
+	ec, err := ClassificationError(clusters, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec != 0 {
+		t.Errorf("singleton clusters E_C = %v, want 0", ec)
+	}
+}
+
+func TestClassificationErrorSkipsMissingClass(t *testing.T) {
+	clusters := partition.Labels{0, 0, 0}
+	class := partition.Labels{0, 0, partition.Missing}
+	ec, err := ClassificationError(clusters, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec != 0 {
+		t.Errorf("E_C = %v, want 0 (missing excluded)", ec)
+	}
+}
+
+func TestClassificationErrorLengthMismatch(t *testing.T) {
+	if _, err := ClassificationError(partition.Labels{0}, partition.Labels{0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	clusters := partition.Labels{0, 0, 1, 1, 1}
+	class := partition.Labels{1, 1, 0, 0, 1}
+	conf, err := Confusion(clusters, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.N != 5 {
+		t.Errorf("N = %d", conf.N)
+	}
+	// Class ids are normalized in first-appearance order: class "1" -> 0.
+	if conf.Counts[0][0] != 2 || conf.Counts[1][1] != 2 || conf.Counts[1][0] != 1 {
+		t.Errorf("Counts = %v", conf.Counts)
+	}
+	if conf.ClusterSizes[0] != 2 || conf.ClusterSizes[1] != 3 {
+		t.Errorf("ClusterSizes = %v", conf.ClusterSizes)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	clusters := partition.Labels{0, 0, 0, 0}
+	class := partition.Labels{0, 0, 0, 1}
+	p, err := Purity(clusters, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.75; math.Abs(p-want) > 1e-12 {
+		t.Errorf("purity = %v, want %v", p, want)
+	}
+}
+
+func TestNMI(t *testing.T) {
+	a := partition.Labels{0, 0, 1, 1}
+	if got, _ := NMI(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("NMI(a,a) = %v, want 1", got)
+	}
+	b := partition.Labels{0, 1, 0, 1} // independent of a
+	if got, _ := NMI(a, b); got > 1e-9 {
+		t.Errorf("NMI(independent) = %v, want 0", got)
+	}
+	// Trivial clusterings.
+	one := partition.Labels{0, 0, 0, 0}
+	if got, _ := NMI(one, one); got != 1 {
+		t.Errorf("NMI(trivial,trivial) = %v, want 1", got)
+	}
+	if got, _ := NMI(one, a); got != 0 {
+		t.Errorf("NMI(trivial,non) = %v, want 0", got)
+	}
+}
+
+func TestNMISymmetric(t *testing.T) {
+	a := partition.Labels{0, 0, 1, 1, 2, 2}
+	b := partition.Labels{0, 1, 1, 2, 2, 0}
+	ab, _ := NMI(a, b)
+	ba, _ := NMI(b, a)
+	if math.Abs(ab-ba) > 1e-12 {
+		t.Errorf("NMI not symmetric: %v vs %v", ab, ba)
+	}
+	if ab < 0 || ab > 1 {
+		t.Errorf("NMI out of range: %v", ab)
+	}
+}
+
+func TestNoiseRecall(t *testing.T) {
+	// 4 clustered objects in one big cluster, 2 noise objects in singletons.
+	clusters := partition.Labels{0, 0, 0, 0, 1, 2}
+	class := partition.Labels{0, 0, 0, 0, partition.Missing, partition.Missing}
+	r, err := NoiseRecall(clusters, class, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("NoiseRecall = %v, want 1", r)
+	}
+	// Noise absorbed into the big cluster scores 0.
+	clusters2 := partition.Labels{0, 0, 0, 0, 0, 0}
+	r2, err := NoiseRecall(clusters2, class, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 != 0 {
+		t.Errorf("NoiseRecall = %v, want 0", r2)
+	}
+	if _, err := NoiseRecall(clusters, partition.Labels{0, 0, 0, 0, 0, 0}, 0.5); err == nil {
+		t.Error("no-noise input accepted")
+	}
+	if _, err := NoiseRecall(partition.Labels{0}, class, 0.5); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

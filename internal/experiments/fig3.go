@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"clusteragg/internal/core"
+	"clusteragg/internal/eval"
+	"clusteragg/internal/kmeans"
+	"clusteragg/internal/linkage"
+	"clusteragg/internal/partition"
+	"clusteragg/internal/points"
+)
+
+// Fig3Input is one input clustering of the robustness experiment.
+type Fig3Input struct {
+	Name   string
+	Labels partition.Labels
+	// Err is the classification error against the scene's ground truth.
+	Err float64
+	// Rand is the Rand index against the ground truth.
+	Rand float64
+}
+
+// Fig3Result reproduces Figure 3: five vanilla clusterings of the
+// seven-cluster scene and their aggregation.
+type Fig3Result struct {
+	Scene     *points.Dataset
+	Inputs    []Fig3Input
+	Aggregate Fig3Input
+}
+
+// Fig3Robustness runs the Figure 3 experiment: single, complete and average
+// linkage, Ward, and k-means (all with k = 7) on the seven-cluster scene,
+// aggregated with the AGGLOMERATIVE algorithm — the same recipe as the
+// paper's caption.
+func Fig3Robustness(cfg Config) (*Fig3Result, error) {
+	scale := 0.5
+	if cfg.Full {
+		scale = 1
+	}
+	scene := points.SevenClusterScene(cfg.seed(), scale)
+
+	res := &Fig3Result{Scene: scene}
+	addInput := func(name string, labels partition.Labels) error {
+		ec, err := eval.ClassificationError(labels, scene.Truth)
+		if err != nil {
+			return fmt.Errorf("experiments: fig3 %s: %w", name, err)
+		}
+		ri, err := partition.RandIndex(labels, scene.Truth)
+		if err != nil {
+			return err
+		}
+		res.Inputs = append(res.Inputs, Fig3Input{Name: name, Labels: labels, Err: ec, Rand: ri})
+		return nil
+	}
+
+	for _, m := range linkage.Methods() {
+		labels, err := linkage.Cluster(scene.Points, m, 7)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig3 %v linkage: %w", m, err)
+		}
+		if err := addInput(m.String()+" linkage", labels); err != nil {
+			return nil, err
+		}
+	}
+	km, err := kmeans.Run(scene.Points, kmeans.Options{
+		K: 7, Restarts: 1, Rand: rand.New(rand.NewSource(cfg.seed())),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig3 k-means: %w", err)
+	}
+	if err := addInput("k-means", km.Labels); err != nil {
+		return nil, err
+	}
+
+	inputs := make([]partition.Labels, len(res.Inputs))
+	for i, in := range res.Inputs {
+		inputs[i] = in.Labels
+	}
+	problem, err := core.NewProblem(inputs, core.ProblemOptions{})
+	if err != nil {
+		return nil, err
+	}
+	agg, err := problem.Aggregate(core.MethodAgglomerative, core.AggregateOptions{Materialize: true})
+	if err != nil {
+		return nil, err
+	}
+	ec, err := eval.ClassificationError(agg, scene.Truth)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := partition.RandIndex(agg, scene.Truth)
+	if err != nil {
+		return nil, err
+	}
+	res.Aggregate = Fig3Input{Name: "aggregation", Labels: agg, Err: ec, Rand: ri}
+	return res, nil
+}
+
+// String prints one row per input plus the aggregate, in the layout
+//
+//	clustering          k   err     rand
+func (r *Fig3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 — improving clustering robustness (n=%d, 7 true clusters)\n", r.Scene.N())
+	fmt.Fprintf(&b, "%-18s %4s %8s %8s\n", "clustering", "k", "err", "rand")
+	row := func(in Fig3Input) {
+		fmt.Fprintf(&b, "%-18s %4d %8s %8.4f\n", in.Name, in.Labels.K(), pct(in.Err), in.Rand)
+	}
+	for _, in := range r.Inputs {
+		row(in)
+	}
+	row(r.Aggregate)
+	return b.String()
+}

@@ -1,0 +1,244 @@
+// Package hetero turns tables with mixed categorical and numeric attributes
+// into clustering-aggregation inputs, the "clustering heterogeneous data"
+// application of the paper's Section 2: when attribute domains are
+// incomparable (Movie.Budget vs Movie.Year), partition the attributes
+// vertically into homogeneous groups, cluster each group with an
+// appropriate algorithm, and aggregate the resulting clusterings.
+//
+// Categorical attributes induce clusterings directly (one cluster per
+// value). Each numeric attribute is clustered on its own with
+// one-dimensional k-means; optionally all numeric attributes are also
+// z-scored and clustered jointly. Missing entries (NaN) map to
+// partition.Missing, which the aggregation layer's missing-value models
+// handle.
+package hetero
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"clusteragg/internal/dataset"
+	"clusteragg/internal/partition"
+	"clusteragg/internal/vkmeans"
+)
+
+// Options configures Clusterings.
+type Options struct {
+	// NumericK is the number of clusters per numeric attribute. Zero means
+	// 5. Attributes with fewer distinct values use that count.
+	NumericK int
+	// Joint adds one extra clustering built by k-means over all numeric
+	// attributes together (z-scored); rows with any missing numeric value
+	// get partition.Missing there.
+	Joint bool
+	// JointK is the cluster count of the joint clustering. Zero means 5.
+	JointK int
+	// Rand supplies randomness for the joint k-means. Nil means a
+	// deterministic source seeded with 1. Per-attribute 1-D k-means is
+	// deterministic (quantile initialization).
+	Rand *rand.Rand
+}
+
+// Clusterings converts every attribute of the table into an input
+// clustering. It returns an error if the table has no attributes at all.
+func Clusterings(t *dataset.Table, opts Options) ([]partition.Labels, error) {
+	if len(t.Cols) == 0 {
+		return nil, fmt.Errorf("hetero: table %q has no columns", t.Name)
+	}
+	numericK := opts.NumericK
+	if numericK <= 0 {
+		numericK = 5
+	}
+
+	var out []partition.Labels
+	var numeric []*dataset.Column
+	for _, c := range t.Cols {
+		switch c.Kind {
+		case dataset.Categorical:
+			labels, err := c.Clustering()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, labels)
+		case dataset.Numeric:
+			numeric = append(numeric, c)
+			out = append(out, cluster1D(c.Floats, numericK))
+		default:
+			return nil, fmt.Errorf("hetero: column %q has unknown kind", c.Name)
+		}
+	}
+	if opts.Joint && len(numeric) > 0 {
+		jointK := opts.JointK
+		if jointK <= 0 {
+			jointK = 5
+		}
+		rng := opts.Rand
+		if rng == nil {
+			rng = rand.New(rand.NewSource(1))
+		}
+		out = append(out, jointNumeric(numeric, jointK, rng))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("hetero: table %q produced no clusterings", t.Name)
+	}
+	return out, nil
+}
+
+// cluster1D clusters one numeric attribute with one-dimensional k-means:
+// quantile initialization followed by Lloyd iterations on sorted values.
+// NaN entries map to partition.Missing. The result is deterministic.
+func cluster1D(values []float64, k int) partition.Labels {
+	labels := make(partition.Labels, len(values))
+	var present []float64
+	for i, v := range values {
+		if math.IsNaN(v) {
+			labels[i] = partition.Missing
+		} else {
+			present = append(present, v)
+		}
+	}
+	if len(present) == 0 {
+		return labels
+	}
+	sort.Float64s(present)
+	distinct := 1
+	for i := 1; i < len(present); i++ {
+		if present[i] != present[i-1] {
+			distinct++
+		}
+	}
+	if k > distinct {
+		k = distinct
+	}
+
+	// Quantile initialization.
+	centers := make([]float64, k)
+	for c := 0; c < k; c++ {
+		idx := (2*c + 1) * len(present) / (2 * k)
+		centers[c] = present[idx]
+	}
+	// Lloyd on the sorted values: assignment boundaries are midpoints, so
+	// each iteration is a linear scan.
+	for iter := 0; iter < 100; iter++ {
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		c := 0
+		for _, v := range present {
+			for c+1 < k && math.Abs(v-centers[c+1]) < math.Abs(v-centers[c]) {
+				c++
+			}
+			sums[c] += v
+			counts[c]++
+		}
+		changed := false
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			next := sums[c] / float64(counts[c])
+			if next != centers[c] {
+				centers[c] = next
+				changed = true
+			}
+		}
+		sort.Float64s(centers)
+		if !changed {
+			break
+		}
+	}
+
+	for i, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		best, bestD := 0, math.Abs(v-centers[0])
+		for c := 1; c < k; c++ {
+			if d := math.Abs(v - centers[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		labels[i] = best
+	}
+	return labels.Normalize()
+}
+
+// jointNumeric z-scores the numeric columns and clusters complete rows with
+// multi-dimensional k-means; rows with any missing value get Missing.
+func jointNumeric(cols []*dataset.Column, k int, rng *rand.Rand) partition.Labels {
+	n := len(cols[0].Floats)
+	d := len(cols)
+
+	// Column statistics over present values.
+	mean := make([]float64, d)
+	std := make([]float64, d)
+	for j, c := range cols {
+		var sum, sum2 float64
+		count := 0
+		for _, v := range c.Floats {
+			if math.IsNaN(v) {
+				continue
+			}
+			sum += v
+			sum2 += v * v
+			count++
+		}
+		if count > 0 {
+			mean[j] = sum / float64(count)
+			variance := sum2/float64(count) - mean[j]*mean[j]
+			if variance > 0 {
+				std[j] = math.Sqrt(variance)
+			}
+		}
+		if std[j] == 0 {
+			std[j] = 1
+		}
+	}
+
+	labels := make(partition.Labels, n)
+	var rows [][]float64
+	var rowIdx []int
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		ok := true
+		for j, c := range cols {
+			v := c.Floats[i]
+			if math.IsNaN(v) {
+				ok = false
+				break
+			}
+			row[j] = (v - mean[j]) / std[j]
+		}
+		if !ok {
+			labels[i] = partition.Missing
+			continue
+		}
+		rows = append(rows, row)
+		rowIdx = append(rowIdx, i)
+	}
+	if len(rows) == 0 {
+		return labels
+	}
+	if k > len(rows) {
+		k = len(rows)
+	}
+
+	res, err := vkmeans.Run(rows, vkmeans.Options{
+		K:    k,
+		Init: vkmeans.InitPlusPlus,
+		Rand: rng,
+	})
+	if err != nil {
+		// Unreachable: inputs were validated above; fall back to one
+		// cluster rather than failing the whole pipeline.
+		for _, ri := range rowIdx {
+			labels[ri] = 0
+		}
+		return labels.Normalize()
+	}
+	for ri, cluster := range res.Labels {
+		labels[rowIdx[ri]] = cluster
+	}
+	return labels.Normalize()
+}

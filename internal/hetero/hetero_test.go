@@ -1,0 +1,191 @@
+package hetero
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clusteragg/internal/core"
+	"clusteragg/internal/dataset"
+	"clusteragg/internal/eval"
+	"clusteragg/internal/partition"
+)
+
+func TestClusteringsErrors(t *testing.T) {
+	if _, err := Clusterings(&dataset.Table{Name: "e"}, Options{}); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestCluster1D(t *testing.T) {
+	values := []float64{1, 1.1, 0.9, 10, 10.2, 9.8, 20, 19.9, 20.1}
+	labels := cluster1D(values, 3)
+	if labels.K() != 3 {
+		t.Fatalf("K = %d, want 3 (%v)", labels.K(), labels)
+	}
+	// The three value groups must land in three distinct clusters.
+	if labels[0] != labels[1] || labels[0] != labels[2] {
+		t.Errorf("low group split: %v", labels)
+	}
+	if labels[3] != labels[4] || labels[3] != labels[5] {
+		t.Errorf("mid group split: %v", labels)
+	}
+	if labels[0] == labels[3] || labels[3] == labels[6] {
+		t.Errorf("groups merged: %v", labels)
+	}
+}
+
+func TestCluster1DMissingAndDegenerate(t *testing.T) {
+	labels := cluster1D([]float64{math.NaN(), 5, math.NaN()}, 3)
+	if labels[0] != partition.Missing || labels[2] != partition.Missing {
+		t.Errorf("NaN not Missing: %v", labels)
+	}
+	if labels[1] != 0 {
+		t.Errorf("single value not cluster 0: %v", labels)
+	}
+	// All NaN.
+	all := cluster1D([]float64{math.NaN(), math.NaN()}, 2)
+	for _, v := range all {
+		if v != partition.Missing {
+			t.Errorf("all-NaN column: %v", all)
+		}
+	}
+	// Fewer distinct values than k.
+	few := cluster1D([]float64{1, 1, 2, 2}, 5)
+	if few.K() != 2 {
+		t.Errorf("K with 2 distinct values = %d, want 2", few.K())
+	}
+}
+
+func TestCluster1DDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 500)
+	for i := range values {
+		values[i] = rng.NormFloat64()
+	}
+	a := cluster1D(values, 4)
+	b := cluster1D(values, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("cluster1D not deterministic")
+		}
+	}
+}
+
+// mixedTable builds a table with one categorical and two numeric columns
+// driven by two clear groups.
+func mixedTable(n int) *dataset.Table {
+	rng := rand.New(rand.NewSource(5))
+	cat := &dataset.Column{Name: "c", Kind: dataset.Categorical,
+		Values: make([]int, n), Names: []string{"a", "b"}}
+	num1 := &dataset.Column{Name: "x", Kind: dataset.Numeric, Floats: make([]float64, n)}
+	num2 := &dataset.Column{Name: "y", Kind: dataset.Numeric, Floats: make([]float64, n)}
+	class := make(partition.Labels, n)
+	for i := 0; i < n; i++ {
+		g := i % 2
+		class[i] = g
+		cat.Values[i] = g
+		if rng.Float64() < 0.05 {
+			cat.Values[i] = 1 - g
+		}
+		num1.Floats[i] = float64(g*10) + rng.NormFloat64()
+		num2.Floats[i] = float64(g*-8) + rng.NormFloat64()
+	}
+	return &dataset.Table{Name: "mixed", Cols: []*dataset.Column{cat, num1, num2}, Class: class,
+		ClassNames: []string{"g0", "g1"}}
+}
+
+func TestClusteringsMixed(t *testing.T) {
+	tab := mixedTable(200)
+	cs, err := Clusterings(tab, Options{NumericK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 3 {
+		t.Fatalf("%d clusterings, want 3", len(cs))
+	}
+	for i, c := range cs {
+		if len(c) != 200 {
+			t.Fatalf("clustering %d has %d labels", i, len(c))
+		}
+	}
+}
+
+func TestClusteringsJoint(t *testing.T) {
+	tab := mixedTable(200)
+	cs, err := Clusterings(tab, Options{NumericK: 2, Joint: true, JointK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 4 {
+		t.Fatalf("%d clusterings, want 4 (3 attrs + joint)", len(cs))
+	}
+	joint := cs[3]
+	ri, err := partition.RandIndex(joint, tab.Class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri < 0.95 {
+		t.Errorf("joint clustering Rand index %v on separable groups", ri)
+	}
+}
+
+func TestHeteroAggregationRecoversGroups(t *testing.T) {
+	tab := mixedTable(300)
+	cs, err := Clusterings(tab, Options{NumericK: 2, Joint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProblem(cs, core.ProblemOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := p.Aggregate(core.MethodAgglomerative, core.AggregateOptions{Materialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := eval.ClassificationError(agg, tab.Class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec > 0.05 {
+		t.Errorf("heterogeneous aggregation E_C = %v", ec)
+	}
+}
+
+func TestJointWithMissingRows(t *testing.T) {
+	tab := mixedTable(50)
+	tab.Cols[1].Floats[0] = math.NaN()
+	cs, err := Clusterings(tab, Options{Joint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint := cs[len(cs)-1]
+	if joint[0] != partition.Missing {
+		t.Errorf("row with missing numeric value not Missing in joint clustering: %v", joint[0])
+	}
+}
+
+func TestCensusHeterogeneous(t *testing.T) {
+	tab := dataset.SyntheticCensus(1, 1500)
+	cs, err := Clusterings(tab, Options{NumericK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 categorical + 6 numeric.
+	if len(cs) != 14 {
+		t.Fatalf("%d clusterings, want 14", len(cs))
+	}
+	p, err := core.NewProblem(cs, core.ProblemOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := p.Sample(core.MethodFurthest, core.AggregateOptions{},
+		core.SamplingOptions{SampleSize: 300, Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels.K() < 5 {
+		t.Errorf("census hetero aggregation found only %d clusters", labels.K())
+	}
+}

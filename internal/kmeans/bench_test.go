@@ -1,0 +1,42 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"clusteragg/internal/points"
+)
+
+func BenchmarkRun(b *testing.B) {
+	d, err := points.GaussianBlobs(1, points.GaussianBlobsOptions{
+		K: 5, PerCluster: 400, NoiseFraction: 0.2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(d.Points, Options{
+			K: 5, Rand: rand.New(rand.NewSource(int64(i))),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunPlusPlus(b *testing.B) {
+	d, err := points.GaussianBlobs(1, points.GaussianBlobsOptions{
+		K: 5, PerCluster: 400, NoiseFraction: 0.2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(d.Points, Options{
+			K: 5, Init: InitPlusPlus, Rand: rand.New(rand.NewSource(int64(i))),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

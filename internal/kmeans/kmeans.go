@@ -1,0 +1,87 @@
+// Package kmeans implements Lloyd's k-means algorithm for two-dimensional
+// points, the workhorse the paper uses to generate input clusterings for
+// the robustness experiments (Figures 3-5). Random initialization with
+// restarts mirrors the Matlab defaults the paper relied on; k-means++
+// seeding is available as an option.
+//
+// This package is a thin 2-D adapter over the d-dimensional engine in
+// internal/vkmeans.
+package kmeans
+
+import (
+	"math/rand"
+
+	"clusteragg/internal/partition"
+	"clusteragg/internal/points"
+	"clusteragg/internal/vkmeans"
+)
+
+// Init selects the centroid initialization strategy.
+type Init = vkmeans.Init
+
+const (
+	// InitForgy picks K distinct input points uniformly at random
+	// (Matlab's classic "sample" default).
+	InitForgy = vkmeans.InitForgy
+	// InitPlusPlus uses k-means++ D² weighting.
+	InitPlusPlus = vkmeans.InitPlusPlus
+)
+
+// Options configures Run.
+type Options struct {
+	// K is the number of clusters (required, 1 <= K <= n).
+	K int
+	// MaxIter caps Lloyd iterations per restart. Zero means 100.
+	MaxIter int
+	// Restarts runs the algorithm this many times and keeps the lowest
+	// inertia. Zero means 1.
+	Restarts int
+	// Init selects the initialization strategy.
+	Init Init
+	// Rand supplies randomness; nil means a deterministic source seeded
+	// with 1.
+	Rand *rand.Rand
+}
+
+// Result is the outcome of a k-means run.
+type Result struct {
+	// Labels assigns each input point to a centroid.
+	Labels partition.Labels
+	// Centroids are the final cluster centers.
+	Centroids []points.Point
+	// Inertia is the sum of squared distances from points to their
+	// centroids (the k-means objective).
+	Inertia float64
+	// Iterations is the number of Lloyd iterations of the winning restart.
+	Iterations int
+}
+
+// Run clusters pts into opts.K clusters with Lloyd's algorithm.
+func Run(pts []points.Point, opts Options) (*Result, error) {
+	data := make([][]float64, len(pts))
+	flat := make([]float64, 2*len(pts))
+	for i, p := range pts {
+		data[i] = flat[2*i : 2*i+2 : 2*i+2]
+		data[i][0], data[i][1] = p.X, p.Y
+	}
+	res, err := vkmeans.Run(data, vkmeans.Options{
+		K:        opts.K,
+		MaxIter:  opts.MaxIter,
+		Restarts: opts.Restarts,
+		Init:     opts.Init,
+		Rand:     opts.Rand,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Labels:     res.Labels,
+		Centroids:  make([]points.Point, len(res.Centroids)),
+		Inertia:    res.Inertia,
+		Iterations: res.Iterations,
+	}
+	for c, ct := range res.Centroids {
+		out.Centroids[c] = points.Point{X: ct[0], Y: ct[1]}
+	}
+	return out, nil
+}

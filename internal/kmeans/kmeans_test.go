@@ -1,0 +1,152 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"clusteragg/internal/partition"
+	"clusteragg/internal/points"
+)
+
+func wellSeparated(seed int64, k, per int) *points.Dataset {
+	d, err := points.GaussianBlobs(seed, points.GaussianBlobsOptions{
+		K: k, PerCluster: per, Std: 0.02, MinSeparation: 0.4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestRunValidation(t *testing.T) {
+	pts := []points.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	if _, err := Run(pts, Options{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Run(pts, Options{K: 3}); err == nil {
+		t.Error("K>n accepted")
+	}
+}
+
+func TestRunRecoversWellSeparatedClusters(t *testing.T) {
+	d := wellSeparated(11, 3, 60)
+	res, err := Run(d.Points, Options{
+		K: 3, Restarts: 10, Init: InitPlusPlus, Rand: rand.New(rand.NewSource(5)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := partition.RandIndex(res.Labels, d.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri < 0.99 {
+		t.Errorf("Rand index %v on well-separated blobs, want ~1", ri)
+	}
+	if res.Labels.K() != 3 {
+		t.Errorf("found %d clusters, want 3", res.Labels.K())
+	}
+	if len(res.Centroids) != 3 {
+		t.Errorf("%d centroids, want 3", len(res.Centroids))
+	}
+	if res.Inertia <= 0 {
+		t.Errorf("inertia %v, want > 0 on noisy data", res.Inertia)
+	}
+}
+
+func TestRunKEqualsN(t *testing.T) {
+	pts := []points.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}}
+	res, err := Run(pts, Options{K: 3, Rand: rand.New(rand.NewSource(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("K=n inertia %v, want 0", res.Inertia)
+	}
+	if res.Labels.K() != 3 {
+		t.Errorf("K=n produced %d clusters", res.Labels.K())
+	}
+}
+
+func TestRunK1(t *testing.T) {
+	d := wellSeparated(13, 2, 30)
+	res, err := Run(d.Points, Options{K: 1, Rand: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels.K() != 1 {
+		t.Errorf("K=1 produced %d clusters", res.Labels.K())
+	}
+}
+
+func TestRestartsImproveOrMatch(t *testing.T) {
+	d := wellSeparated(17, 5, 40)
+	single, err := Run(d.Points, Options{K: 5, Restarts: 1, Rand: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Run(d.Points, Options{K: 5, Restarts: 15, Rand: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Inertia > single.Inertia+1e-9 {
+		t.Errorf("15 restarts inertia %v worse than 1 restart %v", multi.Inertia, single.Inertia)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	d := wellSeparated(19, 4, 50)
+	a, err := Run(d.Points, Options{K: 4, Rand: rand.New(rand.NewSource(9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(d.Points, Options{K: 4, Rand: rand.New(rand.NewSource(9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different labelings")
+		}
+	}
+}
+
+func TestInitStrategies(t *testing.T) {
+	d := wellSeparated(23, 3, 40)
+	for _, init := range []Init{InitForgy, InitPlusPlus} {
+		res, err := Run(d.Points, Options{K: 3, Init: init, Restarts: 5, Rand: rand.New(rand.NewSource(6))})
+		if err != nil {
+			t.Fatalf("init %d: %v", init, err)
+		}
+		if len(res.Labels) != d.N() {
+			t.Fatalf("init %d: %d labels", init, len(res.Labels))
+		}
+	}
+}
+
+func TestAllCoincidentPoints(t *testing.T) {
+	pts := make([]points.Point, 10)
+	res, err := Run(pts, Options{K: 3, Init: InitPlusPlus, Rand: rand.New(rand.NewSource(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("coincident points inertia %v", res.Inertia)
+	}
+}
+
+func TestLabelsAreValidPartition(t *testing.T) {
+	d := wellSeparated(29, 6, 30)
+	res, err := Run(d.Points, Options{K: 6, Rand: rand.New(rand.NewSource(8))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Labels.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Labels {
+		if v < 0 || v >= 6 {
+			t.Fatalf("label %d at %d out of range", v, i)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package limbo
+
+import (
+	"testing"
+
+	"clusteragg/internal/dataset"
+)
+
+func BenchmarkRunVotesTree(b *testing.B) {
+	tab := dataset.SyntheticVotes(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tab, Options{K: 2, Phi: 0.3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunVotesFlat(b *testing.B) {
+	tab := dataset.SyntheticVotes(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tab, Options{K: 2, Phi: 0.3, FlatBuffer: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package limbo
+
+import "math"
+
+// dcfTree is the Distributional Cluster Feature tree of the LIMBO paper: a
+// height-balanced B-tree-like index over cluster features. Tuples descend
+// from the root toward the child whose summary is cheapest to merge with;
+// at a leaf they are absorbed into the closest entry when the information
+// loss is within the threshold, otherwise they start a new entry. Leaf
+// overflows split (farthest-pair seeding); when the total number of leaf
+// entries exceeds the space budget the tree is rebuilt with a doubled
+// threshold, exactly the space-bound strategy of the original.
+type dcfTree struct {
+	branching  int
+	threshold  float64
+	n          float64 // dataset size, for mergeLoss normalization
+	maxEntries int
+	root       *dcfNode
+	entries    int // current number of leaf entries
+}
+
+type dcfNode struct {
+	leaf     bool
+	features []*feature
+	children []*dcfNode // parallel to features on internal nodes
+}
+
+func newDCFTree(branching int, threshold, n float64, maxEntries int) *dcfTree {
+	if branching < 2 {
+		branching = 2
+	}
+	return &dcfTree{
+		branching:  branching,
+		threshold:  threshold,
+		n:          n,
+		maxEntries: maxEntries,
+		root:       &dcfNode{leaf: true},
+	}
+}
+
+// insert adds one tuple feature, rebuilding with a doubled threshold when
+// the leaf-entry budget is exceeded.
+func (t *dcfTree) insert(f *feature) {
+	split := t.insertAt(t.root, f)
+	if split != nil {
+		// Root split: grow the tree by one level.
+		old := t.root
+		t.root = &dcfNode{
+			leaf:     false,
+			features: []*feature{summarize1(old), summarize1(split)},
+			children: []*dcfNode{old, split},
+		}
+	}
+	if t.entries > t.maxEntries {
+		t.rebuild()
+	}
+}
+
+// insertAt inserts f below node and returns a new sibling when node split.
+func (t *dcfTree) insertAt(node *dcfNode, f *feature) *dcfNode {
+	if node.leaf {
+		best, bestLoss := -1, math.Inf(1)
+		for i, e := range node.features {
+			if l := mergeLoss(f, e, t.n); l < bestLoss {
+				best, bestLoss = i, l
+			}
+		}
+		if best >= 0 && bestLoss <= t.threshold {
+			node.features[best].absorb(f)
+			return nil
+		}
+		node.features = append(node.features, f.clone())
+		t.entries++
+		if len(node.features) > t.branching {
+			return t.split(node)
+		}
+		return nil
+	}
+
+	// Internal node: descend into the cheapest child and update its summary
+	// optimistically.
+	best, bestLoss := 0, math.Inf(1)
+	for i, e := range node.features {
+		if l := mergeLoss(f, e, t.n); l < bestLoss {
+			best, bestLoss = i, l
+		}
+	}
+	node.features[best].absorb(f)
+	child := node.children[best]
+	split := t.insertAt(child, f)
+	if split == nil {
+		return nil
+	}
+	// The child split: its summary is stale, recompute both halves.
+	node.features[best] = summarize1(child)
+	node.features = append(node.features, summarize1(split))
+	node.children = append(node.children, split)
+	if len(node.children) > t.branching {
+		return t.split(node)
+	}
+	return nil
+}
+
+// split divides node's entries around the farthest pair and returns the new
+// sibling (which takes the entries closer to the second seed).
+func (t *dcfTree) split(node *dcfNode) *dcfNode {
+	fs := node.features
+	seedA, seedB, worst := 0, 1, -1.0
+	for i := 0; i < len(fs); i++ {
+		for j := i + 1; j < len(fs); j++ {
+			if l := mergeLoss(fs[i], fs[j], t.n); l > worst {
+				seedA, seedB, worst = i, j, l
+			}
+		}
+	}
+	sibling := &dcfNode{leaf: node.leaf}
+	var keepF []*feature
+	var keepC []*dcfNode
+	for i, f := range fs {
+		toB := false
+		switch i {
+		case seedA:
+		case seedB:
+			toB = true
+		default:
+			toB = mergeLoss(f, fs[seedB], t.n) < mergeLoss(f, fs[seedA], t.n)
+		}
+		if toB {
+			sibling.features = append(sibling.features, f)
+			if !node.leaf {
+				sibling.children = append(sibling.children, node.children[i])
+			}
+		} else {
+			keepF = append(keepF, f)
+			if !node.leaf {
+				keepC = append(keepC, node.children[i])
+			}
+		}
+	}
+	node.features = keepF
+	node.children = keepC
+	return sibling
+}
+
+// summarize1 merges a node's entries into a single summary feature.
+func summarize1(node *dcfNode) *feature {
+	out := &feature{dist: map[int]float64{}}
+	for _, f := range node.features {
+		out.absorb(f)
+	}
+	return out
+}
+
+// leafFeatures collects every leaf entry (the Phase-1 summaries).
+func (t *dcfTree) leafFeatures() []*feature {
+	var out []*feature
+	var walk func(*dcfNode)
+	walk = func(n *dcfNode) {
+		if n.leaf {
+			out = append(out, n.features...)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// rebuild doubles the threshold and reinserts all leaf entries, shrinking
+// the tree, as in LIMBO's space-bounded Phase 1.
+func (t *dcfTree) rebuild() {
+	old := t.leafFeatures()
+	if t.threshold == 0 {
+		t.threshold = 1e-12
+	} else {
+		t.threshold *= 2
+	}
+	t.root = &dcfNode{leaf: true}
+	t.entries = 0
+	for _, f := range old {
+		// Reinsertion never triggers a further rebuild mid-loop: entry
+		// count only shrinks when absorptions happen, but guard anyway by
+		// inserting through insertAt directly.
+		split := t.insertAt(t.root, f)
+		if split != nil {
+			oldRoot := t.root
+			t.root = &dcfNode{
+				leaf:     false,
+				features: []*feature{summarize1(oldRoot), summarize1(split)},
+				children: []*dcfNode{oldRoot, split},
+			}
+		}
+	}
+	// If doubling once was not enough, recurse (terminates: the threshold
+	// eventually exceeds the maximum possible loss and everything merges).
+	if t.entries > t.maxEntries {
+		t.rebuild()
+	}
+}
+
+// summarizeTree is the DCF-tree Phase 1: insert every tuple, then return
+// the leaf entries as summaries.
+func summarizeTree(tuples []*feature, phi, n float64, branching, maxEntries int) []*feature {
+	t := newDCFTree(branching, phi/n, n, maxEntries)
+	for _, tp := range tuples {
+		t.insert(tp)
+	}
+	return t.leafFeatures()
+}

@@ -1,0 +1,121 @@
+package limbo
+
+import (
+	"math/rand"
+	"testing"
+
+	"clusteragg/internal/dataset"
+	"clusteragg/internal/eval"
+)
+
+func randomTuple(rng *rand.Rand, group int) *feature {
+	// Two groups over disjoint item ranges with slight per-tuple jitter.
+	f := &feature{weight: 1, dist: map[int]float64{}}
+	base := group * 10
+	items := []int{base + rng.Intn(3), base + 3 + rng.Intn(3), base + 6 + rng.Intn(3)}
+	for _, it := range items {
+		f.dist[it] += 1.0 / float64(len(items))
+	}
+	return f
+}
+
+func TestDCFTreeInsertAndCollect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree := newDCFTree(4, 0.05, 100, 64)
+	for i := 0; i < 100; i++ {
+		tree.insert(randomTuple(rng, i%2))
+	}
+	leaves := tree.leafFeatures()
+	if len(leaves) == 0 || len(leaves) > 64 {
+		t.Fatalf("leaf count %d outside (0,64]", len(leaves))
+	}
+	var weight float64
+	for _, f := range leaves {
+		weight += f.weight
+	}
+	if weight != 100 {
+		t.Errorf("total leaf weight %v, want 100 (no tuples lost)", weight)
+	}
+}
+
+func TestDCFTreeSpaceBoundRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tree := newDCFTree(4, 0, 200, 10) // zero threshold forces new entries
+	for i := 0; i < 200; i++ {
+		tree.insert(randomTuple(rng, i%4))
+	}
+	if tree.entries > 10 {
+		t.Fatalf("space bound violated: %d entries > 10", tree.entries)
+	}
+	if tree.threshold == 0 {
+		t.Error("rebuild did not raise the threshold")
+	}
+	var weight float64
+	for _, f := range tree.leafFeatures() {
+		weight += f.weight
+	}
+	if weight != 200 {
+		t.Errorf("total weight %v after rebuilds, want 200", weight)
+	}
+}
+
+func TestDCFTreeBranchingRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tree := newDCFTree(3, 0, 500, 400)
+	for i := 0; i < 120; i++ {
+		tree.insert(randomTuple(rng, i%6))
+	}
+	var walk func(*dcfNode, int)
+	walk = func(n *dcfNode, depth int) {
+		if len(n.features) > 3 {
+			t.Fatalf("node at depth %d has %d entries > branching 3", depth, len(n.features))
+		}
+		if !n.leaf {
+			if len(n.features) != len(n.children) {
+				t.Fatalf("internal node features/children mismatch: %d vs %d",
+					len(n.features), len(n.children))
+			}
+			for _, c := range n.children {
+				walk(c, depth+1)
+			}
+		}
+	}
+	walk(tree.root, 0)
+}
+
+func TestTreeVsFlatQuality(t *testing.T) {
+	// The two Phase-1 strategies should yield comparable clustering quality
+	// on the Votes stand-in.
+	tab := dataset.SyntheticVotes(4)
+	tree, err := Run(tab, Options{K: 2, Phi: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Run(tab, Options{K: 2, Phi: 0.3, FlatBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecTree, _ := eval.ClassificationError(tree, tab.Class)
+	ecFlat, _ := eval.ClassificationError(flat, tab.Class)
+	if ecTree > 0.30 {
+		t.Errorf("tree phase-1 E_C = %v", ecTree)
+	}
+	if ecFlat > 0.30 {
+		t.Errorf("flat phase-1 E_C = %v", ecFlat)
+	}
+}
+
+func TestTreeTinyBudget(t *testing.T) {
+	tab := dataset.SyntheticVotes(5)
+	labels, err := Run(tab, Options{K: 2, Phi: 0, MaxSummaries: 8, Branching: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != tab.N() {
+		t.Fatalf("%d labels", len(labels))
+	}
+	ec, _ := eval.ClassificationError(labels, tab.Class)
+	if ec > 0.35 {
+		t.Errorf("tiny-budget tree E_C = %v", ec)
+	}
+}

@@ -1,0 +1,368 @@
+// Package limbo implements the LIMBO categorical clustering algorithm of
+// Andritsos, Tsaparas, Miller and Sevcik ("LIMBO: Scalable Clustering of
+// Categorical Data", EDBT 2004), the second baseline of the paper's
+// Tables 2 and 3.
+//
+// Each tuple t is represented as a probability distribution p(A|t) over
+// attribute=value items (uniform over the tuple's present values). The
+// information loss of merging two clusters c, d with weights w_c, w_d is
+//
+//	δI(c,d) = (w_c + w_d)/N · JS_{π}(p(A|c), p(A|d)),
+//
+// the weighted Jensen–Shannon divergence with π = (w_c, w_d)/(w_c+w_d).
+// LIMBO runs in three phases: (1) a summarization pass that folds each
+// tuple into an existing cluster feature when the merge loss is below a
+// φ-controlled threshold, (2) agglomerative information-bottleneck (AIB)
+// merging of the summaries down to k clusters, and (3) a scan assigning
+// every tuple to the cluster whose merge loss is smallest.
+//
+// Phase 1 builds the DCF tree of the LIMBO paper (a B-tree-like index of
+// cluster features with φ-thresholded absorption, farthest-pair splits, and
+// threshold-doubling rebuilds under a space bound); a simpler flat summary
+// buffer with the same merge test is available via Options.FlatBuffer.
+// φ = 0 degenerates to exact AIB over the distinct tuples, as in the
+// original.
+package limbo
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"clusteragg/internal/dataset"
+	"clusteragg/internal/partition"
+)
+
+// Options configures Run.
+type Options struct {
+	// K is the target number of clusters (required).
+	K int
+	// Phi controls Phase-1 summarization: a tuple is folded into an
+	// existing cluster feature when the merge's information loss is at most
+	// Phi/n times the current summary "mass" heuristic. Phi = 0 merges only
+	// zero-loss (identical-distribution) tuples, i.e. exact AIB over
+	// distinct tuples.
+	Phi float64
+	// MaxSummaries caps the number of Phase-1 summaries. When the budget is
+	// exceeded the threshold doubles and summarization compacts, following
+	// the LIMBO space-bound strategy. Zero means 512.
+	MaxSummaries int
+	// Branching is the DCF-tree branching factor B. Zero means 8.
+	Branching int
+	// FlatBuffer replaces the DCF tree of the LIMBO paper with a flat
+	// summary buffer using the same φ merge test — simpler and, for small
+	// summary budgets, nearly identical in output. The tree is the default.
+	FlatBuffer bool
+}
+
+// Run clusters the categorical columns of t with LIMBO. Missing values are
+// simply absent from the tuple's distribution.
+func Run(t *dataset.Table, opts Options) (partition.Labels, error) {
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("limbo: K must be positive, got %d", opts.K)
+	}
+	if opts.Phi < 0 {
+		return nil, fmt.Errorf("limbo: negative phi %v", opts.Phi)
+	}
+	n := t.N()
+	if opts.K > n {
+		return nil, fmt.Errorf("limbo: K=%d exceeds %d tuples", opts.K, n)
+	}
+	maxSummaries := opts.MaxSummaries
+	if maxSummaries <= 0 {
+		maxSummaries = 512
+	}
+
+	tuples, err := distributions(t)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: summarize, with the DCF tree (default) or the flat buffer.
+	var summaries []*feature
+	if opts.FlatBuffer {
+		summaries = summarize(tuples, opts.Phi, float64(n), maxSummaries)
+	} else {
+		branching := opts.Branching
+		if branching <= 0 {
+			branching = 8
+		}
+		summaries = summarizeTree(tuples, opts.Phi, float64(n), branching, maxSummaries)
+	}
+
+	// Phase 2: AIB over the summaries down to K clusters.
+	k := opts.K
+	if k > len(summaries) {
+		k = len(summaries)
+	}
+	group := aib(summaries, float64(n), k)
+
+	// Phase 3: assign every tuple to the cluster with minimal merge loss.
+	clusters := make([]*feature, k)
+	for si, s := range summaries {
+		g := group[si]
+		if clusters[g] == nil {
+			clusters[g] = &feature{dist: map[int]float64{}}
+		}
+		clusters[g].absorb(s)
+	}
+	labels := make(partition.Labels, n)
+	for i, tp := range tuples {
+		best, bestLoss := 0, math.Inf(1)
+		for c, cf := range clusters {
+			if cf == nil {
+				continue
+			}
+			if l := mergeLoss(tp, cf, float64(n)); l < bestLoss {
+				best, bestLoss = c, l
+			}
+		}
+		labels[i] = best
+	}
+	return labels.Normalize(), nil
+}
+
+// feature is a cluster feature: a weighted distribution over item ids.
+type feature struct {
+	weight float64
+	dist   map[int]float64 // item id -> probability
+}
+
+// absorb merges other into f (weighted mixture).
+func (f *feature) absorb(other *feature) {
+	total := f.weight + other.weight
+	if total == 0 {
+		return
+	}
+	wf, wo := f.weight/total, other.weight/total
+	for item, p := range f.dist {
+		f.dist[item] = p * wf
+	}
+	for item, p := range other.dist {
+		f.dist[item] += p * wo
+	}
+	f.weight = total
+}
+
+// clone returns a deep copy of f.
+func (f *feature) clone() *feature {
+	c := &feature{weight: f.weight, dist: make(map[int]float64, len(f.dist))}
+	for k, v := range f.dist {
+		c.dist[k] = v
+	}
+	return c
+}
+
+// mergeLoss returns δI(a,b) = (w_a+w_b)/n · JS_π(p_a, p_b).
+func mergeLoss(a, b *feature, n float64) float64 {
+	wa, wb := a.weight, b.weight
+	total := wa + wb
+	if total == 0 {
+		return 0
+	}
+	pa, pb := wa/total, wb/total
+	// JS = H(mix) - pa·H(a) - pb·H(b), computed via KL to the mixture.
+	var js float64
+	for item, p := range a.dist {
+		q := b.dist[item]
+		mix := pa*p + pb*q
+		if p > 0 {
+			js += pa * p * math.Log(p/mix)
+		}
+	}
+	for item, q := range b.dist {
+		p := a.dist[item]
+		mix := pa*p + pb*q
+		if q > 0 {
+			js += pb * q * math.Log(q/mix)
+		}
+	}
+	if js < 0 {
+		js = 0 // numeric guard
+	}
+	return total / n * js
+}
+
+// distributions converts each row into a uniform distribution over its
+// present attribute=value items.
+func distributions(t *dataset.Table) ([]*feature, error) {
+	cats := t.CategoricalColumns()
+	if len(cats) == 0 {
+		return nil, fmt.Errorf("limbo: table %q has no categorical columns", t.Name)
+	}
+	n := t.N()
+	out := make([]*feature, n)
+	for i := range out {
+		out[i] = &feature{weight: 1, dist: map[int]float64{}}
+	}
+	base := 0
+	for _, c := range cats {
+		for row := 0; row < n; row++ {
+			if v := c.Values[row]; v != dataset.MissingValue {
+				out[row].dist[base+v] = 1
+			}
+		}
+		base += c.Cardinality()
+	}
+	for _, f := range out {
+		if len(f.dist) == 0 {
+			continue // all-missing row keeps an empty distribution
+		}
+		p := 1 / float64(len(f.dist))
+		for item := range f.dist {
+			f.dist[item] = p
+		}
+	}
+	return out, nil
+}
+
+// summarize is Phase 1: fold tuples into cluster features under the φ
+// threshold.
+func summarize(tuples []*feature, phi, n float64, maxSummaries int) []*feature {
+	threshold := phi / n
+	var summaries []*feature
+	for _, tp := range tuples {
+		best, bestLoss := -1, math.Inf(1)
+		for si, s := range summaries {
+			if l := mergeLoss(tp, s, n); l < bestLoss {
+				best, bestLoss = si, l
+			}
+		}
+		if best >= 0 && bestLoss <= threshold {
+			summaries[best].absorb(tp)
+			continue
+		}
+		if len(summaries) >= maxSummaries {
+			// Space bound hit: double the threshold and merge the closest
+			// pair of summaries, then place the tuple in its best summary.
+			if threshold == 0 {
+				threshold = 1e-12
+			} else {
+				threshold *= 2
+			}
+			a, b := closestPair(summaries, n)
+			summaries[a].absorb(summaries[b])
+			last := len(summaries) - 1
+			summaries[b] = summaries[last]
+			summaries = summaries[:last]
+			// Retry this tuple against the compacted buffer.
+			best, bestLoss = -1, math.Inf(1)
+			for si, s := range summaries {
+				if l := mergeLoss(tp, s, n); l < bestLoss {
+					best, bestLoss = si, l
+				}
+			}
+			if best >= 0 && bestLoss <= threshold {
+				summaries[best].absorb(tp)
+				continue
+			}
+		}
+		summaries = append(summaries, tp.clone())
+	}
+	return summaries
+}
+
+func closestPair(summaries []*feature, n float64) (int, int) {
+	ba, bb, bl := 0, 1, math.Inf(1)
+	for a := 0; a < len(summaries); a++ {
+		for b := a + 1; b < len(summaries); b++ {
+			if l := mergeLoss(summaries[a], summaries[b], n); l < bl {
+				ba, bb, bl = a, b, l
+			}
+		}
+	}
+	return ba, bb
+}
+
+// aib runs agglomerative information-bottleneck merging over the summaries
+// until k groups remain; returns the group index of each summary.
+func aib(summaries []*feature, n float64, k int) []int {
+	s := len(summaries)
+	group := make([]int, s)
+	for i := range group {
+		group[i] = i
+	}
+	if s <= k {
+		return group
+	}
+	work := make([]*feature, s)
+	for i, f := range summaries {
+		work[i] = f.clone()
+	}
+	alive := make([]bool, s)
+	version := make([]int, s)
+	for i := range alive {
+		alive[i] = true
+	}
+	h := &lossHeap{}
+	for a := 0; a < s; a++ {
+		for b := a + 1; b < s; b++ {
+			heap.Push(h, lossCand{a: a, b: b, loss: mergeLoss(work[a], work[b], n)})
+		}
+	}
+	remaining := s
+	for remaining > k && h.Len() > 0 {
+		c := heap.Pop(h).(lossCand)
+		if !alive[c.a] || !alive[c.b] || version[c.a] != c.verA || version[c.b] != c.verB {
+			continue
+		}
+		work[c.a].absorb(work[c.b])
+		alive[c.b] = false
+		version[c.a]++
+		for i := range group {
+			if group[i] == c.b {
+				group[i] = c.a
+			}
+		}
+		remaining--
+		for x := 0; x < s; x++ {
+			if !alive[x] || x == c.a {
+				continue
+			}
+			lo, hi := c.a, x
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			heap.Push(h, lossCand{
+				a: lo, b: hi, verA: version[lo], verB: version[hi],
+				loss: mergeLoss(work[c.a], work[x], n),
+			})
+		}
+	}
+	// Normalize group ids to 0..k-1.
+	remap := make(map[int]int)
+	for i, g := range group {
+		if _, ok := remap[g]; !ok {
+			remap[g] = len(remap)
+		}
+		group[i] = remap[g]
+	}
+	return group
+}
+
+type lossCand struct {
+	a, b       int
+	verA, verB int
+	loss       float64
+}
+
+type lossHeap []lossCand
+
+func (h lossHeap) Len() int      { return len(h) }
+func (h lossHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h lossHeap) Less(i, j int) bool {
+	if h[i].loss != h[j].loss {
+		return h[i].loss < h[j].loss
+	}
+	if h[i].a != h[j].a {
+		return h[i].a < h[j].a
+	}
+	return h[i].b < h[j].b
+}
+func (h *lossHeap) Push(x any) { *h = append(*h, x.(lossCand)) }
+func (h *lossHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}

@@ -1,0 +1,195 @@
+package limbo
+
+import (
+	"math"
+	"testing"
+
+	"clusteragg/internal/dataset"
+	"clusteragg/internal/eval"
+	"clusteragg/internal/partition"
+)
+
+func mkCol(name string, vals []int, card int) *dataset.Column {
+	return &dataset.Column{Name: name, Kind: dataset.Categorical, Values: vals, Names: make([]string, card)}
+}
+
+func twoGroupTable() *dataset.Table {
+	return &dataset.Table{
+		Name: "tiny",
+		Cols: []*dataset.Column{
+			mkCol("a", []int{0, 0, 0, 0, 1, 1, 1, 1}, 2),
+			mkCol("b", []int{0, 0, 0, 1, 1, 1, 1, 1}, 2),
+			mkCol("c", []int{0, 0, 0, 0, 1, 1, 1, 0}, 2),
+			mkCol("d", []int{0, 1, 0, 0, 1, 1, 1, 1}, 2),
+		},
+		Class:      partition.Labels{0, 0, 0, 0, 1, 1, 1, 1},
+		ClassNames: []string{"A", "B"},
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tab := twoGroupTable()
+	if _, err := Run(tab, Options{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Run(tab, Options{K: 100}); err == nil {
+		t.Error("K>n accepted")
+	}
+	if _, err := Run(tab, Options{K: 2, Phi: -1}); err == nil {
+		t.Error("negative phi accepted")
+	}
+	numOnly := &dataset.Table{Name: "n", Cols: []*dataset.Column{
+		{Name: "x", Kind: dataset.Numeric, Floats: []float64{1, 2}},
+	}}
+	if _, err := Run(numOnly, Options{K: 1}); err == nil {
+		t.Error("numeric-only table accepted")
+	}
+}
+
+func TestRunSeparatesGroups(t *testing.T) {
+	tab := twoGroupTable()
+	labels, err := Run(tab, Options{K: 2, Phi: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels.K() != 2 {
+		t.Fatalf("K = %d, want 2 (%v)", labels.K(), labels)
+	}
+	ec, err := eval.ClassificationError(labels, tab.Class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec > 0.25 {
+		t.Errorf("E_C = %v, want near 0 (labels %v)", ec, labels)
+	}
+}
+
+func TestMergeLossProperties(t *testing.T) {
+	a := &feature{weight: 1, dist: map[int]float64{0: 0.5, 1: 0.5}}
+	b := &feature{weight: 1, dist: map[int]float64{0: 0.5, 1: 0.5}}
+	if l := mergeLoss(a, b, 2); l > 1e-12 {
+		t.Errorf("identical distributions have loss %v, want 0", l)
+	}
+	c := &feature{weight: 1, dist: map[int]float64{2: 0.5, 3: 0.5}}
+	if l := mergeLoss(a, c, 2); l <= 0 {
+		t.Errorf("disjoint distributions have loss %v, want > 0", l)
+	}
+	// Symmetry.
+	d := &feature{weight: 3, dist: map[int]float64{0: 0.25, 2: 0.75}}
+	if l1, l2 := mergeLoss(a, d, 4), mergeLoss(d, a, 4); math.Abs(l1-l2) > 1e-12 {
+		t.Errorf("mergeLoss not symmetric: %v vs %v", l1, l2)
+	}
+	// JS is bounded by log 2, so loss <= total/n * log 2.
+	if l := mergeLoss(a, c, 2); l > math.Log(2)+1e-12 {
+		t.Errorf("loss %v above JS bound", l)
+	}
+}
+
+func TestAbsorbKeepsDistribution(t *testing.T) {
+	a := &feature{weight: 1, dist: map[int]float64{0: 1}}
+	b := &feature{weight: 1, dist: map[int]float64{1: 1}}
+	a.absorb(b)
+	if a.weight != 2 {
+		t.Errorf("weight = %v", a.weight)
+	}
+	var sum float64
+	for _, p := range a.dist {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("distribution sums to %v", sum)
+	}
+	if math.Abs(a.dist[0]-0.5) > 1e-12 || math.Abs(a.dist[1]-0.5) > 1e-12 {
+		t.Errorf("mixture = %v", a.dist)
+	}
+}
+
+func TestPhiZeroMergesOnlyIdenticals(t *testing.T) {
+	tuples := []*feature{
+		{weight: 1, dist: map[int]float64{0: 0.5, 1: 0.5}},
+		{weight: 1, dist: map[int]float64{0: 0.5, 1: 0.5}},
+		{weight: 1, dist: map[int]float64{2: 0.5, 3: 0.5}},
+	}
+	summaries := summarize(tuples, 0, 3, 100)
+	if len(summaries) != 2 {
+		t.Errorf("phi=0 produced %d summaries, want 2", len(summaries))
+	}
+	if summaries[0].weight != 2 {
+		t.Errorf("first summary weight %v, want 2", summaries[0].weight)
+	}
+}
+
+func TestLargePhiCollapsesSummaries(t *testing.T) {
+	tab := dataset.SyntheticVotes(1)
+	few, err := Run(tab, Options{K: 2, Phi: 5.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(few) != tab.N() {
+		t.Fatalf("%d labels", len(few))
+	}
+	if few.K() > 2 {
+		t.Errorf("K = %d, want <= 2", few.K())
+	}
+}
+
+func TestMaxSummariesBound(t *testing.T) {
+	tab := dataset.SyntheticVotes(2)
+	labels, err := Run(tab, Options{K: 2, Phi: 0, MaxSummaries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != tab.N() {
+		t.Fatalf("%d labels", len(labels))
+	}
+	ec, err := eval.ClassificationError(labels, tab.Class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even with a tight space bound the two-party structure is easy.
+	if ec > 0.30 {
+		t.Errorf("E_C = %v with bounded summaries", ec)
+	}
+}
+
+func TestRunOnSyntheticVotes(t *testing.T) {
+	tab := dataset.SyntheticVotes(3)
+	labels, err := Run(tab, Options{K: 2, Phi: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := eval.ClassificationError(labels, tab.Class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec > 0.30 {
+		t.Errorf("LIMBO E_C = %v on votes stand-in, want < 0.30", ec)
+	}
+}
+
+func TestRunWithAllMissingRow(t *testing.T) {
+	tab := twoGroupTable()
+	for _, c := range tab.Cols {
+		c.Values[0] = dataset.MissingValue
+	}
+	labels, err := Run(tab, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 8 {
+		t.Fatalf("%d labels", len(labels))
+	}
+}
+
+func TestAIBGroupCount(t *testing.T) {
+	summaries := []*feature{
+		{weight: 1, dist: map[int]float64{0: 1}},
+		{weight: 1, dist: map[int]float64{0: 0.9, 1: 0.1}},
+		{weight: 1, dist: map[int]float64{5: 1}},
+		{weight: 1, dist: map[int]float64{5: 0.9, 6: 0.1}},
+	}
+	group := aib(summaries, 4, 2)
+	if group[0] != group[1] || group[2] != group[3] || group[0] == group[2] {
+		t.Errorf("aib grouping = %v", group)
+	}
+}

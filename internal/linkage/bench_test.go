@@ -1,0 +1,25 @@
+package linkage
+
+import (
+	"testing"
+
+	"clusteragg/internal/points"
+)
+
+func benchScene(b *testing.B) []points.Point {
+	b.Helper()
+	return points.SevenClusterScene(1, 0.5).Points
+}
+
+func BenchmarkCluster(b *testing.B) {
+	pts := benchScene(b)
+	for _, m := range Methods() {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Cluster(pts, m, 7); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

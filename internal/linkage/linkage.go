@@ -1,0 +1,191 @@
+// Package linkage implements agglomerative hierarchical clustering of
+// two-dimensional points with the four linkage criteria the paper's
+// Figure 3 experiment draws its input clusterings from: single, complete,
+// average, and Ward. All four are expressed through the Lance–Williams
+// dissimilarity update, giving an O(n² log n) implementation with a lazy
+// candidate heap.
+package linkage
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"clusteragg/internal/partition"
+	"clusteragg/internal/points"
+)
+
+// Method selects the linkage criterion.
+type Method int
+
+const (
+	// Single linkage: cluster distance is the minimum pairwise distance.
+	Single Method = iota
+	// Complete linkage: cluster distance is the maximum pairwise distance.
+	Complete
+	// Average linkage (UPGMA): mean pairwise distance.
+	Average
+	// Ward linkage: minimizes the within-cluster variance increase
+	// (computed on squared Euclidean distances).
+	Ward
+)
+
+// String returns the linkage name.
+func (m Method) String() string {
+	switch m {
+	case Single:
+		return "single"
+	case Complete:
+		return "complete"
+	case Average:
+		return "average"
+	case Ward:
+		return "ward"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Methods lists all linkage criteria.
+func Methods() []Method { return []Method{Single, Complete, Average, Ward} }
+
+// Merge records one dendrogram step: clusters A and B (slot ids; leaves are
+// 0..n-1) merged at the given height into a cluster that keeps slot A.
+type Merge struct {
+	A, B   int
+	Height float64
+}
+
+// Cluster cuts the dendrogram of pts at exactly k clusters and returns the
+// normalized labels.
+func Cluster(pts []points.Point, method Method, k int) (partition.Labels, error) {
+	labels, _, err := ClusterWithDendrogram(pts, method, k)
+	return labels, err
+}
+
+// ClusterWithDendrogram is Cluster but also returns the merge history
+// (n−k merges, in order).
+func ClusterWithDendrogram(pts []points.Point, method Method, k int) (partition.Labels, []Merge, error) {
+	n := len(pts)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("linkage: k must be positive, got %d", k)
+	}
+	if k > n {
+		return nil, nil, fmt.Errorf("linkage: k=%d exceeds number of points %d", k, n)
+	}
+	if n == 0 {
+		return partition.Labels{}, nil, nil
+	}
+
+	squared := method == Ward
+	d := make([]float64, n*(n-1)/2)
+	idx := func(u, v int) int {
+		if u > v {
+			u, v = v, u
+		}
+		return u*(2*n-u-1)/2 + (v - u - 1)
+	}
+	h := &candHeap{}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dist := points.Dist(pts[u], pts[v])
+			if squared {
+				dist *= dist
+			}
+			d[idx(u, v)] = dist
+			heap.Push(h, cand{a: u, b: v, d: dist})
+		}
+	}
+
+	size := make([]int, n)
+	version := make([]int, n)
+	alive := make([]bool, n)
+	for i := range size {
+		size[i] = 1
+		alive[i] = true
+	}
+	labels := partition.Singletons(n)
+	var merges []Merge
+
+	clusters := n
+	for clusters > k {
+		c := heap.Pop(h).(cand)
+		if !alive[c.a] || !alive[c.b] || version[c.a] != c.verA || version[c.b] != c.verB {
+			continue
+		}
+		a, b := c.a, c.b
+		dab := d[idx(a, b)]
+		merges = append(merges, Merge{A: a, B: b, Height: c.d})
+		// Lance–Williams update of d(a∪b, x) for every alive x.
+		for x := 0; x < n; x++ {
+			if !alive[x] || x == a || x == b {
+				continue
+			}
+			dax, dbx := d[idx(a, x)], d[idx(b, x)]
+			var nd float64
+			switch method {
+			case Single:
+				nd = math.Min(dax, dbx)
+			case Complete:
+				nd = math.Max(dax, dbx)
+			case Average:
+				na, nb := float64(size[a]), float64(size[b])
+				nd = (na*dax + nb*dbx) / (na + nb)
+			case Ward:
+				na, nb, nx := float64(size[a]), float64(size[b]), float64(size[x])
+				s := na + nb + nx
+				nd = ((na+nx)*dax + (nb+nx)*dbx - nx*dab) / s
+			default:
+				return nil, nil, fmt.Errorf("linkage: unknown method %v", method)
+			}
+			d[idx(a, x)] = nd
+		}
+		alive[b] = false
+		size[a] += size[b]
+		version[a]++
+		for x := 0; x < n; x++ {
+			if !alive[x] || x == a {
+				continue
+			}
+			lo, hi := a, x
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			heap.Push(h, cand{a: lo, b: hi, verA: version[lo], verB: version[hi], d: d[idx(a, x)]})
+		}
+		for i := range labels {
+			if labels[i] == b {
+				labels[i] = a
+			}
+		}
+		clusters--
+	}
+	return labels.Normalize(), merges, nil
+}
+
+type cand struct {
+	a, b       int
+	verA, verB int
+	d          float64
+}
+
+type candHeap []cand
+
+func (h candHeap) Len() int      { return len(h) }
+func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].d != h[j].d {
+		return h[i].d < h[j].d
+	}
+	if h[i].a != h[j].a {
+		return h[i].a < h[j].a
+	}
+	return h[i].b < h[j].b
+}
+func (h *candHeap) Push(x any) { *h = append(*h, x.(cand)) }
+func (h *candHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}

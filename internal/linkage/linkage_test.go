@@ -1,0 +1,197 @@
+package linkage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clusteragg/internal/partition"
+	"clusteragg/internal/points"
+)
+
+func blobs(t *testing.T, seed int64, k, per int) *points.Dataset {
+	t.Helper()
+	d, err := points.GaussianBlobs(seed, points.GaussianBlobsOptions{
+		K: k, PerCluster: per, Std: 0.02, MinSeparation: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestClusterValidation(t *testing.T) {
+	pts := []points.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	if _, err := Cluster(pts, Single, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Cluster(pts, Single, 3); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := Cluster(nil, Single, 1); err == nil {
+		t.Error("k=1 on empty input accepted (k>n)")
+	}
+}
+
+func TestClusterRecoversBlobsAllMethods(t *testing.T) {
+	d := blobs(t, 31, 3, 40)
+	for _, m := range Methods() {
+		t.Run(m.String(), func(t *testing.T) {
+			labels, err := Cluster(d.Points, m, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if labels.K() != 3 {
+				t.Fatalf("found %d clusters, want 3", labels.K())
+			}
+			ri, err := partition.RandIndex(labels, d.Truth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ri < 0.99 {
+				t.Errorf("Rand index %v on well-separated blobs", ri)
+			}
+		})
+	}
+}
+
+func TestSingleLinkageChains(t *testing.T) {
+	// Two dense groups connected by a chain: single linkage follows the
+	// chain and merges them; complete linkage does not.
+	var pts []points.Point
+	for i := 0; i < 10; i++ {
+		pts = append(pts, points.Point{X: float64(i) * 0.1, Y: 0})
+	}
+	for i := 0; i < 10; i++ {
+		pts = append(pts, points.Point{X: 5 + float64(i)*0.1, Y: 0})
+	}
+	// chain between them at the same spacing
+	for i := 1; i < 42; i++ {
+		pts = append(pts, points.Point{X: 0.9 + float64(i)*0.1, Y: 0})
+	}
+	// far-away third group
+	for i := 0; i < 5; i++ {
+		pts = append(pts, points.Point{X: float64(i) * 0.1, Y: 50})
+	}
+
+	single, err := Cluster(pts, Single, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single linkage: the chain keeps everything on y=0 in one cluster.
+	if single[0] != single[10] {
+		t.Error("single linkage split the chained groups")
+	}
+	if single[0] == single[len(pts)-1] {
+		t.Error("single linkage merged the far group")
+	}
+
+	complete, err := Cluster(pts, Complete, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete[0] == complete[10] {
+		t.Error("complete linkage chained across the bridge at k=3")
+	}
+}
+
+func TestDendrogramShape(t *testing.T) {
+	d := blobs(t, 37, 2, 10)
+	labels, merges, err := ClusterWithDendrogram(d.Points, Average, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merges) != d.N()-1 {
+		t.Errorf("%d merges, want n-1 = %d", len(merges), d.N()-1)
+	}
+	if labels.K() != 1 {
+		t.Errorf("k=1 cut has %d clusters", labels.K())
+	}
+	// Average-linkage merge heights between two separated blobs must end
+	// with one large jump.
+	last := merges[len(merges)-1].Height
+	prev := merges[len(merges)-2].Height
+	if last < 5*prev {
+		t.Errorf("no separation jump in dendrogram: last %v, prev %v", last, prev)
+	}
+}
+
+func TestWardMatchesVarianceIntuition(t *testing.T) {
+	// Ward on equal-size well-separated blobs should recover them exactly
+	// and produce strictly increasing heights at the top of the tree.
+	d := blobs(t, 41, 4, 25)
+	labels, err := Cluster(d.Points, Ward, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := partition.RandIndex(labels, d.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri < 0.99 {
+		t.Errorf("ward Rand index %v", ri)
+	}
+}
+
+func TestClusterEveryKProducesExactlyK(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pts := make([]points.Point, 30)
+	for i := range pts {
+		pts[i] = points.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	for _, m := range Methods() {
+		for k := 1; k <= len(pts); k += 7 {
+			labels, err := Cluster(pts, m, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if labels.K() != k {
+				t.Errorf("%v k=%d produced %d clusters", m, k, labels.K())
+			}
+			if !labels.IsNormalized() {
+				t.Errorf("%v k=%d labels not normalized", m, k)
+			}
+		}
+	}
+}
+
+func TestKEqualsNIsSingletons(t *testing.T) {
+	pts := []points.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}
+	labels, err := Cluster(pts, Average, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels.K() != 3 {
+		t.Errorf("k=n gave %d clusters", labels.K())
+	}
+}
+
+func TestEmptyInputKZeroRejected(t *testing.T) {
+	if _, err := Cluster(nil, Average, 0); err == nil {
+		t.Error("empty input with k=0 accepted")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	names := map[Method]string{Single: "single", Complete: "complete", Average: "average", Ward: "ward", Method(9): "Method(9)"}
+	for m, want := range names {
+		if got := m.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestHeightsNonNegative(t *testing.T) {
+	d := blobs(t, 47, 3, 15)
+	for _, m := range Methods() {
+		_, merges, err := ClusterWithDendrogram(d.Points, m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, mg := range merges {
+			if mg.Height < 0 || math.IsNaN(mg.Height) {
+				t.Errorf("%v merge %d has height %v", m, i, mg.Height)
+			}
+		}
+	}
+}

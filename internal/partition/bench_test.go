@@ -1,0 +1,35 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPair(n int) (Labels, Labels) {
+	rng := rand.New(rand.NewSource(1))
+	a := make(Labels, n)
+	b := make(Labels, n)
+	for i := range a {
+		a[i] = rng.Intn(10)
+		b[i] = rng.Intn(10)
+	}
+	return a, b
+}
+
+func BenchmarkDistance(b *testing.B) {
+	x, y := benchPair(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Distance(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	x, _ := benchPair(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Normalize()
+	}
+}

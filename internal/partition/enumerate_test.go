@@ -1,0 +1,80 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBell(t *testing.T) {
+	want := []uint64{1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975}
+	for n, w := range want {
+		if got := Bell(n); got != w {
+			t.Errorf("Bell(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestBellPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bell(-1) did not panic")
+		}
+	}()
+	Bell(-1)
+}
+
+func TestEnumeratePartitionsCount(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		count := uint64(0)
+		EnumeratePartitions(n, func(Labels) bool {
+			count++
+			return true
+		})
+		if count != Bell(n) {
+			t.Errorf("n=%d: enumerated %d partitions, want Bell(n)=%d", n, count, Bell(n))
+		}
+	}
+}
+
+func TestEnumeratePartitionsN3(t *testing.T) {
+	var got []Labels
+	EnumeratePartitions(3, func(l Labels) bool {
+		got = append(got, l.Clone())
+		return true
+	})
+	want := []Labels{
+		{0, 0, 0}, {0, 0, 1}, {0, 1, 0}, {0, 1, 1}, {0, 1, 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("partitions of 3 = %v, want %v", got, want)
+	}
+}
+
+func TestEnumeratePartitionsValidAndDistinct(t *testing.T) {
+	seen := make(map[string]bool)
+	EnumeratePartitions(6, func(l Labels) bool {
+		if !l.IsNormalized() {
+			t.Fatalf("partition %v not normalized", l)
+		}
+		key := ""
+		for _, v := range l {
+			key += string(rune('a' + v))
+		}
+		if seen[key] {
+			t.Fatalf("partition %v enumerated twice", l)
+		}
+		seen[key] = true
+		return true
+	})
+}
+
+func TestEnumeratePartitionsEarlyStop(t *testing.T) {
+	count := 0
+	EnumeratePartitions(6, func(Labels) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop after %d calls, want 10", count)
+	}
+}

@@ -1,0 +1,51 @@
+package partition_test
+
+import (
+	"fmt"
+	"log"
+
+	"clusteragg/internal/partition"
+)
+
+// Distance counts the unordered object pairs two clusterings disagree on.
+func ExampleDistance() {
+	a := partition.Labels{0, 0, 1, 1}
+	b := partition.Labels{0, 1, 1, 0}
+	d, err := partition.Distance(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(d)
+	// Output: 4
+}
+
+// Normalize renumbers labels to 0..k-1 in first-appearance order, keeping
+// Missing entries.
+func ExampleLabels_Normalize() {
+	l := partition.Labels{7, 3, 7, partition.Missing, 9}
+	fmt.Println(l.Normalize())
+	// Output: [0 1 0 -1 2]
+}
+
+// FromClusters builds a label vector from explicit groups; unmentioned
+// objects are Missing.
+func ExampleFromClusters() {
+	l, err := partition.FromClusters(5, [][]int{{0, 2}, {1, 4}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(l)
+	// Output: [0 1 0 -1 1]
+}
+
+// EnumeratePartitions visits every set partition as a restricted-growth
+// string; Bell(n) counts them.
+func ExampleEnumeratePartitions() {
+	count := 0
+	partition.EnumeratePartitions(4, func(partition.Labels) bool {
+		count++
+		return true
+	})
+	fmt.Println(count, partition.Bell(4))
+	// Output: 15 15
+}

@@ -1,0 +1,92 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+)
+
+// decodeLabels turns fuzz bytes into a labels vector with occasional
+// missing entries.
+func decodeLabels(data []byte) Labels {
+	l := make(Labels, len(data))
+	for i, b := range data {
+		if b == 0xff {
+			l[i] = Missing
+		} else {
+			l[i] = int(b) % 11
+		}
+	}
+	return l
+}
+
+// FuzzNormalize checks that normalization is idempotent, preserves the
+// co-clustering relation, and keeps K stable.
+func FuzzNormalize(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1})
+	f.Add([]byte{0xff, 3, 3, 0xff, 9})
+	f.Add([]byte{5, 4, 3, 2, 1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		l := decodeLabels(data)
+		norm := l.Normalize()
+		if !norm.IsNormalized() {
+			t.Fatalf("Normalize(%v) = %v not normalized", l, norm)
+		}
+		if !reflect.DeepEqual(norm, norm.Normalize()) {
+			t.Fatalf("Normalize not idempotent on %v", l)
+		}
+		if l.K() != norm.K() {
+			t.Fatalf("K changed: %d -> %d", l.K(), norm.K())
+		}
+		for u := 0; u < len(l); u++ {
+			for v := u + 1; v < len(l); v++ {
+				if l.SameCluster(u, v) != norm.SameCluster(u, v) {
+					t.Fatalf("co-clustering of (%d,%d) changed by Normalize", u, v)
+				}
+			}
+		}
+	})
+}
+
+// FuzzDistance checks the metric axioms of the Mirkin distance on fuzzed
+// clusterings (identity, symmetry, agreement with the brute-force count).
+func FuzzDistance(f *testing.F) {
+	f.Add([]byte{0, 0, 1}, []byte{1, 0, 0})
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0xff, 1}, []byte{2, 0xff})
+
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		n := len(rawA)
+		if len(rawB) < n {
+			n = len(rawB)
+		}
+		if n > 128 {
+			n = 128
+		}
+		a := decodeLabels(rawA[:n])
+		b := decodeLabels(rawB[:n])
+
+		daa, err := Distance(a, a)
+		if err != nil || daa != 0 {
+			t.Fatalf("d(a,a) = %d, %v", daa, err)
+		}
+		dab, err := Distance(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dba, err := Distance(b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dab != dba {
+			t.Fatalf("d(a,b)=%d != d(b,a)=%d", dab, dba)
+		}
+		if dab != bruteDistance(a, b) {
+			t.Fatalf("d(a,b)=%d != brute=%d", dab, bruteDistance(a, b))
+		}
+	})
+}

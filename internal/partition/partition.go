@@ -1,0 +1,252 @@
+// Package partition provides the basic representation of clusterings used
+// throughout the repository: label vectors, normalization, contingency
+// tables, the Mirkin (pairwise disagreement) distance, and utilities for
+// enumerating set partitions.
+//
+// A clustering of n objects is a Labels vector of length n. Labels are
+// arbitrary non-negative integers; Normalize maps them to 0..k-1 in order of
+// first appearance. The special label Missing (-1) marks objects for which a
+// clustering carries no information; it appears only in clusterings derived
+// from categorical attributes with missing values and is handled by the
+// aggregation layer (package core).
+package partition
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Missing is the label used for objects a clustering carries no information
+// about (e.g. a missing categorical value). Missing labels never match each
+// other: two objects both labeled Missing are not considered co-clustered.
+const Missing = -1
+
+// Labels is a clustering represented as a cluster label per object.
+type Labels []int
+
+// ErrLengthMismatch is returned when two clusterings over different numbers
+// of objects are compared.
+var ErrLengthMismatch = errors.New("partition: clusterings have different lengths")
+
+// K returns the number of distinct non-missing labels.
+func (l Labels) K() int {
+	seen := make(map[int]struct{})
+	for _, v := range l {
+		if v != Missing {
+			seen[v] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// Normalize returns a copy of l with labels renumbered to 0..k-1 in order of
+// first appearance. Missing labels are preserved. Normalize of a normalized
+// vector is the identity.
+func (l Labels) Normalize() Labels {
+	out := make(Labels, len(l))
+	remap := make(map[int]int)
+	for i, v := range l {
+		if v == Missing {
+			out[i] = Missing
+			continue
+		}
+		nv, ok := remap[v]
+		if !ok {
+			nv = len(remap)
+			remap[v] = nv
+		}
+		out[i] = nv
+	}
+	return out
+}
+
+// IsNormalized reports whether labels already occupy 0..k-1 in order of
+// first appearance.
+func (l Labels) IsNormalized() bool {
+	next := 0
+	for _, v := range l {
+		switch {
+		case v == Missing:
+		case v == next:
+			next++
+		case v > next || v < 0:
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks that the labels form a proper clustering: every label is
+// either Missing or non-negative.
+func (l Labels) Validate() error {
+	for i, v := range l {
+		if v < Missing {
+			return fmt.Errorf("partition: invalid label %d at index %d", v, i)
+		}
+	}
+	return nil
+}
+
+// Clone returns a copy of l.
+func (l Labels) Clone() Labels {
+	out := make(Labels, len(l))
+	copy(out, l)
+	return out
+}
+
+// SameCluster reports whether objects u and v are co-clustered. Objects with
+// Missing labels are never co-clustered with anything.
+func (l Labels) SameCluster(u, v int) bool {
+	return l[u] != Missing && l[u] == l[v]
+}
+
+// Clusters groups object indices by cluster label. Missing-labeled objects
+// are omitted. The result is indexed by normalized label order.
+func (l Labels) Clusters() [][]int {
+	norm := l.Normalize()
+	k := norm.K()
+	out := make([][]int, k)
+	for i, v := range norm {
+		if v == Missing {
+			continue
+		}
+		out[v] = append(out[v], i)
+	}
+	return out
+}
+
+// Sizes returns the size of each cluster in normalized label order.
+func (l Labels) Sizes() []int {
+	norm := l.Normalize()
+	sizes := make([]int, norm.K())
+	for _, v := range norm {
+		if v != Missing {
+			sizes[v]++
+		}
+	}
+	return sizes
+}
+
+// FromClusters builds a Labels vector of length n from explicit clusters.
+// Objects not mentioned in any cluster get the Missing label. An object
+// appearing in two clusters is an error.
+func FromClusters(n int, clusters [][]int) (Labels, error) {
+	out := make(Labels, n)
+	for i := range out {
+		out[i] = Missing
+	}
+	for ci, cluster := range clusters {
+		for _, obj := range cluster {
+			if obj < 0 || obj >= n {
+				return nil, fmt.Errorf("partition: object %d out of range [0,%d)", obj, n)
+			}
+			if out[obj] != Missing {
+				return nil, fmt.Errorf("partition: object %d in clusters %d and %d", obj, out[obj], ci)
+			}
+			out[obj] = ci
+		}
+	}
+	return out, nil
+}
+
+// Singletons returns the clustering that places each of n objects in its own
+// cluster.
+func Singletons(n int) Labels {
+	out := make(Labels, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Single returns the clustering that places all n objects in one cluster.
+func Single(n int) Labels {
+	return make(Labels, n)
+}
+
+// ContingencyTable is the k1×k2 matrix of co-occurrence counts between two
+// clusterings, along with the marginal cluster sizes. Objects with a Missing
+// label in either clustering are excluded and counted in Skipped.
+type ContingencyTable struct {
+	Counts  [][]int // Counts[i][j]: objects in cluster i of A and cluster j of B
+	RowSums []int   // cluster sizes of A (over included objects)
+	ColSums []int   // cluster sizes of B (over included objects)
+	N       int     // number of included objects
+	Skipped int     // objects excluded because of Missing labels
+}
+
+// Contingency builds the contingency table of two clusterings.
+func Contingency(a, b Labels) (*ContingencyTable, error) {
+	if len(a) != len(b) {
+		return nil, ErrLengthMismatch
+	}
+	na := a.Normalize()
+	nb := b.Normalize()
+	ka, kb := na.K(), nb.K()
+	t := &ContingencyTable{
+		Counts:  make([][]int, ka),
+		RowSums: make([]int, ka),
+		ColSums: make([]int, kb),
+	}
+	for i := range t.Counts {
+		t.Counts[i] = make([]int, kb)
+	}
+	for i := range na {
+		if na[i] == Missing || nb[i] == Missing {
+			t.Skipped++
+			continue
+		}
+		t.Counts[na[i]][nb[i]]++
+		t.RowSums[na[i]]++
+		t.ColSums[nb[i]]++
+		t.N++
+	}
+	return t, nil
+}
+
+// Distance returns the Mirkin distance between two clusterings: the number
+// of unordered object pairs {u,v} on which the clusterings disagree (one
+// places them together, the other apart). Objects with Missing labels in
+// either clustering are excluded from all pairs.
+//
+// This is the measure d_V of the paper restricted to unordered pairs; the
+// paper's sum over ordered pairs is exactly twice this value.
+func Distance(a, b Labels) (int, error) {
+	t, err := Contingency(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return t.distance(), nil
+}
+
+func (t *ContingencyTable) distance() int {
+	// pairs together in A: Σ C(rowSum,2); together in B: Σ C(colSum,2);
+	// together in both: Σ C(count,2). Disagreements = togetherA + togetherB
+	// - 2*togetherBoth.
+	together := func(counts []int) int {
+		s := 0
+		for _, c := range counts {
+			s += c * (c - 1) / 2
+		}
+		return s
+	}
+	var both int
+	for _, row := range t.Counts {
+		both += together(row)
+	}
+	return together(t.RowSums) + together(t.ColSums) - 2*both
+}
+
+// RandIndex returns the Rand index between two clusterings: the fraction of
+// unordered pairs on which they agree. Returns 1 for n < 2 included objects.
+func RandIndex(a, b Labels) (float64, error) {
+	t, err := Contingency(a, b)
+	if err != nil {
+		return 0, err
+	}
+	pairs := t.N * (t.N - 1) / 2
+	if pairs == 0 {
+		return 1, nil
+	}
+	return 1 - float64(t.distance())/float64(pairs), nil
+}

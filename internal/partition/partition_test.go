@@ -1,0 +1,288 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Labels
+		want Labels
+	}{
+		{"empty", Labels{}, Labels{}},
+		{"already normalized", Labels{0, 1, 0, 2}, Labels{0, 1, 0, 2}},
+		{"gap labels", Labels{5, 9, 5, 120}, Labels{0, 1, 0, 2}},
+		{"first appearance order", Labels{3, 1, 3, 2, 1}, Labels{0, 1, 0, 2, 1}},
+		{"missing preserved", Labels{7, Missing, 7, 4}, Labels{0, Missing, 0, 1}},
+		{"all missing", Labels{Missing, Missing}, Labels{Missing, Missing}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.in.Normalize()
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("Normalize(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+			if !got.IsNormalized() {
+				t.Errorf("Normalize(%v) = %v is not IsNormalized", tc.in, got)
+			}
+		})
+	}
+}
+
+func TestNormalizeDoesNotMutate(t *testing.T) {
+	in := Labels{5, 3, 5}
+	in.Normalize()
+	if !reflect.DeepEqual(in, Labels{5, 3, 5}) {
+		t.Errorf("Normalize mutated its receiver: %v", in)
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(raw []uint8) bool {
+		l := randomLabels(raw)
+		once := l.Normalize()
+		return reflect.DeepEqual(once, once.Normalize())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomLabels converts an arbitrary byte slice into a labels vector with
+// some missing entries.
+func randomLabels(raw []uint8) Labels {
+	l := make(Labels, len(raw))
+	for i, b := range raw {
+		if b%7 == 0 {
+			l[i] = Missing
+		} else {
+			l[i] = int(b % 5)
+		}
+	}
+	return l
+}
+
+func TestK(t *testing.T) {
+	tests := []struct {
+		in   Labels
+		want int
+	}{
+		{Labels{}, 0},
+		{Labels{0, 0, 0}, 1},
+		{Labels{0, 1, 2}, 3},
+		{Labels{5, 5, 9}, 2},
+		{Labels{Missing, Missing}, 0},
+		{Labels{Missing, 0, 1}, 2},
+	}
+	for _, tc := range tests {
+		if got := tc.in.K(); got != tc.want {
+			t.Errorf("K(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Labels{0, 1, Missing}).Validate(); err != nil {
+		t.Errorf("valid labels rejected: %v", err)
+	}
+	if err := (Labels{0, -2}).Validate(); err == nil {
+		t.Error("label -2 accepted")
+	}
+}
+
+func TestSameCluster(t *testing.T) {
+	l := Labels{0, 0, 1, Missing, Missing}
+	tests := []struct {
+		u, v int
+		want bool
+	}{
+		{0, 1, true},
+		{0, 2, false},
+		{0, 3, false},
+		{3, 4, false}, // two missings never match
+		{3, 3, false}, // missing does not even match itself
+	}
+	for _, tc := range tests {
+		if got := l.SameCluster(tc.u, tc.v); got != tc.want {
+			t.Errorf("SameCluster(%d,%d) = %t, want %t", tc.u, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestClustersAndSizes(t *testing.T) {
+	l := Labels{2, 7, 2, Missing, 7, 2}
+	got := l.Clusters()
+	want := [][]int{{0, 2, 5}, {1, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Clusters() = %v, want %v", got, want)
+	}
+	if sizes := l.Sizes(); !reflect.DeepEqual(sizes, []int{3, 2}) {
+		t.Errorf("Sizes() = %v, want [3 2]", sizes)
+	}
+}
+
+func TestFromClusters(t *testing.T) {
+	got, err := FromClusters(5, [][]int{{0, 2}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Labels{0, 1, 0, Missing, Missing}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FromClusters = %v, want %v", got, want)
+	}
+
+	if _, err := FromClusters(3, [][]int{{0}, {0}}); err == nil {
+		t.Error("duplicate membership accepted")
+	}
+	if _, err := FromClusters(3, [][]int{{5}}); err == nil {
+		t.Error("out-of-range object accepted")
+	}
+	if _, err := FromClusters(3, [][]int{{-1}}); err == nil {
+		t.Error("negative object accepted")
+	}
+}
+
+func TestSingletonsAndSingle(t *testing.T) {
+	if got := Singletons(3); !reflect.DeepEqual(got, Labels{0, 1, 2}) {
+		t.Errorf("Singletons(3) = %v", got)
+	}
+	if got := Single(3); !reflect.DeepEqual(got, Labels{0, 0, 0}) {
+		t.Errorf("Single(3) = %v", got)
+	}
+	if Singletons(0).K() != 0 || Single(0).K() != 0 {
+		t.Error("size-0 clusterings should have no clusters")
+	}
+}
+
+func TestDistanceBasic(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Labels
+		want int
+	}{
+		{"identical", Labels{0, 0, 1}, Labels{5, 5, 9}, 0},
+		{"opposite", Labels{0, 0}, Labels{0, 1}, 1},
+		{"single vs singletons n=3", Labels{0, 0, 0}, Labels{0, 1, 2}, 3},
+		{"single vs singletons n=4", Labels{0, 0, 0, 0}, Labels{0, 1, 2, 3}, 6},
+		{"partial overlap", Labels{0, 0, 1, 1}, Labels{0, 1, 1, 0}, 4},
+		{"missing excluded", Labels{0, 0, Missing}, Labels{0, 1, 0}, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Distance(tc.a, tc.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("Distance(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDistanceLengthMismatch(t *testing.T) {
+	if _, err := Distance(Labels{0}, Labels{0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// bruteDistance counts disagreeing unordered pairs directly.
+func bruteDistance(a, b Labels) int {
+	d := 0
+	for u := 0; u < len(a); u++ {
+		if a[u] == Missing || b[u] == Missing {
+			continue
+		}
+		for v := u + 1; v < len(a); v++ {
+			if a[v] == Missing || b[v] == Missing {
+				continue
+			}
+			sa := a[u] == a[v]
+			sb := b[u] == b[v]
+			if sa != sb {
+				d++
+			}
+		}
+	}
+	return d
+}
+
+func TestDistanceMatchesBruteForce(t *testing.T) {
+	f := func(rawA, rawB []uint8) bool {
+		n := len(rawA)
+		if len(rawB) < n {
+			n = len(rawB)
+		}
+		a := randomLabels(rawA[:n])
+		b := randomLabels(rawB[:n])
+		got, err := Distance(a, b)
+		return err == nil && got == bruteDistance(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randClustering := func(n, k int) Labels {
+		l := make(Labels, n)
+		for i := range l {
+			l[i] = rng.Intn(k)
+		}
+		return l
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(20)
+		a := randClustering(n, 1+rng.Intn(4))
+		b := randClustering(n, 1+rng.Intn(4))
+		c := randClustering(n, 1+rng.Intn(4))
+		dab, _ := Distance(a, b)
+		dba, _ := Distance(b, a)
+		if dab != dba {
+			t.Fatalf("distance not symmetric: %d vs %d", dab, dba)
+		}
+		daa, _ := Distance(a, a)
+		if daa != 0 {
+			t.Fatalf("d(a,a) = %d, want 0", daa)
+		}
+		// Triangle inequality (Observation 1).
+		dac, _ := Distance(a, c)
+		dbc, _ := Distance(b, c)
+		if dac > dab+dbc {
+			t.Fatalf("triangle inequality violated: d(a,c)=%d > d(a,b)+d(b,c)=%d", dac, dab+dbc)
+		}
+	}
+}
+
+func TestContingencySkipped(t *testing.T) {
+	tab, err := Contingency(Labels{0, Missing, 1}, Labels{0, 0, Missing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.N != 1 || tab.Skipped != 2 {
+		t.Errorf("N=%d Skipped=%d, want 1 and 2", tab.N, tab.Skipped)
+	}
+}
+
+func TestRandIndex(t *testing.T) {
+	ri, err := RandIndex(Labels{0, 0, 1, 1}, Labels{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != 1 {
+		t.Errorf("RandIndex identical = %v, want 1", ri)
+	}
+	ri, _ = RandIndex(Labels{0, 0}, Labels{0, 1})
+	if ri != 0 {
+		t.Errorf("RandIndex opposite = %v, want 0", ri)
+	}
+	ri, _ = RandIndex(Labels{Missing}, Labels{0})
+	if ri != 1 {
+		t.Errorf("RandIndex with no pairs = %v, want 1", ri)
+	}
+}

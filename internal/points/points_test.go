@@ -1,0 +1,199 @@
+package points
+
+import (
+	"math"
+	"testing"
+
+	"clusteragg/internal/partition"
+)
+
+func TestDist(t *testing.T) {
+	a, b := Point{0, 0}, Point{3, 4}
+	if got := Dist(a, b); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := SqDist(a, b); got != 25 {
+		t.Errorf("SqDist = %v, want 25", got)
+	}
+	if Dist(a, a) != 0 {
+		t.Error("Dist(a,a) != 0")
+	}
+}
+
+func TestSevenClusterScene(t *testing.T) {
+	d := SevenClusterScene(1, 1)
+	if d.N() != len(d.Truth) {
+		t.Fatalf("points/truth length mismatch: %d vs %d", d.N(), len(d.Truth))
+	}
+	if d.N() < 700 {
+		t.Errorf("scene has only %d points", d.N())
+	}
+	if k := d.Truth.K(); k != 7 {
+		t.Errorf("scene has %d ground-truth clusters, want 7", k)
+	}
+	// Uneven sizes: largest group at least 3x the smallest.
+	sizes := d.Truth.Sizes()
+	minS, maxS := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if maxS < 3*minS {
+		t.Errorf("cluster sizes not uneven enough: min %d, max %d", minS, maxS)
+	}
+}
+
+func TestSevenClusterSceneScale(t *testing.T) {
+	small := SevenClusterScene(1, 0.25)
+	full := SevenClusterScene(1, 1)
+	if small.N() >= full.N() {
+		t.Errorf("scaled scene not smaller: %d vs %d", small.N(), full.N())
+	}
+	if small.Truth.K() != 7 {
+		t.Errorf("scaled scene lost clusters: %d", small.Truth.K())
+	}
+	// Non-positive scale falls back to 1.
+	if def := SevenClusterScene(1, 0); def.N() != full.N() {
+		t.Errorf("scale 0 produced %d points, want %d", def.N(), full.N())
+	}
+}
+
+func TestSevenClusterSceneDeterministic(t *testing.T) {
+	a := SevenClusterScene(7, 1)
+	b := SevenClusterScene(7, 1)
+	if a.N() != b.N() {
+		t.Fatal("sizes differ across identical seeds")
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs across identical seeds", i)
+		}
+	}
+	c := SevenClusterScene(8, 1)
+	same := true
+	for i := 0; i < min(a.N(), c.N()); i++ {
+		if a.Points[i] != c.Points[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical scenes")
+	}
+}
+
+func TestGaussianBlobs(t *testing.T) {
+	d, err := GaussianBlobs(3, GaussianBlobsOptions{K: 5, PerCluster: 100, NoiseFraction: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 5*100 + 100; d.N() != want {
+		t.Errorf("N = %d, want %d", d.N(), want)
+	}
+	noise := 0
+	for _, v := range d.Truth {
+		if v == partition.Missing {
+			noise++
+		}
+	}
+	if noise != 100 {
+		t.Errorf("noise points = %d, want 100", noise)
+	}
+	if k := d.Truth.K(); k != 5 {
+		t.Errorf("truth clusters = %d, want 5", k)
+	}
+}
+
+func TestGaussianBlobsValidation(t *testing.T) {
+	if _, err := GaussianBlobs(1, GaussianBlobsOptions{K: 0, PerCluster: 10}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := GaussianBlobs(1, GaussianBlobsOptions{K: 2, PerCluster: 0}); err == nil {
+		t.Error("PerCluster=0 accepted")
+	}
+	if _, err := GaussianBlobs(1, GaussianBlobsOptions{K: 2, PerCluster: 5, NoiseFraction: -1}); err == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestGaussianBlobsMinSeparation(t *testing.T) {
+	d, err := GaussianBlobs(5, GaussianBlobsOptions{
+		K: 4, PerCluster: 50, MinSeparation: 0.3, Std: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Estimate centers back from truth and verify pairwise separation.
+	centers := make([]Point, 4)
+	counts := make([]int, 4)
+	for i, c := range d.Truth {
+		if c == partition.Missing {
+			continue
+		}
+		centers[c].X += d.Points[i].X
+		centers[c].Y += d.Points[i].Y
+		counts[c]++
+	}
+	for c := range centers {
+		centers[c].X /= float64(counts[c])
+		centers[c].Y /= float64(counts[c])
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if Dist(centers[i], centers[j]) < 0.25 {
+				t.Errorf("centers %d and %d too close: %v", i, j, Dist(centers[i], centers[j]))
+			}
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	minX, minY, maxX, maxY := Bounds(nil)
+	if minX != 0 || minY != 0 || maxX != 0 || maxY != 0 {
+		t.Error("empty bounds not zero")
+	}
+	pts := []Point{{1, 5}, {-2, 3}, {4, -1}}
+	minX, minY, maxX, maxY = Bounds(pts)
+	if minX != -2 || minY != -1 || maxX != 4 || maxY != 5 {
+		t.Errorf("Bounds = (%v,%v,%v,%v)", minX, minY, maxX, maxY)
+	}
+	if math.IsNaN(minX) {
+		t.Error("NaN bound")
+	}
+}
+
+func TestConcentricRings(t *testing.T) {
+	d, err := ConcentricRings(1, 3, 100, 1.0, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 300 {
+		t.Fatalf("N = %d, want 300", d.N())
+	}
+	if d.Truth.K() != 3 {
+		t.Fatalf("rings = %d, want 3", d.Truth.K())
+	}
+	// Points of ring i must sit near radius i+1.
+	for i, p := range d.Points {
+		r := math.Hypot(p.X, p.Y)
+		want := float64(d.Truth[i] + 1)
+		if math.Abs(r-want) > 0.2 {
+			t.Fatalf("point %d at radius %v, want ~%v", i, r, want)
+		}
+	}
+	if _, err := ConcentricRings(1, 0, 10, 1, 0.1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ConcentricRings(1, 2, 0, 1, 0.1); err == nil {
+		t.Error("perRing=0 accepted")
+	}
+	// Default spacing.
+	def, err := ConcentricRings(1, 1, 10, 0, 0.01)
+	if err != nil || def.N() != 10 {
+		t.Errorf("default spacing failed: %v", err)
+	}
+}

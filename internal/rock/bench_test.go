@@ -1,0 +1,42 @@
+package rock
+
+import (
+	"testing"
+
+	"clusteragg/internal/dataset"
+)
+
+func BenchmarkRunVotes(b *testing.B) {
+	tab := dataset.SyntheticVotes(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tab, Options{K: 2, Theta: 0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCountLinks(b *testing.B) {
+	tab := dataset.SyntheticVotes(1)
+	items, err := itemSets(tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := len(items)
+	neighbors := make([][]int, n)
+	for u := 0; u < n; u++ {
+		neighbors[u] = append(neighbors[u], u)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if jaccard(items[u], items[v]) >= 0.5 {
+				neighbors[u] = append(neighbors[u], v)
+				neighbors[v] = append(neighbors[v], u)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		countLinks(n, neighbors)
+	}
+}

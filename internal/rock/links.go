@@ -1,0 +1,58 @@
+package rock
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+// countLinks computes link(u,v) = |N(u) ∩ N(v)| for every pair with at
+// least one common neighbor, returned as sparse per-row maps keyed by the
+// higher index. Adjacency is packed into bitsets and rows are processed in
+// parallel.
+func countLinks(n int, neighbors [][]int) []map[int]int {
+	links := make([]map[int]int, n)
+	for i := range links {
+		links[i] = make(map[int]int)
+	}
+	if n == 0 {
+		return links
+	}
+	words := (n + 63) / 64
+	adj := make([]uint64, n*words)
+	row := func(u int) []uint64 { return adj[u*words : (u+1)*words] }
+	for u, nb := range neighbors {
+		r := row(u)
+		for _, v := range nb {
+			r[v>>6] |= 1 << (uint(v) & 63)
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for u := start; u < n; u += workers {
+				ru := row(u)
+				lu := links[u] // only this goroutine touches row u's map
+				for v := u + 1; v < n; v++ {
+					rv := row(v)
+					c := 0
+					for i := range ru {
+						c += bits.OnesCount64(ru[i] & rv[i])
+					}
+					if c > 0 {
+						lu[v] = c
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return links
+}

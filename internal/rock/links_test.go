@@ -1,0 +1,64 @@
+package rock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteLinks is the textbook Θ(Σ deg²) counting used as an oracle.
+func bruteLinks(n int, neighbors [][]int) []map[int]int {
+	links := make([]map[int]int, n)
+	for i := range links {
+		links[i] = make(map[int]int)
+	}
+	for _, nb := range neighbors {
+		for i := 0; i < len(nb); i++ {
+			for j := i + 1; j < len(nb); j++ {
+				a, b := nb[i], nb[j]
+				if a > b {
+					a, b = b, a
+				}
+				links[a][b]++
+			}
+		}
+	}
+	return links
+}
+
+func TestCountLinksMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(120)
+		neighbors := make([][]int, n)
+		// Random symmetric adjacency including self-loops (as Run builds).
+		for u := 0; u < n; u++ {
+			neighbors[u] = append(neighbors[u], u)
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.2 {
+					neighbors[u] = append(neighbors[u], v)
+					neighbors[v] = append(neighbors[v], u)
+				}
+			}
+		}
+		got := countLinks(n, neighbors)
+		want := bruteLinks(n, neighbors)
+		for u := 0; u < n; u++ {
+			if len(got[u]) != len(want[u]) {
+				t.Fatalf("trial %d: row %d has %d links, want %d", trial, u, len(got[u]), len(want[u]))
+			}
+			for v, l := range want[u] {
+				if got[u][v] != l {
+					t.Fatalf("trial %d: link(%d,%d) = %d, want %d", trial, u, v, got[u][v], l)
+				}
+			}
+		}
+	}
+}
+
+func TestCountLinksEmpty(t *testing.T) {
+	if links := countLinks(0, nil); len(links) != 0 {
+		t.Error("non-empty links for empty graph")
+	}
+}

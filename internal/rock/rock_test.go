@@ -1,0 +1,158 @@
+package rock
+
+import (
+	"testing"
+
+	"clusteragg/internal/dataset"
+	"clusteragg/internal/eval"
+	"clusteragg/internal/partition"
+)
+
+func TestJaccard(t *testing.T) {
+	tests := []struct {
+		a, b []int
+		want float64
+	}{
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 1},
+		{[]int{1, 2}, []int{3, 4}, 0},
+		{[]int{1, 2, 3}, []int{2, 3, 4}, 0.5},
+		{nil, nil, 0},
+		{[]int{1}, nil, 0},
+	}
+	for _, tc := range tests {
+		if got := jaccard(tc.a, tc.b); got != tc.want {
+			t.Errorf("jaccard(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tab := twoGroupTable()
+	if _, err := Run(tab, Options{K: 0, Theta: 0.5}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Run(tab, Options{K: 100, Theta: 0.5}); err == nil {
+		t.Error("K>n accepted")
+	}
+	if _, err := Run(tab, Options{K: 2, Theta: 1.0}); err == nil {
+		t.Error("theta=1 accepted")
+	}
+	if _, err := Run(tab, Options{K: 2, Theta: -0.1}); err == nil {
+		t.Error("negative theta accepted")
+	}
+	numOnly := &dataset.Table{Name: "n", Cols: []*dataset.Column{
+		{Name: "x", Kind: dataset.Numeric, Floats: []float64{1, 2}},
+	}}
+	if _, err := Run(numOnly, Options{K: 1, Theta: 0.5}); err == nil {
+		t.Error("numeric-only table accepted")
+	}
+}
+
+// twoGroupTable builds a tiny table with two clear groups of rows.
+func twoGroupTable() *dataset.Table {
+	mk := func(name string, vals []int, card int) *dataset.Column {
+		names := make([]string, card)
+		return &dataset.Column{Name: name, Kind: dataset.Categorical, Values: vals, Names: names}
+	}
+	// Rows 0-3: group A (values 0); rows 4-7: group B (values 1).
+	return &dataset.Table{
+		Name: "tiny",
+		Cols: []*dataset.Column{
+			mk("a", []int{0, 0, 0, 0, 1, 1, 1, 1}, 2),
+			mk("b", []int{0, 0, 0, 1, 1, 1, 1, 1}, 2),
+			mk("c", []int{0, 0, 0, 0, 1, 1, 1, 0}, 2),
+			mk("d", []int{0, 1, 0, 0, 1, 1, 1, 1}, 2),
+		},
+		Class:      partition.Labels{0, 0, 0, 0, 1, 1, 1, 1},
+		ClassNames: []string{"A", "B"},
+	}
+}
+
+func TestRunSeparatesGroups(t *testing.T) {
+	tab := twoGroupTable()
+	labels, err := Run(tab, Options{K: 2, Theta: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 8 {
+		t.Fatalf("%d labels", len(labels))
+	}
+	ec, err := eval.ClassificationError(labels, tab.Class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec > 0.25 {
+		t.Errorf("E_C = %v on trivially separable groups (labels %v)", ec, labels)
+	}
+}
+
+func TestRunOnSyntheticVotes(t *testing.T) {
+	tab := dataset.SyntheticVotes(1)
+	sub := tab.Subset(firstN(200))
+	labels, err := Run(sub, Options{K: 2, Theta: 0.73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := eval.ClassificationError(labels, sub.Class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ROCK on the votes stand-in should be far better than random (~38%,
+	// the minority class share).
+	if ec > 0.30 {
+		t.Errorf("ROCK E_C = %v on votes stand-in, want < 0.30", ec)
+	}
+}
+
+func firstN(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestRunWithMissingValues(t *testing.T) {
+	tab := twoGroupTable()
+	tab.Cols[0].Values[0] = dataset.MissingValue
+	labels, err := Run(tab, Options{K: 2, Theta: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 8 {
+		t.Fatalf("%d labels", len(labels))
+	}
+}
+
+func TestRunStopsWithoutLinks(t *testing.T) {
+	// theta so high that no tuples are neighbors: everything stays a
+	// singleton even though K=1 was requested (ROCK treats them as
+	// outliers).
+	mk := func(vals []int, card int) *dataset.Column {
+		return &dataset.Column{Name: "a", Kind: dataset.Categorical, Values: vals, Names: make([]string, card)}
+	}
+	tab := &dataset.Table{Name: "t", Cols: []*dataset.Column{
+		mk([]int{0, 1, 2, 3}, 4),
+	}}
+	labels, err := Run(tab, Options{K: 1, Theta: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels.K() != 4 {
+		t.Errorf("unlinked tuples merged: %v", labels)
+	}
+}
+
+func TestRunItemsDirect(t *testing.T) {
+	items := [][]int{{0, 2}, {0, 2}, {1, 3}, {1, 3}}
+	labels, err := RunItems(items, Options{K: 2, Theta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels.K() != 2 {
+		t.Fatalf("K = %d, want 2 (%v)", labels.K(), labels)
+	}
+	if labels[0] != labels[1] || labels[2] != labels[3] || labels[0] == labels[2] {
+		t.Errorf("wrong grouping: %v", labels)
+	}
+}

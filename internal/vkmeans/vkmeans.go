@@ -1,0 +1,221 @@
+// Package vkmeans implements Lloyd's k-means for d-dimensional float
+// vectors: Forgy and k-means++ initialization, restarts, empty-cluster
+// repair. It is the engine behind the 2-D wrapper in package kmeans (used
+// for the paper's point experiments) and the joint numeric clustering in
+// package hetero.
+package vkmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"clusteragg/internal/partition"
+)
+
+// Init selects the centroid initialization strategy.
+type Init int
+
+const (
+	// InitForgy picks K input vectors uniformly at random.
+	InitForgy Init = iota
+	// InitPlusPlus uses k-means++ D² weighting.
+	InitPlusPlus
+)
+
+// Options configures Run.
+type Options struct {
+	// K is the number of clusters (required, 1 <= K <= len(data)).
+	K int
+	// MaxIter caps Lloyd iterations per restart. Zero means 100.
+	MaxIter int
+	// Restarts runs the algorithm this many times and keeps the lowest
+	// inertia. Zero means 1.
+	Restarts int
+	// Init selects the initialization strategy.
+	Init Init
+	// Rand supplies randomness; nil means a deterministic source seeded
+	// with 1.
+	Rand *rand.Rand
+}
+
+// Result is the outcome of a k-means run.
+type Result struct {
+	// Labels assigns each input vector to a centroid.
+	Labels partition.Labels
+	// Centroids are the final cluster centers.
+	Centroids [][]float64
+	// Inertia is the sum of squared distances from vectors to their
+	// centroids.
+	Inertia float64
+	// Iterations is the Lloyd iteration count of the winning restart.
+	Iterations int
+}
+
+// Run clusters data (n vectors of equal dimension) into opts.K clusters.
+func Run(data [][]float64, opts Options) (*Result, error) {
+	n := len(data)
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("vkmeans: K must be positive, got %d", opts.K)
+	}
+	if opts.K > n {
+		return nil, fmt.Errorf("vkmeans: K=%d exceeds number of vectors %d", opts.K, n)
+	}
+	d := len(data[0])
+	for i, v := range data {
+		if len(v) != d {
+			return nil, fmt.Errorf("vkmeans: vector %d has dimension %d, want %d", i, len(v), d)
+		}
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+
+	var best *Result
+	for r := 0; r < restarts; r++ {
+		res := lloyd(data, d, opts.K, maxIter, opts.Init, rng)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// SqDist returns the squared Euclidean distance between two equal-length
+// vectors.
+func SqDist(a, b []float64) float64 {
+	var s float64
+	for j := range a {
+		diff := a[j] - b[j]
+		s += diff * diff
+	}
+	return s
+}
+
+func lloyd(data [][]float64, d, k, maxIter int, init Init, rng *rand.Rand) *Result {
+	n := len(data)
+	centroids := initialize(data, k, init, rng)
+	labels := make(partition.Labels, n)
+	for i := range labels {
+		labels[i] = -2 // force a first assignment pass
+	}
+
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		for i, v := range data {
+			c := nearest(centroids, v)
+			if labels[i] != c {
+				labels[i] = c
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		recenter(data, d, labels, centroids, rng)
+	}
+
+	var inertia float64
+	for i, v := range data {
+		inertia += SqDist(v, centroids[labels[i]])
+	}
+	return &Result{
+		Labels:     labels.Clone(),
+		Centroids:  centroids,
+		Inertia:    inertia,
+		Iterations: iters,
+	}
+}
+
+func initialize(data [][]float64, k int, init Init, rng *rand.Rand) [][]float64 {
+	cloneVec := func(v []float64) []float64 { return append([]float64(nil), v...) }
+	centroids := make([][]float64, 0, k)
+	switch init {
+	case InitPlusPlus:
+		centroids = append(centroids, cloneVec(data[rng.Intn(len(data))]))
+		d2 := make([]float64, len(data))
+		for len(centroids) < k {
+			var total float64
+			for i, v := range data {
+				d2[i] = SqDist(v, centroids[0])
+				for _, c := range centroids[1:] {
+					if dd := SqDist(v, c); dd < d2[i] {
+						d2[i] = dd
+					}
+				}
+				total += d2[i]
+			}
+			if total == 0 {
+				centroids = append(centroids, cloneVec(data[rng.Intn(len(data))]))
+				continue
+			}
+			target := rng.Float64() * total
+			idx := 0
+			for ; idx < len(data)-1; idx++ {
+				target -= d2[idx]
+				if target <= 0 {
+					break
+				}
+			}
+			centroids = append(centroids, cloneVec(data[idx]))
+		}
+	default: // InitForgy
+		for _, i := range rng.Perm(len(data))[:k] {
+			centroids = append(centroids, cloneVec(data[i]))
+		}
+	}
+	return centroids
+}
+
+func nearest(centroids [][]float64, v []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, ct := range centroids {
+		if d := SqDist(v, ct); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// recenter moves centroids to their cluster means; an emptied cluster is
+// reseeded at the vector furthest from its assigned centroid.
+func recenter(data [][]float64, d int, labels partition.Labels, centroids [][]float64, rng *rand.Rand) {
+	k := len(centroids)
+	sums := make([][]float64, k)
+	for c := range sums {
+		sums[c] = make([]float64, d)
+	}
+	count := make([]int, k)
+	for i, v := range data {
+		c := labels[i]
+		count[c]++
+		for j := 0; j < d; j++ {
+			sums[c][j] += v[j]
+		}
+	}
+	for c := 0; c < k; c++ {
+		if count[c] == 0 {
+			far, farD := rng.Intn(len(data)), -1.0
+			for i, v := range data {
+				if dd := SqDist(v, centroids[labels[i]]); dd > farD {
+					far, farD = i, dd
+				}
+			}
+			copy(centroids[c], data[far])
+			continue
+		}
+		for j := 0; j < d; j++ {
+			centroids[c][j] = sums[c][j] / float64(count[c])
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package vkmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"clusteragg/internal/partition"
+)
+
+// blobs draws k well-separated d-dimensional Gaussian groups.
+func blobs(seed int64, k, per, d int) ([][]float64, partition.Labels) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, d)
+		for j := range centers[c] {
+			centers[c][j] = float64(c*10) + rng.Float64()
+		}
+	}
+	var data [][]float64
+	var truth partition.Labels
+	for c := 0; c < k; c++ {
+		for i := 0; i < per; i++ {
+			v := make([]float64, d)
+			for j := range v {
+				v[j] = centers[c][j] + rng.NormFloat64()*0.2
+			}
+			data = append(data, v)
+			truth = append(truth, c)
+		}
+	}
+	return data, truth
+}
+
+func TestRunValidation(t *testing.T) {
+	data := [][]float64{{0, 0}, {1, 1}}
+	if _, err := Run(data, Options{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Run(data, Options{K: 3}); err == nil {
+		t.Error("K>n accepted")
+	}
+	ragged := [][]float64{{0, 0}, {1}}
+	if _, err := Run(ragged, Options{K: 1}); err == nil {
+		t.Error("ragged vectors accepted")
+	}
+}
+
+func TestRunRecoversBlobs(t *testing.T) {
+	for _, d := range []int{1, 2, 5} {
+		data, truth := blobs(int64(d), 3, 50, d)
+		res, err := Run(data, Options{
+			K: 3, Init: InitPlusPlus, Restarts: 5, Rand: rand.New(rand.NewSource(7)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri, err := partition.RandIndex(res.Labels, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri < 0.99 {
+			t.Errorf("d=%d: Rand index %v", d, ri)
+		}
+		if len(res.Centroids) != 3 || len(res.Centroids[0]) != d {
+			t.Errorf("d=%d: centroid shape %dx%d", d, len(res.Centroids), len(res.Centroids[0]))
+		}
+	}
+}
+
+func TestRunKEqualsNZeroInertia(t *testing.T) {
+	data := [][]float64{{0}, {5}, {9}}
+	res, err := Run(data, Options{K: 3, Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("inertia %v, want 0", res.Inertia)
+	}
+}
+
+func TestRestartsNeverWorse(t *testing.T) {
+	data, _ := blobs(9, 5, 40, 3)
+	one, err := Run(data, Options{K: 5, Restarts: 1, Rand: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Run(data, Options{K: 5, Restarts: 10, Rand: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Inertia > one.Inertia+1e-9 {
+		t.Errorf("restarts worsened inertia: %v -> %v", one.Inertia, many.Inertia)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	data, _ := blobs(11, 4, 30, 2)
+	a, _ := Run(data, Options{K: 4, Rand: rand.New(rand.NewSource(5))})
+	b, _ := Run(data, Options{K: 4, Rand: rand.New(rand.NewSource(5))})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestCoincidentVectorsPlusPlus(t *testing.T) {
+	data := make([][]float64, 12)
+	for i := range data {
+		data[i] = []float64{1, 2, 3}
+	}
+	res, err := Run(data, Options{K: 4, Init: InitPlusPlus, Rand: rand.New(rand.NewSource(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("coincident inertia %v", res.Inertia)
+	}
+}
+
+func TestSqDist(t *testing.T) {
+	if got := SqDist([]float64{0, 0}, []float64{3, 4}); got != 25 {
+		t.Errorf("SqDist = %v, want 25", got)
+	}
+	if got := SqDist(nil, nil); got != 0 {
+		t.Errorf("SqDist(nil,nil) = %v", got)
+	}
+}
+
+func TestCentroidsNotAliasedToInput(t *testing.T) {
+	data := [][]float64{{0, 0}, {10, 10}}
+	res, err := Run(data, Options{K: 2, Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating a centroid must not corrupt the caller's data.
+	res.Centroids[0][0] = 999
+	if data[0][0] == 999 || data[1][0] == 999 {
+		t.Error("centroid aliases input vector")
+	}
+}
