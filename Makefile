@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments experiments-full fuzz clean
+.PHONY: all build test vet race test-race check cover bench experiments experiments-full fuzz clean
 
 all: build test
 
@@ -13,8 +13,16 @@ build:
 test:
 	$(GO) test ./...
 
-race:
+vet:
+	$(GO) vet ./...
+
+race: test-race
+
+test-race:
 	$(GO) test -race ./...
+
+# The full gate: compile, vet, tests, and the race detector.
+check: build vet test test-race
 
 cover:
 	$(GO) test -cover ./...

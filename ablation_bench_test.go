@@ -103,13 +103,13 @@ func BenchmarkAblationRefine(b *testing.B) {
 			p, _ := votesProblem(b, core.MissingCoin)
 			for i := 0; i < b.N; i++ {
 				plain, err := p.Aggregate(method, core.AggregateOptions{
-					BallsAlpha: 0.4, Materialize: true,
+					BallsAlpha: core.Alpha(0.4), Materialize: true,
 				})
 				if err != nil {
 					b.Fatal(err)
 				}
 				refined, err := p.Aggregate(method, core.AggregateOptions{
-					BallsAlpha: 0.4, Materialize: true, Refine: true,
+					BallsAlpha: core.Alpha(0.4), Materialize: true, Refine: true,
 				})
 				if err != nil {
 					b.Fatal(err)

@@ -14,6 +14,7 @@ import (
 
 	"clusteragg/internal/core"
 	"clusteragg/internal/dataset"
+	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 )
 
@@ -79,8 +80,24 @@ func ExtensionMethods() []Method { return core.ExtensionMethods() }
 // AggregateOptions tunes Problem.Aggregate.
 type AggregateOptions = core.AggregateOptions
 
+// Alpha returns a pointer to a, for setting AggregateOptions.BallsAlpha
+// inline (nil means the Theorem 1 default of 1/4; an explicit 0 is legal).
+func Alpha(a float64) *float64 { return core.Alpha(a) }
+
 // SamplingOptions configures the SAMPLING wrapper for large datasets.
 type SamplingOptions = core.SamplingOptions
+
+// Recorder collects spans and counters from an instrumented run; attach one
+// via AggregateOptions.Recorder / SamplingOptions.Recorder. See
+// internal/obs and docs/OBSERVABILITY.md.
+type Recorder = obs.Recorder
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return obs.New() }
+
+// RunReport is the machine-readable record of one run (the clusteragg
+// -report schema).
+type RunReport = obs.RunReport
 
 // CSVOptions configures AggregateCSV.
 type CSVOptions struct {

@@ -14,7 +14,9 @@
 //	-method NAME   best | balls | agglomerative | furthest | localsearch |
 //	               pivot | anneal | bestof (default agglomerative; bestof
 //	               races the paper's five and keeps the lowest disagreement)
-//	-alpha F       BALLS alpha parameter (default 0.4)
+//	-alpha F       BALLS alpha parameter (default 0.4, the value Section 4
+//	               reports to work better in practice; Theorem 1's
+//	               3-approximation bound needs 0.25)
 //	-k N           force N clusters where the method supports it
 //	-refine        post-process with LOCALSEARCH
 //	-header        treat the first CSV record as column names
@@ -23,6 +25,11 @@
 //	-seed N        random seed for sampling (default 1)
 //	-summary       print cluster sizes instead of per-row assignments
 //	-describe      print each cluster's dominant attribute values
+//	-trace         print a span tree and algorithm counters on stderr
+//	-report FILE   write a JSON run report (schema: docs/OBSERVABILITY.md);
+//	               "-" writes it to stdout
+//	-cpuprofile F  write a pprof CPU profile of the run
+//	-memprofile F  write a pprof heap profile taken after the run
 package main
 
 import (
@@ -31,32 +38,45 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"clusteragg/internal/core"
+	"clusteragg/internal/corrclust"
 	"clusteragg/internal/dataset"
 	"clusteragg/internal/eval"
+	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 )
 
 // cliConfig carries the parsed flags.
 type cliConfig struct {
-	method   string
-	alpha    float64
-	k        int
-	refine   bool
-	header   bool
-	class    string
-	sample   int
-	seed     int64
-	summary  bool
-	describe bool
+	method     string
+	alpha      float64
+	k          int
+	refine     bool
+	header     bool
+	class      string
+	sample     int
+	seed       int64
+	summary    bool
+	describe   bool
+	trace      bool
+	report     string
+	cpuprofile string
+	memprofile string
+
+	// traceOut receives the -trace output; nil means os.Stderr. Tests
+	// substitute a buffer.
+	traceOut io.Writer
 }
 
 func main() {
 	var cfg cliConfig
 	flag.StringVar(&cfg.method, "method", "agglomerative", "aggregation method: best|balls|agglomerative|furthest|localsearch|pivot|anneal|bestof")
-	flag.Float64Var(&cfg.alpha, "alpha", 0.4, "BALLS alpha parameter")
+	flag.Float64Var(&cfg.alpha, "alpha", corrclust.RecommendedBallsAlpha, "BALLS alpha: the paper's experimental value 0.4 (Section 4); Theorem 1's 3-approximation bound holds at 0.25")
 	flag.IntVar(&cfg.k, "k", 0, "force this many clusters where supported (0 = parameter-free)")
 	flag.BoolVar(&cfg.refine, "refine", false, "post-process with LOCALSEARCH")
 	flag.BoolVar(&cfg.header, "header", false, "first CSV record is a header")
@@ -65,6 +85,10 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for sampling and randomized methods")
 	flag.BoolVar(&cfg.summary, "summary", false, "print cluster sizes instead of assignments")
 	flag.BoolVar(&cfg.describe, "describe", false, "print each cluster's dominant attribute values")
+	flag.BoolVar(&cfg.trace, "trace", false, "print a span tree and algorithm counters on stderr")
+	flag.StringVar(&cfg.report, "report", "", "write a JSON run report to this file (\"-\" = stdout)")
+	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: clusteragg [flags] <file.csv|->")
@@ -78,6 +102,24 @@ func main() {
 }
 
 func run(path string, cfg cliConfig) error {
+	if cfg.cpuprofile != "" {
+		f, err := os.Create(cfg.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var rec *obs.Recorder
+	if cfg.trace || cfg.report != "" {
+		rec = obs.New()
+	}
+	start := time.Now()
+
 	var in io.Reader
 	if path == "-" {
 		in = os.Stdin
@@ -90,6 +132,7 @@ func run(path string, cfg cliConfig) error {
 		in = f
 	}
 
+	loadSpan := rec.Start("load")
 	tab, err := dataset.ReadCSV(in, dataset.CSVOptions{
 		Name:        path,
 		HasHeader:   cfg.header,
@@ -103,6 +146,7 @@ func run(path string, cfg cliConfig) error {
 		return err
 	}
 	problem, err := core.NewProblem(clusterings, core.ProblemOptions{})
+	loadSpan.End()
 	if err != nil {
 		return err
 	}
@@ -117,13 +161,15 @@ func run(path string, cfg cliConfig) error {
 		method = core.MethodAgglomerative // used under SAMPLING for bestof
 	}
 	opts := core.AggregateOptions{
-		BallsAlpha:  cfg.alpha,
+		BallsAlpha:  core.Alpha(cfg.alpha),
 		K:           cfg.k,
 		Refine:      cfg.refine,
 		Materialize: cfg.sample == 0 && tab.N() <= 4000,
 		Rand:        rand.New(rand.NewSource(cfg.seed)),
+		Recorder:    rec,
 	}
 
+	methodName := cfg.method
 	var labels partition.Labels
 	switch {
 	case cfg.sample > 0:
@@ -135,6 +181,7 @@ func run(path string, cfg cliConfig) error {
 		var winner core.Method
 		labels, winner, err = problem.BestOf(nil, opts)
 		if err == nil {
+			methodName = "bestof:" + winner.Slug()
 			fmt.Printf("# bestof winner=%s\n", winner)
 		}
 	default:
@@ -144,14 +191,54 @@ func run(path string, cfg cliConfig) error {
 		return err
 	}
 
+	evalSpan := rec.Start("evaluate")
+	disagreement := problem.Disagreement(labels)
+	lowerBound := problem.LowerBound()
+	evalSpan.End()
 	fmt.Printf("# n=%d attributes=%d clusters=%d disagreement=%.0f lower-bound=%.0f\n",
-		tab.N(), problem.M(), labels.K(), problem.Disagreement(labels), problem.LowerBound())
+		tab.N(), problem.M(), labels.K(), disagreement, lowerBound)
 	if tab.Class != nil {
 		ec, err := eval.ClassificationError(labels, tab.Class)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("# classification-error=%.1f%%\n", 100*ec)
+	}
+
+	if cfg.trace {
+		w := cfg.traceOut
+		if w == nil {
+			w = os.Stderr
+		}
+		if err := rec.WriteText(w); err != nil {
+			return err
+		}
+	}
+	if cfg.report != "" {
+		rep := obs.RunReport{
+			N:          tab.N(),
+			M:          problem.M(),
+			Method:     methodName,
+			Clusters:   labels.K(),
+			Cost:       disagreement,
+			LowerBound: lowerBound,
+			WallNS:     int64(time.Since(start)),
+		}
+		rep.FillFrom(rec)
+		if err := obs.WriteJSON(cfg.report, rep); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+	}
+	if cfg.memprofile != "" {
+		f, err := os.Create(cfg.memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // materialize the live-heap picture
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("mem profile: %w", err)
+		}
 	}
 	if cfg.describe {
 		profiles, err := dataset.Describe(tab, labels)

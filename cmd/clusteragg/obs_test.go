@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"clusteragg/internal/core"
+	"clusteragg/internal/obs"
+)
+
+// bestofCSV is small but non-degenerate: two planted groups with a noisy
+// third attribute, enough for every method to do real distance work.
+func bestofCSV(t *testing.T) string {
+	t.Helper()
+	rows := "a,b,c\n"
+	for i := 0; i < 24; i++ {
+		switch {
+		case i%2 == 0 && i%3 == 0:
+			rows += "x,p,m\n"
+		case i%2 == 0:
+			rows += "x,p,n\n"
+		case i%3 == 0:
+			rows += "y,q,m\n"
+		default:
+			rows += "y,q,n\n"
+		}
+	}
+	return writeCSV(t, rows)
+}
+
+func TestRunTraceOutput(t *testing.T) {
+	path := bestofCSV(t)
+	var buf bytes.Buffer
+	cfg := base()
+	cfg.method = "bestof"
+	cfg.header = true
+	cfg.summary = true
+	cfg.trace = true
+	cfg.traceOut = &buf
+	if err := run(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"spans (wall clock):",
+		"load",
+		"bestof",
+		"materialize",
+		"evaluate",
+		"counters:",
+		".dist_probes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+	// Every paper method raced by bestof appears as a span.
+	for _, m := range core.Methods() {
+		if !strings.Contains(out, "method:"+m.Slug()) {
+			t.Errorf("trace output missing span method:%s:\n%s", m.Slug(), out)
+		}
+	}
+}
+
+// TestRunReportSchema is the golden-schema test: the -report JSON must
+// expose exactly the documented top-level keys (docs/OBSERVABILITY.md), and
+// the acceptance criterion — nonzero distance probes for all five paper
+// methods under bestof — must hold.
+func TestRunReportSchema(t *testing.T) {
+	path := bestofCSV(t)
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	cfg := base()
+	cfg.method = "bestof"
+	cfg.header = true
+	cfg.summary = true
+	cfg.report = reportPath
+	if err := run(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &keys); err != nil {
+		t.Fatalf("report is not a JSON object: %v", err)
+	}
+	var got []string
+	for k := range keys {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	want := []string{
+		"clusters", "cost", "counters", "lower_bound", "m", "method",
+		"n", "schema_version", "spans", "wall_ns",
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("report keys = %v, want %v", got, want)
+	}
+
+	var rep obs.RunReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != obs.ReportSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", rep.SchemaVersion, obs.ReportSchemaVersion)
+	}
+	if rep.N != 24 || rep.M != 3 {
+		t.Errorf("n=%d m=%d, want 24 and 3", rep.N, rep.M)
+	}
+	if !strings.HasPrefix(rep.Method, "bestof:") {
+		t.Errorf("method = %q, want bestof:<winner>", rep.Method)
+	}
+	if rep.Clusters <= 0 || rep.WallNS <= 0 {
+		t.Errorf("clusters=%d wall_ns=%d, want both > 0", rep.Clusters, rep.WallNS)
+	}
+	if rep.Cost < rep.LowerBound {
+		t.Errorf("cost %f below lower bound %f", rep.Cost, rep.LowerBound)
+	}
+	if len(rep.Spans) == 0 {
+		t.Error("report has no spans")
+	}
+	for _, m := range core.Methods() {
+		key := m.Slug() + ".dist_probes"
+		if rep.Counters[key] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", key, rep.Counters[key])
+		}
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	path := writeCSV(t, "a,b\nx,p\nx,p\ny,q\ny,q\n")
+	dir := t.TempDir()
+	cfg := base()
+	cfg.header = true
+	cfg.summary = true
+	cfg.cpuprofile = filepath.Join(dir, "cpu.pprof")
+	cfg.memprofile = filepath.Join(dir, "mem.pprof")
+	if err := run(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cfg.cpuprofile, cfg.memprofile} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}

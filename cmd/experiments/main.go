@@ -20,6 +20,9 @@
 //	-census N      override the Census size
 //	-plot          render ASCII scatter plots for fig3/fig4
 //	-json          emit results as JSON instead of text tables
+//	-report FILE   write a JSON bench report: one RunReport per artifact
+//	               with headline metrics, algorithm counters, and spans
+//	               (schema: docs/OBSERVABILITY.md); "-" writes to stdout
 package main
 
 import (
@@ -27,9 +30,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"clusteragg/internal/asciiplot"
 	"clusteragg/internal/experiments"
+	"clusteragg/internal/obs"
 )
 
 func main() {
@@ -40,6 +45,7 @@ func main() {
 		census    = flag.Int("census", 0, "Census size (0 = default)")
 		plot      = flag.Bool("plot", false, "render ASCII scatter plots for fig3/fig4")
 		asJSON    = flag.Bool("json", false, "emit results as JSON instead of text tables")
+		report    = flag.String("report", "", "write a JSON bench report to this file (\"-\" = stdout)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <fig3|fig4|table1|table2|table3|census|fig5left|fig5middle|fig5right|ensembles|missing|all>\n")
@@ -57,13 +63,53 @@ func main() {
 		MushroomsRows: *mushrooms,
 		CensusRows:    *census,
 	}
-	if err := run(flag.Arg(0), cfg, *plot, *asJSON); err != nil {
+	rep := &reporter{enabled: *report != ""}
+	if err := run(flag.Arg(0), cfg, *plot, *asJSON, rep); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
+	if rep.enabled {
+		bench := obs.BenchReport{
+			SchemaVersion: obs.ReportSchemaVersion,
+			Config: fmt.Sprintf("seed=%d full=%v mushrooms=%d census=%d",
+				*seed, *full, *mushrooms, *census),
+			Artifacts: rep.reports,
+		}
+		if err := obs.WriteJSON(*report, bench); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: report: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run(artifact string, cfg experiments.Config, plot, asJSON bool) error {
+// reporter accumulates one RunReport per artifact when -report is set.
+type reporter struct {
+	enabled bool
+	reports []obs.RunReport
+}
+
+// begin attaches a fresh Recorder to cfg and returns a done func that
+// snapshots it, together with the artifact's headline metrics, into the
+// report list. With reporting disabled both are no-ops.
+func (r *reporter) begin(artifact string, cfg experiments.Config) (experiments.Config, func(metrics map[string]float64)) {
+	if !r.enabled {
+		return cfg, func(map[string]float64) {}
+	}
+	rec := obs.New()
+	cfg.Recorder = rec
+	start := time.Now()
+	return cfg, func(metrics map[string]float64) {
+		runRep := obs.RunReport{
+			Name:    artifact,
+			WallNS:  int64(time.Since(start)),
+			Metrics: metrics,
+		}
+		runRep.FillFrom(rec)
+		r.reports = append(r.reports, runRep)
+	}
+}
+
+func run(artifact string, cfg experiments.Config, plot, asJSON bool, rep *reporter) error {
 	emit := func(v any) error {
 		if asJSON {
 			enc := json.NewEncoder(os.Stdout)
@@ -73,12 +119,30 @@ func run(artifact string, cfg experiments.Config, plot, asJSON bool) error {
 		fmt.Print(v)
 		return nil
 	}
+	// tableMetrics flattens a Table 2/3-style row list into metric keys.
+	tableMetrics := func(prefix string, rows []experiments.TableRow, m map[string]float64) {
+		for _, row := range rows {
+			m[prefix+"ed:"+row.Name] = row.ED
+			if row.HasEC {
+				m[prefix+"ec:"+row.Name] = row.EC
+			}
+		}
+	}
 	switch artifact {
 	case "fig3":
+		cfg, done := rep.begin(artifact, cfg)
 		res, err := experiments.Fig3Robustness(cfg)
 		if err != nil {
 			return err
 		}
+		m := map[string]float64{
+			"aggregate_ec":   res.Aggregate.Err,
+			"aggregate_rand": res.Aggregate.Rand,
+		}
+		for _, in := range res.Inputs {
+			m["ec:"+in.Name] = in.Err
+		}
+		done(m)
 		if err := emit(res); err != nil {
 			return err
 		}
@@ -93,10 +157,19 @@ func run(artifact string, cfg experiments.Config, plot, asJSON bool) error {
 			fmt.Print(asciiplot.Scatter(res.Scene.Points, res.Aggregate.Labels, 78, 22))
 		}
 	case "fig4":
+		cfg, done := rep.begin(artifact, cfg)
 		res, err := experiments.Fig4CorrectClusters(cfg)
 		if err != nil {
 			return err
 		}
+		m := map[string]float64{}
+		for _, c := range res.Cases {
+			p := fmt.Sprintf("k%d:", c.KTrue)
+			m[p+"found"] = float64(c.KFound)
+			m[p+"main"] = float64(c.MainClusters)
+			m[p+"ec"] = c.Err
+		}
+		done(m)
 		if err := emit(res); err != nil {
 			return err
 		}
@@ -107,68 +180,128 @@ func run(artifact string, cfg experiments.Config, plot, asJSON bool) error {
 			}
 		}
 	case "table1":
+		cfg, done := rep.begin(artifact, cfg)
 		res, err := experiments.Table1Confusion(cfg)
 		if err != nil {
 			return err
 		}
+		done(map[string]float64{"clusters": float64(res.K), "ec": res.Err})
 		if err := emit(res); err != nil {
 			return err
 		}
 	case "table2":
+		cfg, done := rep.begin(artifact, cfg)
 		res, err := experiments.Table2Votes(cfg)
 		if err != nil {
 			return err
 		}
+		m := map[string]float64{}
+		tableMetrics("", res.Rows, m)
+		done(m)
 		if asJSON {
 			return emit(res)
 		}
 		fmt.Printf("Table 2 — %s", res)
 	case "table3":
+		cfg, done := rep.begin(artifact, cfg)
 		res, err := experiments.Table3Mushrooms(cfg)
 		if err != nil {
 			return err
 		}
+		m := map[string]float64{}
+		tableMetrics("", res.Rows, m)
+		done(m)
 		if asJSON {
 			return emit(res)
 		}
 		fmt.Printf("Table 3 — %s", res)
 	case "census":
+		cfg, done := rep.begin(artifact, cfg)
 		res, err := experiments.CensusSampling(cfg)
 		if err != nil {
 			return err
 		}
+		done(map[string]float64{
+			"clusters":       float64(res.KFound),
+			"ec":             res.Err,
+			"limbo_clusters": float64(res.LimboK),
+			"limbo_ec":       res.LimboErr,
+			"seconds":        res.Duration.Seconds(),
+		})
 		if err := emit(res); err != nil {
 			return err
 		}
 	case "fig5left", "fig5middle":
+		cfg, done := rep.begin(artifact, cfg)
 		res, err := experiments.Fig5Sampling(cfg)
 		if err != nil {
 			return err
 		}
+		m := map[string]float64{"full_ec": res.FullErr, "full_seconds": res.FullTime.Seconds()}
+		for _, p := range res.Points {
+			prefix := fmt.Sprintf("s%d:", p.SampleSize)
+			m[prefix+"time_ratio"] = p.TimeRatio
+			m[prefix+"ec"] = p.Err
+		}
+		done(m)
 		if err := emit(res); err != nil {
 			return err
 		}
 	case "fig5right":
+		cfg, done := rep.begin(artifact, cfg)
 		res, err := experiments.Fig5Scalability(cfg)
 		if err != nil {
 			return err
 		}
+		m := map[string]float64{}
+		for _, p := range res.Points {
+			prefix := fmt.Sprintf("n%d:", p.N)
+			m[prefix+"seconds"] = p.Duration.Seconds()
+			m[prefix+"ec"] = p.Err
+		}
+		if len(res.Points) >= 2 {
+			// Time growth relative to size growth; ~1 means linear scaling.
+			first, last := res.Points[0], res.Points[len(res.Points)-1]
+			if first.Duration > 0 && first.N > 0 {
+				timeGrowth := last.Duration.Seconds() / first.Duration.Seconds()
+				sizeGrowth := float64(last.N) / float64(first.N)
+				m["linearity_ratio"] = timeGrowth / sizeGrowth
+			}
+		}
+		done(m)
 		if err := emit(res); err != nil {
 			return err
 		}
 	case "missing":
+		cfg, done := rep.begin(artifact, cfg)
 		res, err := experiments.MissingValueSweep(cfg)
 		if err != nil {
 			return err
 		}
+		m := map[string]float64{}
+		for _, p := range res.Points {
+			prefix := fmt.Sprintf("f%.0f:", 100*p.Fraction)
+			m[prefix+"coin_ec"] = p.CoinErr
+			m[prefix+"avg_ec"] = p.AvgErr
+		}
+		done(m)
 		if err := emit(res); err != nil {
 			return err
 		}
 	case "ensembles":
+		cfg, done := rep.begin(artifact, cfg)
 		results, err := experiments.EnsembleComparison(cfg)
 		if err != nil {
 			return err
 		}
+		m := map[string]float64{}
+		for _, res := range results {
+			for _, row := range res.Rows {
+				m[res.Dataset+":ed:"+row.Name] = row.ED
+				m[res.Dataset+":ec:"+row.Name] = row.EC
+			}
+		}
+		done(m)
 		if asJSON {
 			return emit(results)
 		}
@@ -180,7 +313,7 @@ func run(artifact string, cfg experiments.Config, plot, asJSON bool) error {
 	case "all":
 		for _, a := range []string{"fig3", "fig4", "table1", "table2", "table3", "census", "fig5left", "fig5right", "ensembles", "missing"} {
 			fmt.Printf("==== %s ====\n", a)
-			if err := run(a, cfg, plot, asJSON); err != nil {
+			if err := run(a, cfg, plot, asJSON, rep); err != nil {
 				return fmt.Errorf("%s: %w", a, err)
 			}
 			fmt.Println()

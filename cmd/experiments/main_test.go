@@ -18,7 +18,7 @@ func tinyCfg() experiments.Config {
 }
 
 func TestRunUnknownArtifact(t *testing.T) {
-	if err := run("nope", tinyCfg(), false, false); err == nil {
+	if err := run("nope", tinyCfg(), false, false, &reporter{}); err == nil {
 		t.Error("unknown artifact accepted")
 	}
 }
@@ -27,7 +27,7 @@ func TestRunArtifacts(t *testing.T) {
 	for _, artifact := range []string{"fig3", "fig4", "table1", "table2", "census", "fig5left", "fig5right"} {
 		artifact := artifact
 		t.Run(artifact, func(t *testing.T) {
-			if err := run(artifact, tinyCfg(), false, false); err != nil {
+			if err := run(artifact, tinyCfg(), false, false, &reporter{}); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -35,15 +35,38 @@ func TestRunArtifacts(t *testing.T) {
 }
 
 func TestRunWithPlots(t *testing.T) {
-	if err := run("fig3", tinyCfg(), true, false); err != nil {
+	if err := run("fig3", tinyCfg(), true, false, &reporter{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunJSON(t *testing.T) {
 	for _, artifact := range []string{"fig4", "table2", "missing"} {
-		if err := run(artifact, tinyCfg(), false, true); err != nil {
+		if err := run(artifact, tinyCfg(), false, true, &reporter{}); err != nil {
 			t.Fatalf("%s as JSON: %v", artifact, err)
+		}
+	}
+}
+
+func TestRunWithReporter(t *testing.T) {
+	rep := &reporter{enabled: true}
+	for _, artifact := range []string{"table2", "fig3"} {
+		if err := run(artifact, tinyCfg(), false, false, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(rep.reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(rep.reports))
+	}
+	for _, r := range rep.reports {
+		if r.SchemaVersion == 0 || r.WallNS <= 0 {
+			t.Errorf("%s: schema_version=%d wall_ns=%d", r.Name, r.SchemaVersion, r.WallNS)
+		}
+		if len(r.Metrics) == 0 {
+			t.Errorf("%s: no metrics extracted", r.Name)
+		}
+		if len(r.Counters) == 0 {
+			t.Errorf("%s: no counters collected", r.Name)
 		}
 	}
 }

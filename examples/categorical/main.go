@@ -44,7 +44,7 @@ func main() {
 	best.ec = 1
 	for _, method := range core.Methods() {
 		labels, err := problem.Aggregate(method, core.AggregateOptions{
-			BallsAlpha:  0.4,
+			BallsAlpha:  core.Alpha(0.4),
 			Materialize: true,
 		})
 		if err != nil {

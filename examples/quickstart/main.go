@@ -40,7 +40,7 @@ func main() {
 		labels, err := problem.Aggregate(method, core.AggregateOptions{
 			// α = 2/5 keeps BALLS from splintering this tiny instance into
 			// singletons (the paper's recommendation for real data).
-			BallsAlpha: 0.4,
+			BallsAlpha: core.Alpha(0.4),
 		})
 		if err != nil {
 			log.Fatal(err)

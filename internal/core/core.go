@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"clusteragg/internal/corrclust"
+	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 )
 
@@ -200,7 +201,17 @@ func (p *Problem) distAverage(u, v int) float64 {
 // faster on the materialized form; the cost is O(m·n²) time and O(n²) space.
 // Materialization runs on all CPUs for large instances.
 func (p *Problem) Matrix() *corrclust.Matrix {
-	return corrclust.MatrixFromInstanceParallel(p, 0)
+	return p.matrixRecorded(nil)
+}
+
+// matrixRecorded is Matrix with the build's Dist probes counted under
+// "materialize.dist_probes" when rec is non-nil.
+func (p *Problem) matrixRecorded(rec *obs.Recorder) *corrclust.Matrix {
+	var inst corrclust.Instance = p
+	if rec != nil {
+		inst = obs.Count(p, rec.Counter("materialize.dist_probes"))
+	}
+	return corrclust.MatrixFromInstanceParallel(inst, 0)
 }
 
 // Disagreement returns the (expected) total number of unordered-pair
@@ -250,14 +261,27 @@ func completeMissing(labels partition.Labels) partition.Labels {
 // regime the paper attributes to the Barthélemy–Leclerc data structures —
 // instead of the O(m²·n²) pair scan.
 func (p *Problem) BestClustering() (labels partition.Labels, index int, disagreement float64) {
+	return p.bestClustering(nil)
+}
+
+// bestClustering is BestClustering with instrumentation: rec (may be nil)
+// receives bestclustering.candidates, bestclustering.fast_path, and — on
+// the pairwise-scan path — bestclustering.dist_probes.
+func (p *Problem) bestClustering(rec *obs.Recorder) (labels partition.Labels, index int, disagreement float64) {
+	rec.Add("bestclustering.candidates", int64(len(p.clusterings)))
 	if p.fastBestApplicable() {
+		rec.Add("bestclustering.fast_path", 1)
 		return p.bestClusteringFast()
+	}
+	var inst corrclust.Instance = p
+	if rec != nil {
+		inst = obs.Count(p, rec.Counter("bestclustering.dist_probes"))
 	}
 	bestIdx, bestD := -1, 0.0
 	var best partition.Labels
 	for i, c := range p.clusterings {
 		cand := completeMissing(c)
-		d := p.Disagreement(cand)
+		d := p.totalWeight * corrclust.Cost(inst, cand)
 		if bestIdx == -1 || d < bestD {
 			bestIdx, bestD, best = i, d, cand
 		}

@@ -79,7 +79,7 @@ func TestFigure1AllMethodsFindOptimum(t *testing.T) {
 			// does exactly that (the ball around v1 has average distance 1/3).
 			got, err := p.Aggregate(method, AggregateOptions{
 				Materialize: materialize,
-				BallsAlpha:  corrclust.RecommendedBallsAlpha,
+				BallsAlpha:  Alpha(corrclust.RecommendedBallsAlpha),
 			})
 			if err != nil {
 				t.Fatalf("%v: %v", method, err)
@@ -359,7 +359,7 @@ func TestAggregateKOption(t *testing.T) {
 
 func TestBestOf(t *testing.T) {
 	p := figure1Problem(t)
-	labels, method, err := p.BestOf(nil, AggregateOptions{BallsAlpha: 0.4, Materialize: true})
+	labels, method, err := p.BestOf(nil, AggregateOptions{BallsAlpha: Alpha(0.4), Materialize: true})
 	if err != nil {
 		t.Fatal(err)
 	}

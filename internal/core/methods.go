@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"clusteragg/internal/corrclust"
+	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 )
 
@@ -67,11 +69,22 @@ func ExtensionMethods() []Method {
 	return []Method{MethodPivot, MethodAnneal}
 }
 
+// Slug returns the lowercase identifier used for the method in counter
+// names, span names, and the CLIs ("balls", "localsearch", ...).
+func (m Method) Slug() string { return strings.ToLower(m.String()) }
+
+// Alpha returns a pointer to a, for setting AggregateOptions.BallsAlpha
+// inline: core.AggregateOptions{BallsAlpha: core.Alpha(0.4)}.
+func Alpha(a float64) *float64 { return &a }
+
 // AggregateOptions tunes Aggregate.
 type AggregateOptions struct {
-	// BallsAlpha is the α parameter of MethodBalls. Zero means
-	// corrclust.DefaultBallsAlpha (1/4, the value of Theorem 1).
-	BallsAlpha float64
+	// BallsAlpha is the α parameter of MethodBalls. Nil means
+	// corrclust.DefaultBallsAlpha (1/4, the value of Theorem 1); a non-nil
+	// pointer is used as given, so an explicit α = 0 — a legal parameter
+	// that accepts only zero-distance balls — is distinguishable from
+	// "unset". The Alpha helper builds the pointer inline.
+	BallsAlpha *float64
 	// K, when positive, asks the method to produce exactly K clusters where
 	// the method supports it (MethodAgglomerative, MethodFurthest). The
 	// other methods remain parameter-free and ignore K.
@@ -91,54 +104,82 @@ type AggregateOptions struct {
 	// PivotRounds is the number of independent pivot orders MethodPivot
 	// tries, keeping the best (zero means 10).
 	PivotRounds int
+	// Recorder, when non-nil, collects spans and counters for the run:
+	// every Dist probe the chosen algorithm makes is counted under
+	// "<method>.dist_probes" (through an obs.CountingInstance wrapper, so
+	// the algorithms' inner loops are untouched), materialization probes
+	// under "materialize.dist_probes", and each algorithm contributes its
+	// own counters (see internal/obs and docs/OBSERVABILITY.md). Nil — the
+	// default everywhere — records nothing and changes nothing: results
+	// are always identical with and without a Recorder.
+	Recorder *obs.Recorder
+}
+
+// counting wraps inst so its Dist probes are counted under name; with a nil
+// recorder it returns inst unchanged (zero overhead).
+func counting(inst corrclust.Instance, rec *obs.Recorder, name string) corrclust.Instance {
+	if rec == nil {
+		return inst
+	}
+	return obs.Count(inst, rec.Counter(name))
 }
 
 // Aggregate runs the chosen aggregation method on the problem and returns
 // the aggregate clustering with normalized labels.
 func (p *Problem) Aggregate(method Method, opts AggregateOptions) (partition.Labels, error) {
+	rec := opts.Recorder
+	span := rec.Start("aggregate:" + method.Slug())
+	defer span.End()
 	var inst corrclust.Instance = p
 	if opts.Materialize {
-		inst = p.Matrix()
+		ms := rec.Start("materialize")
+		inst = p.matrixRecorded(rec)
+		ms.End()
 	}
 	return p.aggregateOn(inst, method, opts)
 }
 
 // aggregateOn is Aggregate against an explicit distance oracle, shared by
-// Aggregate and BestOf.
+// Aggregate and BestOf. When opts.Recorder is set, the oracle is wrapped so
+// every probe the algorithm makes lands in "<method>.dist_probes".
 func (p *Problem) aggregateOn(inst corrclust.Instance, method Method, opts AggregateOptions) (partition.Labels, error) {
+	rec := opts.Recorder
+	algInst := counting(inst, rec, method.Slug()+".dist_probes")
 	var labels partition.Labels
 	switch method {
 	case MethodBest:
-		labels, _, _ = p.BestClustering()
+		labels, _, _ = p.bestClustering(rec)
 	case MethodBalls:
-		alpha := opts.BallsAlpha
-		if alpha == 0 {
-			alpha = corrclust.DefaultBallsAlpha
+		alpha := corrclust.DefaultBallsAlpha
+		if opts.BallsAlpha != nil {
+			alpha = *opts.BallsAlpha
 		}
 		var err error
-		labels, err = corrclust.Balls(inst, alpha)
+		labels, err = corrclust.BallsWithOptions(algInst, corrclust.BallsOptions{Alpha: alpha, Recorder: rec})
 		if err != nil {
 			return nil, err
 		}
 	case MethodAgglomerative:
-		labels = corrclust.AgglomerativeK(inst, opts.K)
+		labels = corrclust.AgglomerativeWithOptions(algInst, corrclust.AgglomerativeOptions{K: opts.K, Recorder: rec})
 	case MethodFurthest:
-		labels, _ = corrclust.FurthestK(inst, opts.K)
+		labels, _ = corrclust.FurthestWithOptions(algInst, corrclust.FurthestOptions{K: opts.K, Recorder: rec})
 	case MethodLocalSearch:
-		labels = corrclust.LocalSearch(inst, corrclust.LocalSearchOptions{})
+		labels = corrclust.LocalSearch(algInst, corrclust.LocalSearchOptions{Recorder: rec})
 	case MethodPivot:
 		rounds := opts.PivotRounds
 		if rounds <= 0 {
 			rounds = 10
 		}
-		labels = corrclust.PivotBest(inst, rounds, opts.Rand)
+		labels = corrclust.PivotWithOptions(algInst, corrclust.PivotOptions{Rounds: rounds, Rand: opts.Rand, Recorder: rec})
 	case MethodAnneal:
-		labels = corrclust.Anneal(inst, corrclust.AnnealOptions{Rand: opts.Rand})
+		labels = corrclust.Anneal(algInst, corrclust.AnnealOptions{Rand: opts.Rand, Recorder: rec})
 	default:
 		return nil, fmt.Errorf("core: unknown method %v", method)
 	}
 	if opts.Refine && method != MethodLocalSearch {
-		labels = corrclust.LocalSearch(inst, corrclust.LocalSearchOptions{Init: labels})
+		rs := rec.Start("refine")
+		labels = corrclust.LocalSearch(counting(inst, rec, "refine.dist_probes"), corrclust.LocalSearchOptions{Init: labels, Recorder: rec})
+		rs.End()
 	}
 	return labels.Normalize(), nil
 }
@@ -154,20 +195,30 @@ func (p *Problem) BestOf(methods []Method, opts AggregateOptions) (partition.Lab
 	if len(methods) == 0 {
 		methods = Methods()
 	}
+	rec := opts.Recorder
+	span := rec.Start("bestof")
+	defer span.End()
 	var inst corrclust.Instance = p
 	if opts.Materialize {
-		inst = p.Matrix()
+		ms := rec.Start("materialize")
+		inst = p.matrixRecorded(rec)
+		ms.End()
 		opts.Materialize = false // reuse the shared matrix below
 	}
 	var best partition.Labels
 	var bestMethod Method
 	bestCost := 0.0
 	for _, method := range methods {
+		msp := rec.Start("method:" + method.Slug())
 		labels, err := p.aggregateOn(inst, method, opts)
 		if err != nil {
+			msp.End()
 			return nil, 0, err
 		}
-		cost := corrclust.Cost(inst, labels)
+		// The per-candidate cost evaluation is part of racing this method,
+		// so its probes are charged to the method's dist_probes counter.
+		cost := corrclust.Cost(counting(inst, rec, method.Slug()+".dist_probes"), labels)
+		msp.End()
 		if best == nil || cost < bestCost {
 			best, bestMethod, bestCost = labels, method, cost
 		}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"clusteragg/internal/obs"
+	"clusteragg/internal/partition"
+)
+
+// recorderProblem builds a seeded synthetic aggregation problem: m noisy
+// copies of a planted 3-clustering over n objects.
+func recorderProblem(t testing.TB, n, m int, seed int64) *Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	truth := make(partition.Labels, n)
+	for i := range truth {
+		truth[i] = i % 3
+	}
+	inputs := make([]partition.Labels, m)
+	for ci := range inputs {
+		c := make(partition.Labels, n)
+		copy(c, truth)
+		for i := range c {
+			if rng.Float64() < 0.15 {
+				c[i] = rng.Intn(4)
+			}
+		}
+		inputs[ci] = c
+	}
+	p, err := NewProblem(inputs, ProblemOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func sameLabels(t *testing.T, name string, plain, traced partition.Labels) {
+	t.Helper()
+	if len(plain) != len(traced) {
+		t.Fatalf("%s: length %d vs %d", name, len(plain), len(traced))
+	}
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Errorf("%s: label[%d] = %d without recorder, %d with", name, i, plain[i], traced[i])
+			return
+		}
+	}
+}
+
+// TestRecorderDoesNotChangeResults runs every method with and without a
+// Recorder attached and demands bit-identical labels: instrumentation must
+// observe, never steer.
+func TestRecorderDoesNotChangeResults(t *testing.T) {
+	p := recorderProblem(t, 80, 5, 7)
+	methods := append(Methods(), ExtensionMethods()...)
+	for _, method := range methods {
+		for _, mat := range []bool{false, true} {
+			opts := func(rec *obs.Recorder) AggregateOptions {
+				return AggregateOptions{
+					Materialize: mat,
+					Rand:        rand.New(rand.NewSource(3)),
+					Recorder:    rec,
+				}
+			}
+			plain, err := p.Aggregate(method, opts(nil))
+			if err != nil {
+				t.Fatalf("%v (materialize=%v): %v", method, mat, err)
+			}
+			rec := obs.New()
+			traced, err := p.Aggregate(method, opts(rec))
+			if err != nil {
+				t.Fatalf("%v (materialize=%v) instrumented: %v", method, mat, err)
+			}
+			sameLabels(t, method.String(), plain, traced)
+			if len(rec.Spans()) == 0 {
+				t.Errorf("%v: recorder collected no spans", method)
+			}
+			if len(rec.Counters()) == 0 {
+				t.Errorf("%v: recorder collected no counters", method)
+			}
+		}
+	}
+}
+
+// TestRecorderBestOfEquivalence checks BestOf under instrumentation: same
+// winner, same labels, and a nonzero distance-probe counter for each of the
+// five paper methods (the acceptance criterion of the instrumentation PR).
+func TestRecorderBestOfEquivalence(t *testing.T) {
+	p := recorderProblem(t, 60, 4, 11)
+	opts := func(rec *obs.Recorder) AggregateOptions {
+		return AggregateOptions{
+			Materialize: true,
+			Rand:        rand.New(rand.NewSource(5)),
+			Recorder:    rec,
+		}
+	}
+	plain, plainWinner, err := p.BestOf(nil, opts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	traced, tracedWinner, err := p.BestOf(nil, opts(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainWinner != tracedWinner {
+		t.Fatalf("winner %v without recorder, %v with", plainWinner, tracedWinner)
+	}
+	sameLabels(t, "bestof", plain, traced)
+
+	counters := rec.Counters()
+	for _, method := range Methods() {
+		key := method.Slug() + ".dist_probes"
+		if counters[key] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", key, counters[key])
+		}
+	}
+}
+
+// TestRecorderSampleEquivalence checks the SAMPLING pipeline: identical
+// labels with and without a Recorder, and the sampling-specific counters
+// present.
+func TestRecorderSampleEquivalence(t *testing.T) {
+	p := recorderProblem(t, 200, 4, 13)
+	run := func(rec *obs.Recorder) partition.Labels {
+		t.Helper()
+		labels, err := p.Sample(MethodAgglomerative,
+			AggregateOptions{Recorder: rec},
+			SamplingOptions{SampleSize: 40, Rand: rand.New(rand.NewSource(2))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return labels
+	}
+	plain := run(nil)
+	rec := obs.New()
+	traced := run(rec)
+	sameLabels(t, "sample", plain, traced)
+
+	counters := rec.Counters()
+	if got := counters["sample.size"]; got != 40 {
+		t.Errorf("sample.size = %d, want 40", got)
+	}
+	if counters["sample.assigned"]+counters["sample.fresh_singletons"] != 200-40 {
+		t.Errorf("assigned %d + fresh %d != %d non-sampled objects",
+			counters["sample.assigned"], counters["sample.fresh_singletons"], 200-40)
+	}
+	if counters["sample.assign.dist_probes"] <= 0 {
+		t.Error("sample.assign.dist_probes not counted")
+	}
+}
+
+// TestSamplingRecorderFallback verifies SamplingOptions.Recorder falls back
+// to the AggregateOptions recorder and takes precedence when both are set.
+func TestSamplingRecorderFallback(t *testing.T) {
+	p := recorderProblem(t, 120, 3, 17)
+	sampleRec, aggRec := obs.New(), obs.New()
+	_, err := p.Sample(MethodFurthest,
+		AggregateOptions{Recorder: aggRec},
+		SamplingOptions{SampleSize: 30, Recorder: sampleRec, Rand: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sampleRec.Counters()) == 0 {
+		t.Error("explicit SamplingOptions.Recorder collected nothing")
+	}
+	if len(aggRec.Counters()) != 0 {
+		t.Error("AggregateOptions.Recorder used despite SamplingOptions.Recorder")
+	}
+}

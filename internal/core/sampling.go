@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sort"
 
+	"clusteragg/internal/corrclust"
+	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 )
 
@@ -22,6 +24,11 @@ type SamplingOptions struct {
 	// all singleton clusters and aggregates them again (enabled by default,
 	// as in the paper).
 	NoSingletonRecluster bool
+	// Recorder, when non-nil, receives the sampling spans (sample:core,
+	// sample:assign, sample:recluster) and sample.* counters, splitting the
+	// exact-core work from the linear assignment pass. Nil falls back to
+	// the AggregateOptions' Recorder; results never depend on it.
+	Recorder *obs.Recorder
 }
 
 // Sample runs the SAMPLING algorithm on top of the given aggregation method:
@@ -31,6 +38,11 @@ type SamplingOptions struct {
 // and aggregates them again. Pre- and post-processing are linear in n for a
 // fixed sample size.
 func (p *Problem) Sample(method Method, aggOpts AggregateOptions, sOpts SamplingOptions) (partition.Labels, error) {
+	rec := sOpts.Recorder
+	if rec == nil {
+		rec = aggOpts.Recorder
+	}
+	aggOpts.Recorder = rec // inner aggregations record into the same place
 	n := p.n
 	s := sOpts.SampleSize
 	if s == 0 {
@@ -46,11 +58,16 @@ func (p *Problem) Sample(method Method, aggOpts AggregateOptions, sOpts Sampling
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
+	span := rec.Start("sample")
+	defer span.End()
+	rec.Add("sample.size", int64(s))
 
 	sample := rng.Perm(n)[:s]
 	sort.Ints(sample)
 
+	coreSpan := rec.Start("sample:core")
 	sampleLabels, err := p.subProblem(sample).Aggregate(method, withMaterialize(aggOpts))
+	coreSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -73,10 +90,16 @@ func (p *Problem) Sample(method Method, aggOpts AggregateOptions, sOpts Sampling
 	// Assignment phase: place each non-sampled object into the sampled
 	// cluster minimizing d(v, C_i) = M(v,C_i) + Σ_{j≠i}(|C_j| − M(v,C_j)),
 	// or into a fresh singleton when that is cheaper.
+	assignSpan := rec.Start("sample:assign")
+	var oracle corrclust.Instance = p
+	if rec != nil {
+		oracle = obs.Count(p, rec.Counter("sample.assign.dist_probes"))
+	}
 	inSample := make([]bool, n)
 	for _, i := range sample {
 		inSample[i] = true
 	}
+	var assigned, fresh int64
 	next := k
 	m := make([]float64, k)
 	for v := 0; v < n; v++ {
@@ -87,7 +110,7 @@ func (p *Problem) Sample(method Method, aggOpts AggregateOptions, sOpts Sampling
 		for ci := range members {
 			m[ci] = 0
 			for _, u := range members[ci] {
-				m[ci] += p.Dist(v, u)
+				m[ci] += oracle.Dist(v, u)
 			}
 			totalAway += float64(len(members[ci])) - m[ci]
 		}
@@ -101,13 +124,21 @@ func (p *Problem) Sample(method Method, aggOpts AggregateOptions, sOpts Sampling
 		if bestC == -1 {
 			labels[v] = next
 			next++
+			fresh++
 		} else {
 			labels[v] = bestC
+			assigned++
 		}
 	}
+	rec.Add("sample.assigned", assigned)
+	rec.Add("sample.fresh_singletons", fresh)
+	assignSpan.End()
 
 	if !sOpts.NoSingletonRecluster {
-		if err := p.reclusterSingletons(labels, method, aggOpts, rng); err != nil {
+		rs := rec.Start("sample:recluster")
+		err := p.reclusterSingletons(labels, method, aggOpts, rng)
+		rs.End()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -171,6 +202,7 @@ func (p *Problem) reclusterSingletons(labels partition.Labels, method Method, ag
 	if len(singles) < 2 {
 		return nil
 	}
+	aggOpts.Recorder.Add("sample.recluster.objects", int64(len(singles)))
 
 	sub := p.subProblem(singles)
 	var subLabels partition.Labels

@@ -3,8 +3,21 @@ package corrclust
 import (
 	"container/heap"
 
+	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 )
+
+// AgglomerativeOptions configures AgglomerativeWithOptions.
+type AgglomerativeOptions struct {
+	// K, when positive, keeps merging the closest pair (even past the 1/2
+	// threshold) until exactly K clusters remain. Zero applies the paper's
+	// parameter-free stopping rule.
+	K int
+	// Recorder, when non-nil, receives the agglomerative.* counters (heap
+	// pushes, pops, merges, stale pops). Nil records nothing and costs
+	// nothing.
+	Recorder *obs.Recorder
+}
 
 // Agglomerative runs the AGGLOMERATIVE algorithm of Section 4: start with
 // every object in a singleton cluster and repeatedly merge the pair of
@@ -28,7 +41,13 @@ func Agglomerative(inst Instance) partition.Labels {
 // before the threshold is reached. With k = 0 the parameter-free rule of the
 // paper applies.
 func AgglomerativeK(inst Instance, k int) partition.Labels {
-	n := inst.N()
+	return AgglomerativeWithOptions(inst, AgglomerativeOptions{K: k})
+}
+
+// AgglomerativeWithOptions is AgglomerativeK with instrumentation: when
+// opts.Recorder is set, the algorithm's heap and merge activity is counted.
+func AgglomerativeWithOptions(inst Instance, opts AgglomerativeOptions) partition.Labels {
+	n, k := inst.N(), opts.K
 	if n == 0 {
 		return partition.Labels{}
 	}
@@ -58,10 +77,12 @@ func AgglomerativeK(inst Instance, k int) partition.Labels {
 			// cluster changes, so skipping them here loses nothing.
 			if k > 0 || x < 0.5 {
 				heap.Push(h, mergeCand{a: u, b: v, avg: x})
+				state.pushes++
 			}
 		}
 	}
 
+	var pops, stale, merges int64
 	labels := partition.Singletons(n)
 	clusters := n
 	for h.Len() > 0 && clusters > 1 {
@@ -69,20 +90,29 @@ func AgglomerativeK(inst Instance, k int) partition.Labels {
 			break // exact-k request satisfied
 		}
 		cand := heap.Pop(h).(mergeCand)
+		pops++
 		if !state.alive[cand.a] || !state.alive[cand.b] ||
 			state.version[cand.a] != cand.verA || state.version[cand.b] != cand.verB {
+			stale++
 			continue
 		}
 		if k == 0 && cand.avg >= 0.5 {
 			break // parameter-free stop: no pair below the threshold remains
 		}
 		state.merge(cand.a, cand.b, h, k)
+		merges++
 		for i := range labels {
 			if labels[i] == cand.b {
 				labels[i] = cand.a
 			}
 		}
 		clusters--
+	}
+	if rec := opts.Recorder; rec != nil {
+		rec.Add("agglomerative.heap_pushes", state.pushes)
+		rec.Add("agglomerative.heap_pops", pops)
+		rec.Add("agglomerative.stale_pops", stale)
+		rec.Add("agglomerative.merges", merges)
 	}
 	return labels.Normalize()
 }
@@ -120,6 +150,7 @@ type mergeState struct {
 	version []int
 	alive   []bool
 	total   []float64 // condensed pairwise total inter-cluster weight
+	pushes  int64     // heap pushes, for the agglomerative.heap_pushes counter
 }
 
 func (s *mergeState) index(u, v int) int {
@@ -147,6 +178,7 @@ func (s *mergeState) merge(a, b int, h *mergeHeap, k int) {
 				verA: s.version[min(a, c)], verB: s.version[max(a, c)],
 				avg: avg,
 			})
+			s.pushes++
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 )
 
@@ -23,6 +24,10 @@ type AnnealOptions struct {
 	// Rand supplies randomness; nil means a deterministic source seeded
 	// with 1.
 	Rand *rand.Rand
+	// Recorder, when non-nil, receives the anneal.* counters (temperature
+	// steps, proposals, accepts, best-solution updates). Nil records
+	// nothing and costs nothing.
+	Recorder *obs.Recorder
 }
 
 // Anneal minimizes the correlation-clustering objective by simulated
@@ -105,7 +110,9 @@ func Anneal(inst Instance, opts AnnealOptions) partition.Labels {
 		return d
 	}
 
+	var tempSteps, proposals, accepts, bestUpdates int64
 	for t := startT; t > endT; t *= cooling {
+		tempSteps++
 		for m := 0; m < moves; m++ {
 			v := rng.Intn(n)
 			// Candidate target: an existing cluster of a random node, or a
@@ -119,8 +126,10 @@ func Anneal(inst Instance, opts AnnealOptions) partition.Labels {
 			if target == labels[v] {
 				continue
 			}
+			proposals++
 			d := delta(v, target)
 			if d <= 0 || rng.Float64() < math.Exp(-d/t) {
+				accepts++
 				size[labels[v]]--
 				size[target]++
 				if target > maxLabel {
@@ -130,10 +139,17 @@ func Anneal(inst Instance, opts AnnealOptions) partition.Labels {
 				cost += d
 				if cost < bestCost {
 					bestCost = cost
+					bestUpdates++
 					copy(best, labels)
 				}
 			}
 		}
+	}
+	if rec := opts.Recorder; rec != nil {
+		rec.Add("anneal.temp_steps", tempSteps)
+		rec.Add("anneal.proposals", proposals)
+		rec.Add("anneal.accepts", accepts)
+		rec.Add("anneal.best_updates", bestUpdates)
 	}
 	return best.Normalize()
 }

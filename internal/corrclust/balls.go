@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 )
 
@@ -22,30 +23,10 @@ const RecommendedBallsAlpha = 0.4
 // to S is at most alpha, otherwise u becomes a singleton.
 //
 // With alpha = DefaultBallsAlpha the result is a 3-approximation of the
-// optimal correlation clustering (Theorem 1). Alpha must lie in [0, 1/2].
+// optimal correlation clustering (Theorem 1). Alpha must lie in [0, 1/2];
+// α = 0 is legal and merges only balls at average distance exactly zero.
 func Balls(inst Instance, alpha float64) (partition.Labels, error) {
-	n := inst.N()
-	// Sort vertices by increasing total incident weight (the paper's
-	// heuristic ordering). Ties break by index for determinism.
-	weight := make([]float64, n)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			x := inst.Dist(u, v)
-			weight[u] += x
-			weight[v] += x
-		}
-	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(i, j int) bool {
-		if weight[order[i]] != weight[order[j]] {
-			return weight[order[i]] < weight[order[j]]
-		}
-		return order[i] < order[j]
-	})
-	return BallsWithOrder(inst, alpha, order)
+	return BallsWithOptions(inst, BallsOptions{Alpha: alpha})
 }
 
 // BallsWithOrder is Balls with an explicit vertex visiting order, exposed
@@ -53,10 +34,55 @@ func Balls(inst Instance, alpha float64) (partition.Labels, error) {
 // weight-sorted order "a heuristic that we observed to work well in
 // practice"). order must be a permutation of 0..n-1.
 func BallsWithOrder(inst Instance, alpha float64, order []int) (partition.Labels, error) {
+	return BallsWithOptions(inst, BallsOptions{Alpha: alpha, Order: order})
+}
+
+// BallsOptions configures BallsWithOptions.
+type BallsOptions struct {
+	// Alpha is the ball-acceptance threshold, used exactly as given (0 is a
+	// legal value); it must lie in [0, 1/2]. Callers wanting the Theorem 1
+	// default pass DefaultBallsAlpha explicitly.
+	Alpha float64
+	// Order is the vertex visiting order (a permutation of 0..n-1). Nil
+	// selects the paper's weight-sorted heuristic order.
+	Order []int
+	// Recorder, when non-nil, receives the balls.* counters (clusters,
+	// singletons, absorbed ball members, largest ball). Nil records nothing
+	// and costs nothing.
+	Recorder *obs.Recorder
+}
+
+// BallsWithOptions is the fully-configurable BALLS entry point; Balls and
+// BallsWithOrder are thin wrappers over it.
+func BallsWithOptions(inst Instance, opts BallsOptions) (partition.Labels, error) {
+	alpha := opts.Alpha
 	if alpha < 0 || alpha > 0.5 {
 		return nil, fmt.Errorf("corrclust: balls alpha %v outside [0, 0.5]", alpha)
 	}
 	n := inst.N()
+	order := opts.Order
+	if order == nil {
+		// Sort vertices by increasing total incident weight (the paper's
+		// heuristic ordering). Ties break by index for determinism.
+		weight := make([]float64, n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				x := inst.Dist(u, v)
+				weight[u] += x
+				weight[v] += x
+			}
+		}
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			if weight[order[i]] != weight[order[j]] {
+				return weight[order[i]] < weight[order[j]]
+			}
+			return order[i] < order[j]
+		})
+	}
 	if len(order) != n {
 		return nil, fmt.Errorf("corrclust: order has %d entries, want %d", len(order), n)
 	}
@@ -73,6 +99,7 @@ func BallsWithOrder(inst Instance, alpha float64, order []int) (partition.Labels
 	}
 
 	next := 0
+	var singletons, members, maxBall int64
 	ball := make([]int, 0, n)
 	for _, u := range order {
 		if labels[u] != partition.Missing {
@@ -94,8 +121,20 @@ func BallsWithOrder(inst Instance, alpha float64, order []int) (partition.Labels
 			for _, v := range ball {
 				labels[v] = next
 			}
+			members += int64(len(ball))
+			if int64(len(ball)) > maxBall {
+				maxBall = int64(len(ball))
+			}
+		} else {
+			singletons++
 		}
 		next++
+	}
+	if rec := opts.Recorder; rec != nil {
+		rec.Add("balls.clusters", int64(next))
+		rec.Add("balls.singletons", singletons)
+		rec.Add("balls.ball_members", members)
+		rec.Add("balls.max_ball", maxBall)
 	}
 	return labels.Normalize(), nil
 }

@@ -1,6 +1,9 @@
 package corrclust
 
-import "clusteragg/internal/partition"
+import (
+	"clusteragg/internal/obs"
+	"clusteragg/internal/partition"
+)
 
 // Furthest runs the FURTHEST algorithm of Section 4, a top-down procedure
 // inspired by the furthest-first traversal of Hochbaum and Shmoys. It starts
@@ -20,7 +23,29 @@ func Furthest(inst Instance) partition.Labels {
 // predefined number of clusters. It returns the labels and the cost of the
 // returned solution. With k = 0 the parameter-free stopping rule applies.
 func FurthestK(inst Instance, k int) (partition.Labels, float64) {
-	n := inst.N()
+	return FurthestWithOptions(inst, FurthestOptions{K: k})
+}
+
+// FurthestOptions configures FurthestWithOptions.
+type FurthestOptions struct {
+	// K, when positive, forces exactly K centers; zero applies the paper's
+	// parameter-free stopping rule.
+	K int
+	// Recorder, when non-nil, receives the furthest.* counters (center
+	// picks, reassignment rounds). Nil records nothing and costs nothing.
+	Recorder *obs.Recorder
+}
+
+// FurthestWithOptions is FurthestK with instrumentation.
+func FurthestWithOptions(inst Instance, opts FurthestOptions) (partition.Labels, float64) {
+	n, k := inst.N(), opts.K
+	var centerPicks, rounds int64
+	defer func() {
+		if rec := opts.Recorder; rec != nil {
+			rec.Add("furthest.center_picks", centerPicks)
+			rec.Add("furthest.reassign_rounds", rounds)
+		}
+	}()
 	if n == 0 {
 		return partition.Labels{}, 0
 	}
@@ -40,6 +65,7 @@ func FurthestK(inst Instance, k int) (partition.Labels, float64) {
 
 	addCenter := func(c int) {
 		centers = append(centers, c)
+		centerPicks++
 		for v := 0; v < n; v++ {
 			if d := inst.Dist(c, v); len(centers) == 1 || d < minDist[v] {
 				minDist[v] = d
@@ -70,6 +96,7 @@ func FurthestK(inst Instance, k int) (partition.Labels, float64) {
 		}
 
 		// Assign every object to the center incurring the least cost.
+		rounds++
 		for v := 0; v < n; v++ {
 			bestC, bestD := 0, inst.Dist(v, centers[0])
 			for ci := 1; ci < len(centers); ci++ {

@@ -1,6 +1,7 @@
 package corrclust
 
 import (
+	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 )
 
@@ -17,6 +18,10 @@ type LocalSearchOptions struct {
 	// guarding against non-termination from floating-point noise. Zero means
 	// the package default of 1e-9.
 	Epsilon float64
+	// Recorder, when non-nil, receives the localsearch.* counters (sweeps,
+	// accepted moves, early convergence). Nil records nothing and costs
+	// nothing.
+	Recorder *obs.Recorder
 }
 
 // DefaultLocalSearchPasses bounds the number of passes when the caller does
@@ -62,8 +67,11 @@ func LocalSearch(inst Instance, opts LocalSearchOptions) partition.Labels {
 	}
 	var free []int
 
+	var sweeps, moves int64
+	converged := false
 	m := make([]float64, len(size), cap(size)) // M(v, C_i), rebuilt per object
 	for pass := 0; pass < maxPasses; pass++ {
+		sweeps++
 		improved := false
 		for v := 0; v < n; v++ {
 			if cap(m) < len(size) {
@@ -112,6 +120,7 @@ func LocalSearch(inst Instance, opts LocalSearchOptions) partition.Labels {
 			}
 			// Apply the move.
 			improved = true
+			moves++
 			size[cur]--
 			if size[cur] == 0 {
 				free = append(free, cur)
@@ -129,7 +138,15 @@ func LocalSearch(inst Instance, opts LocalSearchOptions) partition.Labels {
 			labels[v] = bestCluster
 		}
 		if !improved {
+			converged = true
 			break
+		}
+	}
+	if rec := opts.Recorder; rec != nil {
+		rec.Add("localsearch.sweeps", sweeps)
+		rec.Add("localsearch.moves", moves)
+		if converged {
+			rec.Add("localsearch.converged_early", 1)
 		}
 	}
 	return labels.Normalize()

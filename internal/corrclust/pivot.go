@@ -3,6 +3,7 @@ package corrclust
 import (
 	"math/rand"
 
+	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 )
 
@@ -54,20 +55,47 @@ func Pivot(inst Instance, rng *rand.Rand) partition.Labels {
 // repetition that makes the expectation guarantee hold with high
 // probability in practice. rounds < 1 is treated as 1.
 func PivotBest(inst Instance, rounds int, rng *rand.Rand) partition.Labels {
+	return PivotWithOptions(inst, PivotOptions{Rounds: rounds, Rand: rng})
+}
+
+// PivotOptions configures PivotWithOptions.
+type PivotOptions struct {
+	// Rounds is the number of independent pivot orders tried, keeping the
+	// best; values below 1 mean 1.
+	Rounds int
+	// Rand supplies the pivot orders; nil means a deterministic source
+	// seeded with 1.
+	Rand *rand.Rand
+	// Recorder, when non-nil, receives the pivot.* counters (rounds run,
+	// 1-based index of the best round). Nil records nothing and costs
+	// nothing.
+	Recorder *obs.Recorder
+}
+
+// PivotWithOptions is PivotBest with instrumentation.
+func PivotWithOptions(inst Instance, opts PivotOptions) partition.Labels {
+	rng := opts.Rand
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
+	rounds := opts.Rounds
 	if rounds < 1 {
 		rounds = 1
 	}
 	var best partition.Labels
 	bestCost := 0.0
+	bestRound := 0
 	for r := 0; r < rounds; r++ {
 		labels := Pivot(inst, rng)
 		cost := Cost(inst, labels)
 		if best == nil || cost < bestCost {
 			best, bestCost = labels, cost
+			bestRound = r + 1
 		}
+	}
+	if rec := opts.Recorder; rec != nil {
+		rec.Add("pivot.rounds", int64(rounds))
+		rec.Add("pivot.best_round", int64(bestRound))
 	}
 	return best
 }

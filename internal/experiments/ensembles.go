@@ -10,6 +10,7 @@ import (
 	"clusteragg/internal/dataset"
 	"clusteragg/internal/ensemble"
 	"clusteragg/internal/eval"
+	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 )
 
@@ -47,7 +48,7 @@ func EnsembleComparison(cfg Config) ([]*EnsembleResult, error) {
 		t      *dataset.Table
 		kGiven int
 	}{{votes, 2}, {mush, 8}} {
-		res, err := ensembleOn(tc.t, tc.kGiven, cfg.seed())
+		res, err := ensembleOn(tc.t, cfg.Recorder, tc.kGiven, cfg.seed())
 		if err != nil {
 			return nil, err
 		}
@@ -56,7 +57,7 @@ func EnsembleComparison(cfg Config) ([]*EnsembleResult, error) {
 	return out, nil
 }
 
-func ensembleOn(t *dataset.Table, kGiven int, seed int64) (*EnsembleResult, error) {
+func ensembleOn(t *dataset.Table, rec *obs.Recorder, kGiven int, seed int64) (*EnsembleResult, error) {
 	clusterings, err := t.Clusterings()
 	if err != nil {
 		return nil, err
@@ -82,7 +83,7 @@ func ensembleOn(t *dataset.Table, kGiven int, seed int64) (*EnsembleResult, erro
 
 	// The paper's parameter-free methods.
 	for _, method := range []core.Method{core.MethodAgglomerative, core.MethodFurthest, core.MethodLocalSearch} {
-		labels, err := aggregateOnMatrix(problem, matrix, method, core.AggregateOptions{})
+		labels, err := aggregateOnMatrix(problem, matrix, method, core.AggregateOptions{Recorder: rec})
 		if err != nil {
 			return nil, err
 		}

@@ -16,6 +16,7 @@ import (
 	"clusteragg/internal/core"
 	"clusteragg/internal/dataset"
 	"clusteragg/internal/kmeans"
+	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 	"clusteragg/internal/points"
 )
@@ -41,6 +42,11 @@ type Config struct {
 	SampleSizes []int
 	// ScalabilitySizes overrides the Figure 5 right dataset-size sweep.
 	ScalabilitySizes []int
+	// Recorder, when non-nil, collects spans and algorithm counters from
+	// the aggregation runs inside each experiment (cmd/experiments -report
+	// attaches one per artifact). Nil records nothing; results are
+	// identical either way.
+	Recorder *obs.Recorder
 }
 
 func (c Config) seed() int64 {

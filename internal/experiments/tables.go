@@ -9,6 +9,7 @@ import (
 	"clusteragg/internal/dataset"
 	"clusteragg/internal/eval"
 	"clusteragg/internal/limbo"
+	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 	"clusteragg/internal/rock"
 )
@@ -58,7 +59,7 @@ func (r *CatTableResult) String() string {
 // catTable runs the shared Table 2/3 protocol on a categorical table: class
 // labels and lower bound first, then the five aggregation algorithms, then
 // ROCK and LIMBO at the requested parameter settings.
-func catTable(t *dataset.Table, rockRuns []rock.Options, limboRuns []limbo.Options) (*CatTableResult, error) {
+func catTable(t *dataset.Table, rec *obs.Recorder, rockRuns []rock.Options, limboRuns []limbo.Options) (*CatTableResult, error) {
 	problem, err := tableProblem(t)
 	if err != nil {
 		return nil, err
@@ -98,11 +99,12 @@ func catTable(t *dataset.Table, rockRuns []rock.Options, limboRuns []limbo.Optio
 		{"Agglomerative", core.MethodAgglomerative, core.AggregateOptions{}},
 		{"Furthest", core.MethodFurthest, core.AggregateOptions{}},
 		{fmt.Sprintf("Balls(a=%.1f)", corrclust.RecommendedBallsAlpha),
-			core.MethodBalls, core.AggregateOptions{BallsAlpha: corrclust.RecommendedBallsAlpha}},
+			core.MethodBalls, core.AggregateOptions{BallsAlpha: core.Alpha(corrclust.RecommendedBallsAlpha)}},
 		{"LocalSearch", core.MethodLocalSearch, core.AggregateOptions{}},
 	}
 	for _, r := range runs {
 		r.opts.Materialize = false // reuse the matrix built above instead
+		r.opts.Recorder = rec
 		labels, err := aggregateOnMatrix(problem, matrix, r.method, r.opts)
 		if err != nil {
 			return nil, err
@@ -141,18 +143,18 @@ func aggregateOnMatrix(p *core.Problem, m *corrclust.Matrix, method core.Method,
 		labels, _, _ := p.BestClustering()
 		return labels, nil
 	case core.MethodBalls:
-		alpha := opts.BallsAlpha
-		if alpha == 0 {
-			alpha = corrclust.DefaultBallsAlpha
+		alpha := corrclust.DefaultBallsAlpha
+		if opts.BallsAlpha != nil {
+			alpha = *opts.BallsAlpha
 		}
-		return corrclust.Balls(m, alpha)
+		return corrclust.BallsWithOptions(m, corrclust.BallsOptions{Alpha: alpha, Recorder: opts.Recorder})
 	case core.MethodAgglomerative:
-		return corrclust.AgglomerativeK(m, opts.K), nil
+		return corrclust.AgglomerativeWithOptions(m, corrclust.AgglomerativeOptions{K: opts.K, Recorder: opts.Recorder}), nil
 	case core.MethodFurthest:
-		labels, _ := corrclust.FurthestK(m, opts.K)
+		labels, _ := corrclust.FurthestWithOptions(m, corrclust.FurthestOptions{K: opts.K, Recorder: opts.Recorder})
 		return labels, nil
 	case core.MethodLocalSearch:
-		return corrclust.LocalSearch(m, corrclust.LocalSearchOptions{}), nil
+		return corrclust.LocalSearch(m, corrclust.LocalSearchOptions{Recorder: opts.Recorder}), nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown method %v", method)
 	}
@@ -164,7 +166,7 @@ func aggregateOnMatrix(p *core.Problem, m *corrclust.Matrix, method core.Method,
 // real file: the largest θ at which the two parties stay linked).
 func Table2Votes(cfg Config) (*CatTableResult, error) {
 	t := dataset.SyntheticVotes(cfg.seed())
-	return catTable(t,
+	return catTable(t, cfg.Recorder,
 		[]rock.Options{{K: 2, Theta: 0.50}},
 		[]limbo.Options{{K: 2, Phi: 0.0}},
 	)
@@ -178,7 +180,7 @@ func Table3Mushrooms(cfg Config) (*CatTableResult, error) {
 	// ROCK's θ = 0.60 is the stand-in's analogue of the paper's 0.8 (see
 	// Table2Votes); LIMBO keeps the paper's φ = 0.3.
 	t := subsample(dataset.SyntheticMushrooms(cfg.seed()), cfg.mushroomsRows(), cfg.seed())
-	return catTable(t,
+	return catTable(t, cfg.Recorder,
 		[]rock.Options{{K: 2, Theta: 0.6}, {K: 7, Theta: 0.6}, {K: 9, Theta: 0.6}},
 		[]limbo.Options{{K: 2, Phi: 0.3}, {K: 7, Phi: 0.3}, {K: 9, Phi: 0.3}},
 	)
@@ -202,7 +204,7 @@ func Table1Confusion(cfg Config) (*Table1Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	agg, err := problem.Aggregate(core.MethodAgglomerative, core.AggregateOptions{Materialize: true})
+	agg, err := problem.Aggregate(core.MethodAgglomerative, core.AggregateOptions{Materialize: true, Recorder: cfg.Recorder})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,42 @@
+package obs
+
+// DistanceOracle is the slice of corrclust.Instance the counting wrapper
+// needs. It is declared structurally here (rather than importing corrclust)
+// so obs stays dependency-free and corrclust can import obs without a cycle.
+type DistanceOracle interface {
+	// N returns the number of objects.
+	N() int
+	// Dist returns the distance between two objects.
+	Dist(u, v int) float64
+}
+
+// CountingInstance wraps a distance oracle and counts every Dist probe into
+// a Counter, leaving the wrapped oracle's inner loops untouched. It
+// satisfies corrclust.Instance whenever the wrapped oracle does, and is safe
+// for concurrent use when the wrapped oracle is (the counter is atomic).
+type CountingInstance struct {
+	inst   DistanceOracle
+	probes *Counter
+}
+
+// Count wraps inst so every Dist call increments probes. A nil probes
+// counter (from a nil Recorder) still counts nothing but keeps the wrapper
+// valid; callers normally skip wrapping entirely when not recording.
+func Count(inst DistanceOracle, probes *Counter) *CountingInstance {
+	return &CountingInstance{inst: inst, probes: probes}
+}
+
+// N returns the number of objects.
+func (ci *CountingInstance) N() int { return ci.inst.N() }
+
+// Dist counts the probe and forwards it.
+func (ci *CountingInstance) Dist(u, v int) float64 {
+	ci.probes.Add(1)
+	return ci.inst.Dist(u, v)
+}
+
+// Probes returns the number of Dist calls made through the wrapper.
+func (ci *CountingInstance) Probes() int64 { return ci.probes.Value() }
+
+// Unwrap returns the wrapped oracle.
+func (ci *CountingInstance) Unwrap() DistanceOracle { return ci.inst }

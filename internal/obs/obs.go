@@ -1,0 +1,250 @@
+// Package obs is the repository's observability substrate: named, nested,
+// wall-clock-timed spans and monotonic counters collected by a Recorder,
+// plus a distance-probe-counting Instance wrapper and a machine-readable
+// run-report schema.
+//
+// The package depends only on the standard library so every layer of the
+// stack (corrclust algorithms, the core framework, the CLIs) can import it
+// without cycles. All entry points are nil-safe: a nil *Recorder, *Span, or
+// *Counter is a no-op, so instrumented code pays nothing beyond a nil check
+// when recording is disabled, and call sites never need to guard.
+//
+//	rec := obs.New()
+//	span := rec.Start("aggregate")
+//	rec.Add("dist.probes", probes)
+//	span.End()
+//	rec.WriteText(os.Stderr)
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder collects spans and counters for one run. The zero value is not
+// usable; construct with New. A nil *Recorder is valid and ignores every
+// call. Counter increments are safe for concurrent use; spans are intended
+// for the sequential phase structure of a run (concurrent Start/End calls
+// are safe but the nesting then reflects interleaving order).
+type Recorder struct {
+	mu       sync.Mutex
+	roots    []*Span
+	stack    []*Span
+	counters map[string]*Counter
+	names    []string // counter names in first-registration order
+}
+
+// New returns an empty Recorder.
+func New() *Recorder {
+	return &Recorder{counters: make(map[string]*Counter)}
+}
+
+// Span is one named, wall-clock-timed section of a run. Spans nest: a span
+// started while another is open becomes its child. End a span exactly once;
+// a nil *Span ignores End.
+type Span struct {
+	rec      *Recorder
+	name     string
+	start    time.Time
+	duration time.Duration
+	children []*Span
+	ended    bool
+}
+
+// Start opens a span named name as a child of the innermost open span (or
+// as a new root). It returns nil on a nil Recorder.
+func (r *Recorder) Start(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{rec: r, name: name, start: time.Now()}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.stack) > 0 {
+		parent := r.stack[len(r.stack)-1]
+		parent.children = append(parent.children, s)
+	} else {
+		r.roots = append(r.roots, s)
+	}
+	r.stack = append(r.stack, s)
+	return s
+}
+
+// End closes the span, fixing its duration. Unclosed descendants are popped
+// with it (defensive against early returns), and a second End is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	r := s.rec
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.duration = time.Since(s.start)
+	for i := len(r.stack) - 1; i >= 0; i-- {
+		if r.stack[i] == s {
+			r.stack = r.stack[:i]
+			break
+		}
+	}
+}
+
+// Counter is a monotonic int64 counter, safe for concurrent use. A nil
+// *Counter ignores Add and reports 0.
+type Counter struct {
+	v int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	atomic.AddInt64(&c.v, delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v)
+}
+
+// Counter returns the named counter, creating it on first use. It returns
+// nil on a nil Recorder, so the result can be used unconditionally.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+		r.names = append(r.names, name)
+	}
+	return c
+}
+
+// Add increments the named counter by delta. Zero deltas still register the
+// counter so it appears (as 0) in reports.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.Counter(name).Add(delta)
+}
+
+// Counters returns a snapshot of all counters, sorted by name.
+func (r *Recorder) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// SpanSnapshot is an immutable copy of a span subtree for reporting. A span
+// still open at snapshot time reports its duration so far.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	DurationNS int64          `json:"duration_ns"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Duration returns the span's wall-clock duration.
+func (s SpanSnapshot) Duration() time.Duration { return time.Duration(s.DurationNS) }
+
+// Spans returns a snapshot of the recorded span forest.
+func (r *Recorder) Spans() []SpanSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return snapshotSpans(r.roots)
+}
+
+func snapshotSpans(spans []*Span) []SpanSnapshot {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanSnapshot, len(spans))
+	for i, s := range spans {
+		d := s.duration
+		if !s.ended {
+			d = time.Since(s.start)
+		}
+		out[i] = SpanSnapshot{
+			Name:       s.name,
+			DurationNS: int64(d),
+			Children:   snapshotSpans(s.children),
+		}
+	}
+	return out
+}
+
+// WriteText writes a human-readable span tree followed by the counters,
+// sorted by name. It is what the clusteragg -trace flag prints.
+func (r *Recorder) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	spans := r.Spans()
+	counters := r.Counters()
+	if len(spans) > 0 {
+		if _, err := fmt.Fprintln(w, "spans (wall clock):"); err != nil {
+			return err
+		}
+		if err := writeSpanTree(w, spans, 1); err != nil {
+			return err
+		}
+	}
+	if len(counters) > 0 {
+		if _, err := fmt.Fprintln(w, "counters:"); err != nil {
+			return err
+		}
+		names := make([]string, 0, len(counters))
+		width := 0
+		for name := range counters {
+			names = append(names, name)
+			if len(name) > width {
+				width = len(name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if _, err := fmt.Fprintf(w, "  %-*s %12d\n", width, name, counters[name]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSpanTree(w io.Writer, spans []SpanSnapshot, depth int) error {
+	for _, s := range spans {
+		pad := 2 * depth
+		if _, err := fmt.Fprintf(w, "%*s%-*s %12s\n", pad, "", 40-pad, s.Name, s.Duration().Round(time.Microsecond)); err != nil {
+			return err
+		}
+		if err := writeSpanTree(w, s.Children, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	s := r.Start("x")
+	s.End()
+	r.Add("c", 3)
+	r.Counter("c").Add(1)
+	if got := r.Counters(); got != nil {
+		t.Errorf("nil recorder counters = %v, want nil", got)
+	}
+	if got := r.Spans(); got != nil {
+		t.Errorf("nil recorder spans = %v, want nil", got)
+	}
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Errorf("nil recorder WriteText: %v", err)
+	}
+	var c *Counter
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has nonzero value")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	r := New()
+	outer := r.Start("outer")
+	inner := r.Start("inner")
+	inner.End()
+	sibling := r.Start("sibling")
+	sibling.End()
+	outer.End()
+	second := r.Start("second")
+	second.End()
+
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d roots, want 2", len(spans))
+	}
+	if spans[0].Name != "outer" || spans[1].Name != "second" {
+		t.Errorf("root names = %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if len(spans[0].Children) != 2 {
+		t.Fatalf("outer has %d children, want 2", len(spans[0].Children))
+	}
+	if spans[0].Children[0].Name != "inner" || spans[0].Children[1].Name != "sibling" {
+		t.Errorf("children = %q, %q", spans[0].Children[0].Name, spans[0].Children[1].Name)
+	}
+	if spans[0].DurationNS < spans[0].Children[0].DurationNS {
+		t.Error("parent shorter than child")
+	}
+}
+
+func TestUnbalancedEndPopsDescendants(t *testing.T) {
+	r := New()
+	outer := r.Start("outer")
+	r.Start("leaked") // never explicitly ended
+	outer.End()
+	after := r.Start("after")
+	after.End()
+	spans := r.Spans()
+	if len(spans) != 2 || spans[1].Name != "after" {
+		t.Fatalf("after span not a root: %+v", spans)
+	}
+	outer.End() // double End is a no-op
+	if got := len(r.Spans()); got != 2 {
+		t.Errorf("double End changed span count to %d", got)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	r := New()
+	c := r.Counter("hits")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(1)
+				r.Add("hits", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counters()["hits"]; got != 16000 {
+		t.Errorf("hits = %d, want 16000", got)
+	}
+}
+
+type unitOracle struct{ n int }
+
+func (o unitOracle) N() int              { return o.n }
+func (o unitOracle) Dist(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	return 1
+}
+
+func TestCountingInstance(t *testing.T) {
+	r := New()
+	ci := Count(unitOracle{n: 4}, r.Counter("dist.probes"))
+	if ci.N() != 4 {
+		t.Fatalf("N = %d", ci.N())
+	}
+	var sum float64
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			sum += ci.Dist(u, v)
+		}
+	}
+	if sum != 6 {
+		t.Errorf("distances forwarded wrong: sum = %v", sum)
+	}
+	if ci.Probes() != 6 || r.Counters()["dist.probes"] != 6 {
+		t.Errorf("probes = %d, counter = %d, want 6", ci.Probes(), r.Counters()["dist.probes"])
+	}
+	if _, ok := ci.Unwrap().(unitOracle); !ok {
+		t.Error("Unwrap did not return wrapped oracle")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := New()
+	s := r.Start("phase")
+	r.Add("a.count", 2)
+	r.Add("b.count", 40)
+	s.End()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"spans (wall clock):", "phase", "counters:", "a.count", "b.count", "40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunReportRoundTrip(t *testing.T) {
+	r := New()
+	s := r.Start("aggregate")
+	r.Add("agglomerative.dist_probes", 12)
+	s.End()
+	rep := RunReport{N: 10, M: 3, Method: "agglomerative", Clusters: 2, Cost: 5, LowerBound: 4, WallNS: 1000}
+	rep.FillFrom(r)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != ReportSchemaVersion || back.N != 10 || back.M != 3 ||
+		back.Method != "agglomerative" || back.Counters["agglomerative.dist_probes"] != 12 ||
+		len(back.Spans) != 1 || back.Spans[0].Name != "aggregate" {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}

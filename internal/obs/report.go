@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// ReportSchemaVersion identifies the RunReport JSON layout. Bump it on any
+// field rename or semantic change so downstream diff tooling can detect
+// incompatible trajectories.
+const ReportSchemaVersion = 1
+
+// RunReport is the machine-readable record of one run: problem shape,
+// method, objective values, wall time, and everything the Recorder
+// collected. clusteragg -report writes one RunReport; cmd/experiments
+// -report writes a BenchReport holding one per artifact.
+type RunReport struct {
+	SchemaVersion int `json:"schema_version"`
+	// Name identifies the run (the experiments artifact name; empty for
+	// plain clusteragg runs).
+	Name string `json:"name,omitempty"`
+	// N is the number of objects, M the number of input clusterings.
+	N int `json:"n"`
+	M int `json:"m,omitempty"`
+	// Method is the aggregation method (or "bestof:<winner>").
+	Method string `json:"method,omitempty"`
+	// Clusters is the number of clusters in the result.
+	Clusters int `json:"clusters,omitempty"`
+	// Cost is the objective value (total disagreement, unordered-pair
+	// scale) and LowerBound the trivial lower bound on it.
+	Cost       float64 `json:"cost"`
+	LowerBound float64 `json:"lower_bound,omitempty"`
+	// WallNS is the end-to-end wall-clock time of the run in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// Metrics holds run-specific headline numbers (classification error,
+	// time ratios, ...) keyed by a short name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Counters and Spans are the Recorder's snapshots.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Spans    []SpanSnapshot   `json:"spans,omitempty"`
+}
+
+// FillFrom copies the recorder's counters and spans into the report.
+func (r *RunReport) FillFrom(rec *Recorder) {
+	r.SchemaVersion = ReportSchemaVersion
+	r.Counters = rec.Counters()
+	r.Spans = rec.Spans()
+}
+
+// BenchReport is the cmd/experiments -report payload: one RunReport per
+// table/figure artifact, in run order, so bench trajectories diff cleanly
+// across PRs.
+type BenchReport struct {
+	SchemaVersion int         `json:"schema_version"`
+	Config        string      `json:"config,omitempty"`
+	Artifacts     []RunReport `json:"artifacts"`
+}
+
+// WriteJSON writes v as indented JSON to path ("-" means stdout).
+func WriteJSON(path string, v any) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
