@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race test-race check cover bench experiments experiments-full fuzz clean
+.PHONY: all build test vet race test-race check cover bench bench-all bench-short experiments experiments-full fuzz clean
 
 all: build test
 
@@ -21,14 +21,25 @@ race: test-race
 test-race:
 	$(GO) test -race ./...
 
-# The full gate: compile, vet, tests, and the race detector.
-check: build vet test test-race
+# The full gate: compile, vet, tests, the race detector, and one pass of
+# the distance-kernel benchmarks (a smoke test that they still run).
+check: build vet test test-race bench-short
 
 cover:
 	$(GO) test -cover ./...
 
-# One benchmark per table/figure plus the ablations.
+# The distance-kernel suite: block materialization vs the naive build,
+# LOCALSEARCH row fast path vs generic, and BestOf racing (see
+# docs/PERFORMANCE.md for how to read the numbers).
 bench:
+	$(GO) test -run xxx -bench 'BenchmarkMaterialize$$|BenchmarkLocalSearchMatrix$$|BenchmarkBestOf$$' -benchmem ./internal/core/
+
+# One iteration of the kernel suite, as a fast correctness smoke test.
+bench-short:
+	$(GO) test -run xxx -bench 'BenchmarkMaterialize$$|BenchmarkLocalSearchMatrix$$|BenchmarkBestOf$$' -benchtime 1x ./internal/core/
+
+# Everything: one benchmark per table/figure plus the ablations.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table and figure at the default (reduced) scale.

@@ -23,6 +23,9 @@
 //	-class NAME    column holding class labels (reported, not clustered on)
 //	-sample N      use SAMPLING with a sample of N rows (0 = exact)
 //	-seed N        random seed for sampling (default 1)
+//	-workers N     cap worker goroutines for the parallel stages
+//	               (0 = GOMAXPROCS, 1 = sequential; results are identical
+//	               for every value)
 //	-summary       print cluster sizes instead of per-row assignments
 //	-describe      print each cluster's dominant attribute values
 //	-trace         print a span tree and algorithm counters on stderr
@@ -61,6 +64,7 @@ type cliConfig struct {
 	class      string
 	sample     int
 	seed       int64
+	workers    int
 	summary    bool
 	describe   bool
 	trace      bool
@@ -83,6 +87,7 @@ func main() {
 	flag.StringVar(&cfg.class, "class", "", "class column name (requires -header)")
 	flag.IntVar(&cfg.sample, "sample", 0, "SAMPLING sample size (0 = exact algorithm)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for sampling and randomized methods")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS, 1 = sequential)")
 	flag.BoolVar(&cfg.summary, "summary", false, "print cluster sizes instead of assignments")
 	flag.BoolVar(&cfg.describe, "describe", false, "print each cluster's dominant attribute values")
 	flag.BoolVar(&cfg.trace, "trace", false, "print a span tree and algorithm counters on stderr")
@@ -165,6 +170,7 @@ func run(path string, cfg cliConfig) error {
 		K:           cfg.k,
 		Refine:      cfg.refine,
 		Materialize: cfg.sample == 0 && tab.N() <= 4000,
+		Workers:     cfg.workers,
 		Rand:        rand.New(rand.NewSource(cfg.seed)),
 		Recorder:    rec,
 	}
@@ -222,6 +228,7 @@ func run(path string, cfg cliConfig) error {
 			Clusters:   labels.K(),
 			Cost:       disagreement,
 			LowerBound: lowerBound,
+			Workers:    core.EffectiveWorkers(cfg.workers),
 			WallNS:     int64(time.Since(start)),
 		}
 		rep.FillFrom(rec)

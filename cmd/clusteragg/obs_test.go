@@ -98,7 +98,7 @@ func TestRunReportSchema(t *testing.T) {
 	sort.Strings(got)
 	want := []string{
 		"clusters", "cost", "counters", "lower_bound", "m", "method",
-		"n", "schema_version", "spans", "wall_ns",
+		"n", "schema_version", "spans", "wall_ns", "workers",
 	}
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Errorf("report keys = %v, want %v", got, want)

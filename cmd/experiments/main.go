@@ -15,6 +15,8 @@
 // Flags:
 //
 //	-seed N        random seed (default 1)
+//	-workers N     cap worker goroutines for the parallel stages
+//	               (0 = GOMAXPROCS, 1 = sequential; results are identical)
 //	-full          run the paper's original sizes (slower)
 //	-mushrooms N   override the Mushrooms subsample size
 //	-census N      override the Census size
@@ -33,6 +35,7 @@ import (
 	"time"
 
 	"clusteragg/internal/asciiplot"
+	"clusteragg/internal/core"
 	"clusteragg/internal/experiments"
 	"clusteragg/internal/obs"
 )
@@ -43,6 +46,7 @@ func main() {
 		full      = flag.Bool("full", false, "run the paper's original sizes")
 		mushrooms = flag.Int("mushrooms", 0, "Mushrooms subsample size (0 = default)")
 		census    = flag.Int("census", 0, "Census size (0 = default)")
+		workers   = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS, 1 = sequential)")
 		plot      = flag.Bool("plot", false, "render ASCII scatter plots for fig3/fig4")
 		asJSON    = flag.Bool("json", false, "emit results as JSON instead of text tables")
 		report    = flag.String("report", "", "write a JSON bench report to this file (\"-\" = stdout)")
@@ -62,6 +66,7 @@ func main() {
 		Full:          *full,
 		MushroomsRows: *mushrooms,
 		CensusRows:    *census,
+		Workers:       *workers,
 	}
 	rep := &reporter{enabled: *report != ""}
 	if err := run(flag.Arg(0), cfg, *plot, *asJSON, rep); err != nil {
@@ -71,8 +76,8 @@ func main() {
 	if rep.enabled {
 		bench := obs.BenchReport{
 			SchemaVersion: obs.ReportSchemaVersion,
-			Config: fmt.Sprintf("seed=%d full=%v mushrooms=%d census=%d",
-				*seed, *full, *mushrooms, *census),
+			Config: fmt.Sprintf("seed=%d full=%v mushrooms=%d census=%d workers=%d",
+				*seed, *full, *mushrooms, *census, *workers),
 			Artifacts: rep.reports,
 		}
 		if err := obs.WriteJSON(*report, bench); err != nil {
@@ -101,6 +106,7 @@ func (r *reporter) begin(artifact string, cfg experiments.Config) (experiments.C
 	return cfg, func(metrics map[string]float64) {
 		runRep := obs.RunReport{
 			Name:    artifact,
+			Workers: core.EffectiveWorkers(cfg.Workers),
 			WallNS:  int64(time.Since(start)),
 			Metrics: metrics,
 		}

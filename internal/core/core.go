@@ -196,24 +196,6 @@ func (p *Problem) distAverage(u, v int) float64 {
 	return x / votes
 }
 
-// Matrix materializes the pairwise distances into a dense matrix. Algorithms
-// that probe distances many times (LOCALSEARCH, FURTHEST) run substantially
-// faster on the materialized form; the cost is O(m·n²) time and O(n²) space.
-// Materialization runs on all CPUs for large instances.
-func (p *Problem) Matrix() *corrclust.Matrix {
-	return p.matrixRecorded(nil)
-}
-
-// matrixRecorded is Matrix with the build's Dist probes counted under
-// "materialize.dist_probes" when rec is non-nil.
-func (p *Problem) matrixRecorded(rec *obs.Recorder) *corrclust.Matrix {
-	var inst corrclust.Instance = p
-	if rec != nil {
-		inst = obs.Count(p, rec.Counter("materialize.dist_probes"))
-	}
-	return corrclust.MatrixFromInstanceParallel(inst, 0)
-}
-
 // Disagreement returns the (expected) total number of unordered-pair
 // disagreements D(C) = Σ_i d_V(C_i, C) between labels and the inputs. This
 // is the objective of Problem 1 on the unordered-pair scale; the paper's

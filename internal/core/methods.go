@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
 
 	"clusteragg/internal/corrclust"
 	"clusteragg/internal/obs"
@@ -95,8 +97,14 @@ type AggregateOptions struct {
 	Refine bool
 	// Materialize precomputes the dense distance matrix before running the
 	// algorithm. Recommended whenever n is small enough for O(n²) memory;
-	// it turns each O(m) distance probe into an array read.
+	// it turns each O(m) distance probe into an array read and lets the
+	// algorithms' contiguous-row fast paths engage.
 	Materialize bool
+	// Workers caps the worker goroutines used by the parallel stages
+	// (cluster-block materialization, BestOf method racing, SAMPLING's
+	// assignment pass). Zero means GOMAXPROCS; 1 forces sequential
+	// execution. Results are identical for every value.
+	Workers int
 	// Rand supplies randomness to the randomized methods (MethodPivot,
 	// MethodAnneal). Nil means a deterministic source seeded with 1. The
 	// paper's five methods are deterministic and ignore it.
@@ -124,6 +132,18 @@ func counting(inst corrclust.Instance, rec *obs.Recorder, name string) corrclust
 	return obs.Count(inst, rec.Counter(name))
 }
 
+// EffectiveWorkers resolves a Workers option to the worker count actually
+// used: zero or negative means GOMAXPROCS. CLIs use it to report the
+// effective value.
+func EffectiveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+func effectiveWorkers(w int) int { return EffectiveWorkers(w) }
+
 // Aggregate runs the chosen aggregation method on the problem and returns
 // the aggregate clustering with normalized labels.
 func (p *Problem) Aggregate(method Method, opts AggregateOptions) (partition.Labels, error) {
@@ -133,16 +153,19 @@ func (p *Problem) Aggregate(method Method, opts AggregateOptions) (partition.Lab
 	var inst corrclust.Instance = p
 	if opts.Materialize {
 		ms := rec.Start("materialize")
-		inst = p.matrixRecorded(rec)
+		inst = p.materialize(rec, opts.Workers)
 		ms.End()
 	}
-	return p.aggregateOn(inst, method, opts)
+	return p.aggregateOn(inst, method, opts, nil)
 }
 
 // aggregateOn is Aggregate against an explicit distance oracle, shared by
 // Aggregate and BestOf. When opts.Recorder is set, the oracle is wrapped so
-// every probe the algorithm makes lands in "<method>.dist_probes".
-func (p *Problem) aggregateOn(inst corrclust.Instance, method Method, opts AggregateOptions) (partition.Labels, error) {
+// every probe the algorithm makes lands in "<method>.dist_probes". parent,
+// when non-nil, anchors nested spans (the refinement pass) explicitly —
+// BestOf's concurrent races pass their method span so the tree does not
+// reflect goroutine interleaving.
+func (p *Problem) aggregateOn(inst corrclust.Instance, method Method, opts AggregateOptions, parent *obs.Span) (partition.Labels, error) {
 	rec := opts.Recorder
 	algInst := counting(inst, rec, method.Slug()+".dist_probes")
 	var labels partition.Labels
@@ -177,7 +200,10 @@ func (p *Problem) aggregateOn(inst corrclust.Instance, method Method, opts Aggre
 		return nil, fmt.Errorf("core: unknown method %v", method)
 	}
 	if opts.Refine && method != MethodLocalSearch {
-		rs := rec.Start("refine")
+		rs := parent.StartChild("refine")
+		if parent == nil {
+			rs = rec.Start("refine")
+		}
 		labels = corrclust.LocalSearch(counting(inst, rec, "refine.dist_probes"), corrclust.LocalSearchOptions{Init: labels, Recorder: rec})
 		rs.End()
 	}
@@ -191,6 +217,14 @@ func (p *Problem) aggregateOn(inst corrclust.Instance, method Method, opts Aggre
 // the best is the natural way to use the framework when solution quality
 // matters more than a few extra O(n²) passes. The matrix is materialized
 // once and shared.
+//
+// The race runs the methods concurrently over the shared oracle, bounded by
+// opts.Workers (GOMAXPROCS when zero; 1 forces sequential execution). The
+// outcome does not depend on scheduling: the winner is selected by cost
+// with ties broken in method order, and the randomized extension methods
+// each draw an independent deterministic seed, in method order, from
+// opts.Rand before the race starts. Every worker count returns the same
+// (labels, method).
 func (p *Problem) BestOf(methods []Method, opts AggregateOptions) (partition.Labels, Method, error) {
 	if len(methods) == 0 {
 		methods = Methods()
@@ -201,26 +235,85 @@ func (p *Problem) BestOf(methods []Method, opts AggregateOptions) (partition.Lab
 	var inst corrclust.Instance = p
 	if opts.Materialize {
 		ms := rec.Start("materialize")
-		inst = p.matrixRecorded(rec)
+		inst = p.materialize(rec, opts.Workers)
 		ms.End()
 		opts.Materialize = false // reuse the shared matrix below
 	}
-	var best partition.Labels
-	var bestMethod Method
-	bestCost := 0.0
-	for _, method := range methods {
-		msp := rec.Start("method:" + method.Slug())
-		labels, err := p.aggregateOn(inst, method, opts)
+
+	// Pre-draw one rand per randomized method so concurrent methods never
+	// share a stream; drawing in method order keeps the seeds independent
+	// of scheduling and worker count.
+	rngs := make([]*rand.Rand, len(methods))
+	var base *rand.Rand
+	for i, method := range methods {
+		if method == MethodPivot || method == MethodAnneal {
+			if base == nil {
+				base = opts.Rand
+				if base == nil {
+					base = rand.New(rand.NewSource(1))
+				}
+			}
+			rngs[i] = rand.New(rand.NewSource(base.Int63()))
+		}
+	}
+
+	type raced struct {
+		labels partition.Labels
+		cost   float64
+		err    error
+	}
+	results := make([]raced, len(methods))
+	run := func(i int, method Method) {
+		mopts := opts
+		mopts.Rand = rngs[i] // nil for the deterministic methods, which ignore it
+		msp := span.StartChild("method:" + method.Slug())
+		defer msp.End()
+		labels, err := p.aggregateOn(inst, method, mopts, msp)
 		if err != nil {
-			msp.End()
-			return nil, 0, err
+			results[i] = raced{err: err}
+			return
 		}
 		// The per-candidate cost evaluation is part of racing this method,
 		// so its probes are charged to the method's dist_probes counter.
 		cost := corrclust.Cost(counting(inst, rec, method.Slug()+".dist_probes"), labels)
-		msp.End()
-		if best == nil || cost < bestCost {
-			best, bestMethod, bestCost = labels, method, cost
+		results[i] = raced{labels: labels, cost: cost}
+	}
+
+	workers := effectiveWorkers(opts.Workers)
+	if workers > len(methods) {
+		workers = len(methods)
+	}
+	if workers <= 1 {
+		for i, method := range methods {
+			run(i, method)
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, method := range methods {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, method Method) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				run(i, method)
+			}(i, method)
+		}
+		wg.Wait()
+	}
+
+	// Deterministic selection: first error in method order wins; otherwise
+	// the lowest cost, ties broken toward the earlier method.
+	var best partition.Labels
+	var bestMethod Method
+	bestCost := 0.0
+	for i, method := range methods {
+		r := results[i]
+		if r.err != nil {
+			return nil, 0, r.err
+		}
+		if best == nil || r.cost < bestCost {
+			best, bestMethod, bestCost = r.labels, method, r.cost
 		}
 	}
 	return best, bestMethod, nil

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"clusteragg/internal/corrclust"
 	"clusteragg/internal/obs"
@@ -89,7 +90,12 @@ func (p *Problem) Sample(method Method, aggOpts AggregateOptions, sOpts Sampling
 
 	// Assignment phase: place each non-sampled object into the sampled
 	// cluster minimizing d(v, C_i) = M(v,C_i) + Σ_{j≠i}(|C_j| − M(v,C_j)),
-	// or into a fresh singleton when that is cheaper.
+	// or into a fresh singleton when that is cheaper. Objects are
+	// independent, so the pass runs on worker stripes (capped by
+	// aggOpts.Workers); a fresh singleton takes the provisional label k+v,
+	// unique per object regardless of scheduling, and the final Normalize
+	// maps both the sequential and the striped labelings to the same
+	// clustering.
 	assignSpan := rec.Start("sample:assign")
 	var oracle corrclust.Instance = p
 	if rec != nil {
@@ -99,36 +105,61 @@ func (p *Problem) Sample(method Method, aggOpts AggregateOptions, sOpts Sampling
 	for _, i := range sample {
 		inSample[i] = true
 	}
+	workers := effectiveWorkers(aggOpts.Workers)
+	if workers > n {
+		workers = n
+	}
+	if n-s < materializeMinParallel {
+		workers = 1
+	}
+	counts := make([][2]int64, workers) // assigned, fresh per stripe
+	assignStripe := func(stripe int) {
+		m := make([]float64, k)
+		for v := stripe; v < n; v += workers {
+			if inSample[v] {
+				continue
+			}
+			var totalAway float64
+			for ci := range members {
+				m[ci] = 0
+				for _, u := range members[ci] {
+					m[ci] += oracle.Dist(v, u)
+				}
+				totalAway += float64(len(members[ci])) - m[ci]
+			}
+			bestC, bestCost := -1, totalAway // -1 = fresh singleton
+			for ci := range members {
+				d := m[ci] + totalAway - (float64(len(members[ci])) - m[ci])
+				if d < bestCost {
+					bestC, bestCost = ci, d
+				}
+			}
+			if bestC == -1 {
+				labels[v] = k + v
+				counts[stripe][1]++
+			} else {
+				labels[v] = bestC
+				counts[stripe][0]++
+			}
+		}
+	}
+	if workers <= 1 {
+		assignStripe(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(stripe int) {
+				defer wg.Done()
+				assignStripe(stripe)
+			}(w)
+		}
+		wg.Wait()
+	}
 	var assigned, fresh int64
-	next := k
-	m := make([]float64, k)
-	for v := 0; v < n; v++ {
-		if inSample[v] {
-			continue
-		}
-		var totalAway float64
-		for ci := range members {
-			m[ci] = 0
-			for _, u := range members[ci] {
-				m[ci] += oracle.Dist(v, u)
-			}
-			totalAway += float64(len(members[ci])) - m[ci]
-		}
-		bestC, bestCost := -1, totalAway // -1 = fresh singleton
-		for ci := range members {
-			d := m[ci] + totalAway - (float64(len(members[ci])) - m[ci])
-			if d < bestCost {
-				bestC, bestCost = ci, d
-			}
-		}
-		if bestC == -1 {
-			labels[v] = next
-			next++
-			fresh++
-		} else {
-			labels[v] = bestC
-			assigned++
-		}
+	for _, c := range counts {
+		assigned += c[0]
+		fresh += c[1]
 	}
 	rec.Add("sample.assigned", assigned)
 	rec.Add("sample.fresh_singletons", fresh)

@@ -68,18 +68,40 @@ func AgglomerativeWithOptions(inst Instance, opts AgglomerativeOptions) partitio
 	}
 
 	h := &mergeHeap{}
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			x := inst.Dist(u, v)
-			state.total[state.index(u, v)] = x
-			// Pairs at distance >= 1/2 cannot trigger a merge while both
-			// endpoints are untouched; fresh candidates are pushed whenever a
-			// cluster changes, so skipping them here loses nothing.
-			if k > 0 || x < 0.5 {
-				heap.Push(h, mergeCand{a: u, b: v, avg: x})
-				state.pushes++
+	push := func(u, v int, x float64) {
+		state.total[state.index(u, v)] = x
+		// Pairs at distance >= 1/2 cannot trigger a merge while both
+		// endpoints are untouched; fresh candidates are pushed whenever a
+		// cluster changes, so skipping them here loses nothing.
+		if k > 0 || x < 0.5 {
+			heap.Push(h, mergeCand{a: u, b: v, avg: x})
+			state.pushes++
+		}
+	}
+	// Matrix fast path for the initial O(n²) distance scan: contiguous row
+	// reads instead of per-pair interface calls, bulk-charged to any
+	// counting layers.
+	if mx, charge := matrixFast(inst); mx != nil {
+		for u := 0; u < n; u++ {
+			for j, x := range mx.Row(u) {
+				push(u, u+1+j, x)
 			}
 		}
+		charge(pairs(n))
+	} else {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				push(u, v, inst.Dist(u, v))
+			}
+		}
+	}
+
+	// members[c] lists the objects of cluster c, so a merge relabels only
+	// the absorbed cluster's members — O(|C_b|) instead of the O(n)
+	// full-label rewrite per merge.
+	members := make([][]int, n)
+	for i := 0; i < n; i++ {
+		members[i] = []int{i}
 	}
 
 	var pops, stale, merges int64
@@ -101,11 +123,11 @@ func AgglomerativeWithOptions(inst Instance, opts AgglomerativeOptions) partitio
 		}
 		state.merge(cand.a, cand.b, h, k)
 		merges++
-		for i := range labels {
-			if labels[i] == cand.b {
-				labels[i] = cand.a
-			}
+		for _, i := range members[cand.b] {
+			labels[i] = cand.a
 		}
+		members[cand.a] = append(members[cand.a], members[cand.b]...)
+		members[cand.b] = nil
 		clusters--
 	}
 	if rec := opts.Recorder; rec != nil {

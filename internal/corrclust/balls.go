@@ -60,16 +60,36 @@ func BallsWithOptions(inst Instance, opts BallsOptions) (partition.Labels, error
 		return nil, fmt.Errorf("corrclust: balls alpha %v outside [0, 0.5]", alpha)
 	}
 	n := inst.N()
+	// Matrix fast path: the weight ordering and ball construction read
+	// contiguous rows instead of probing the Instance per pair; the scan
+	// order and values match the generic loops, so the result is
+	// bit-identical. Reads are bulk-charged to any counting layers.
+	mx, charge := matrixFast(inst)
+	var rowBuf []float64
+	if mx != nil {
+		rowBuf = make([]float64, n)
+	}
 	order := opts.Order
 	if order == nil {
 		// Sort vertices by increasing total incident weight (the paper's
 		// heuristic ordering). Ties break by index for determinism.
 		weight := make([]float64, n)
-		for u := 0; u < n; u++ {
-			for v := u + 1; v < n; v++ {
-				x := inst.Dist(u, v)
-				weight[u] += x
-				weight[v] += x
+		if mx != nil {
+			for u := 0; u < n; u++ {
+				rest := weight[u+1:]
+				for j, x := range mx.Row(u) {
+					weight[u] += x
+					rest[j] += x
+				}
+			}
+			charge(pairs(n))
+		} else {
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					x := inst.Dist(u, v)
+					weight[u] += x
+					weight[v] += x
+				}
 			}
 		}
 		order = make([]int, n)
@@ -107,13 +127,29 @@ func BallsWithOptions(inst Instance, opts BallsOptions) (partition.Labels, error
 		}
 		ball = ball[:0]
 		var total float64
-		for v := 0; v < n; v++ {
-			if v == u || labels[v] != partition.Missing {
-				continue
+		if mx != nil {
+			mx.RowTo(u, rowBuf)
+			var probes int64
+			for v := 0; v < n; v++ {
+				if v == u || labels[v] != partition.Missing {
+					continue
+				}
+				probes++
+				if x := rowBuf[v]; x <= 0.5 {
+					ball = append(ball, v)
+					total += x
+				}
 			}
-			if x := inst.Dist(u, v); x <= 0.5 {
-				ball = append(ball, v)
-				total += x
+			charge(probes)
+		} else {
+			for v := 0; v < n; v++ {
+				if v == u || labels[v] != partition.Missing {
+					continue
+				}
+				if x := inst.Dist(u, v); x <= 0.5 {
+					ball = append(ball, v)
+					total += x
+				}
 			}
 		}
 		labels[u] = next

@@ -36,6 +36,10 @@ type Instance interface {
 // pairs pay 1-X_uv.
 func Cost(inst Instance, labels partition.Labels) float64 {
 	n := inst.N()
+	if m, charge := matrixFast(inst); m != nil {
+		charge(pairs(n))
+		return costMatrix(m, labels)
+	}
 	var cost float64
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
@@ -54,10 +58,15 @@ func Cost(inst Instance, labels partition.Labels) float64 {
 // every partition: each pair pays at least the cheaper of its two options.
 func LowerBound(inst Instance) float64 {
 	n := inst.N()
+	if m, charge := matrixFast(inst); m != nil {
+		charge(pairs(n))
+		return lowerBoundMatrix(m)
+	}
 	var lb float64
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			lb += math.Min(inst.Dist(u, v), 1-inst.Dist(u, v))
+			x := inst.Dist(u, v)
+			lb += math.Min(x, 1-x)
 		}
 	}
 	return lb
@@ -110,6 +119,33 @@ func (m *Matrix) Dist(u, v int) float64 {
 		return 0
 	}
 	return m.data[m.index(u, v)]
+}
+
+// Row returns the contiguous storage of row u's upper-triangular tail:
+// entry j is Dist(u, u+1+j), for j in [0, n-1-u). The slice aliases the
+// matrix, so writes through it update the matrix; bulk kernels (the
+// cluster-block materializer, the algorithms' matrix fast paths) use it to
+// read and write distances without per-pair index arithmetic or interface
+// calls.
+func (m *Matrix) Row(u int) []float64 {
+	base := u * (2*m.n - u - 1) / 2
+	return m.data[base : base+m.n-u-1]
+}
+
+// RowTo gathers the full row u into dst: dst[v] = Dist(u, v) for every v,
+// including the zero diagonal entry. dst must have length at least n. The
+// v > u tail is a single copy from contiguous storage; the v < u head walks
+// the condensed column with a running stride. It returns dst[:n].
+func (m *Matrix) RowTo(u int, dst []float64) []float64 {
+	// index(v, u) for v < u starts at u-1 and advances by n-2-v.
+	idx := u - 1
+	for v := 0; v < u; v++ {
+		dst[v] = m.data[idx]
+		idx += m.n - 2 - v
+	}
+	dst[u] = 0
+	copy(dst[u+1:m.n], m.Row(u))
+	return dst[:m.n]
 }
 
 // Set stores a distance for the unordered pair {u,v}. Setting a diagonal

@@ -1,0 +1,85 @@
+package corrclust
+
+import (
+	"math"
+
+	"clusteragg/internal/obs"
+	"clusteragg/internal/partition"
+)
+
+// This file holds the Matrix fast paths: when an algorithm's distance oracle
+// is a *Matrix (possibly under obs.CountingInstance layers), its inner loops
+// read contiguous rows via Row/RowTo instead of making a per-pair interface
+// call with condensed-index arithmetic. Every fast path performs the adds in
+// the same order on the same values as the generic loop it replaces, so
+// results are bit-identical; distance reads are charged to the counting
+// layers in bulk, so <method>.dist_probes totals stay equivalent to the
+// per-call path (see docs/PERFORMANCE.md).
+
+// matrixFast unwraps inst to its backing *Matrix, looking through
+// obs.CountingInstance layers. It returns the matrix (nil when inst is not
+// matrix-backed) and a charge function that adds a bulk number of distance
+// reads to every counting layer passed through.
+func matrixFast(inst Instance) (*Matrix, func(int64)) {
+	var counters []*obs.Counter
+	for {
+		switch v := inst.(type) {
+		case *Matrix:
+			cs := counters
+			switch len(cs) {
+			case 0:
+				return v, func(int64) {}
+			case 1:
+				return v, func(reads int64) { cs[0].Add(reads) }
+			default:
+				return v, func(reads int64) {
+					for _, c := range cs {
+						c.Add(reads)
+					}
+				}
+			}
+		case *obs.CountingInstance:
+			counters = append(counters, v.ProbeCounter())
+			next, ok := v.Unwrap().(Instance)
+			if !ok {
+				return nil, nil
+			}
+			inst = next
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// costMatrix is Cost against contiguous row storage; the pair iteration
+// order matches the generic loop, so the float accumulation is identical.
+func costMatrix(m *Matrix, labels partition.Labels) float64 {
+	var cost float64
+	for u := 0; u < m.n; u++ {
+		row := m.Row(u)
+		lu := labels[u]
+		rest := labels[u+1:]
+		for j, x := range row {
+			if lu == rest[j] {
+				cost += x
+			} else {
+				cost += 1 - x
+			}
+		}
+	}
+	return cost
+}
+
+// lowerBoundMatrix is LowerBound against contiguous row storage.
+func lowerBoundMatrix(m *Matrix) float64 {
+	var lb float64
+	for u := 0; u < m.n; u++ {
+		for _, x := range m.Row(u) {
+			lb += math.Min(x, 1-x)
+		}
+	}
+	return lb
+}
+
+// pairs returns the number of unordered pairs of n objects.
+func pairs(n int) int64 { return int64(n) * int64(n-1) / 2 }

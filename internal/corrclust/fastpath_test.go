@@ -1,0 +1,177 @@
+package corrclust
+
+import (
+	"math/rand"
+	"testing"
+
+	"clusteragg/internal/obs"
+	"clusteragg/internal/partition"
+)
+
+// opaque hides a Matrix behind a plain Instance so the generic code paths
+// run; it returns the exact same distances, making fast-vs-generic output
+// comparisons meaningful to the bit.
+type opaque struct{ m *Matrix }
+
+func (o opaque) N() int                { return o.m.N() }
+func (o opaque) Dist(u, v int) float64 { return o.m.Dist(u, v) }
+
+// randomMatrix draws a dense instance with distances clustered around a few
+// planted groups so the algorithms do non-trivial work.
+func randomMatrix(n int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(n)
+	group := make([]int, n)
+	for i := range group {
+		group[i] = rng.Intn(4)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			var x float64
+			if group[u] == group[v] {
+				x = 0.3 * rng.Float64()
+			} else {
+				x = 0.5 + 0.5*rng.Float64()
+			}
+			m.Set(u, v, x)
+		}
+	}
+	return m
+}
+
+func TestRowMatchesDist(t *testing.T) {
+	m := randomMatrix(23, 1)
+	for u := 0; u < m.N(); u++ {
+		row := m.Row(u)
+		if len(row) != m.N()-u-1 {
+			t.Fatalf("Row(%d) has %d entries, want %d", u, len(row), m.N()-u-1)
+		}
+		for j, x := range row {
+			if x != m.Dist(u, u+1+j) {
+				t.Fatalf("Row(%d)[%d] = %v, Dist = %v", u, j, x, m.Dist(u, u+1+j))
+			}
+		}
+	}
+}
+
+func TestRowToMatchesDist(t *testing.T) {
+	m := randomMatrix(23, 2)
+	dst := make([]float64, m.N())
+	for u := 0; u < m.N(); u++ {
+		row := m.RowTo(u, dst)
+		if len(row) != m.N() {
+			t.Fatalf("RowTo(%d) has %d entries, want %d", u, len(row), m.N())
+		}
+		for v, x := range row {
+			if x != m.Dist(u, v) {
+				t.Fatalf("RowTo(%d)[%d] = %v, Dist = %v", u, v, x, m.Dist(u, v))
+			}
+		}
+	}
+}
+
+// TestRowAliasesStorage: Row returns the live storage, so writes through it
+// are visible to Dist (the materialization kernel depends on this).
+func TestRowAliasesStorage(t *testing.T) {
+	m := NewMatrix(5)
+	m.Row(1)[2] = 0.75 // pair {1, 4}
+	if got := m.Dist(1, 4); got != 0.75 {
+		t.Fatalf("Dist(1,4) = %v after writing Row(1)[2], want 0.75", got)
+	}
+}
+
+// TestFastPathsBitIdentical runs every algorithm on a Matrix and on the same
+// distances hidden behind a plain Instance, demanding bit-identical output:
+// the fast paths must only change how the same numbers are read.
+func TestFastPathsBitIdentical(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		m := randomMatrix(60, 10+seed)
+		o := opaque{m}
+
+		if a, b := Cost(m, partition.Singletons(m.N())), Cost(o, partition.Singletons(m.N())); a != b {
+			t.Fatalf("Cost: %v fast, %v generic", a, b)
+		}
+		if a, b := LowerBound(m), LowerBound(o); a != b {
+			t.Fatalf("LowerBound: %v fast, %v generic", a, b)
+		}
+
+		type algo struct {
+			name string
+			run  func(Instance) partition.Labels
+		}
+		algos := []algo{
+			{"localsearch", func(in Instance) partition.Labels { return LocalSearch(in, LocalSearchOptions{}) }},
+			{"balls", func(in Instance) partition.Labels {
+				l, err := Balls(in, RecommendedBallsAlpha)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return l
+			}},
+			{"furthest", func(in Instance) partition.Labels { return Furthest(in) }},
+			{"furthest-k3", func(in Instance) partition.Labels { l, _ := FurthestK(in, 3); return l }},
+			{"agglomerative", func(in Instance) partition.Labels { return Agglomerative(in) }},
+			{"agglomerative-k4", func(in Instance) partition.Labels { return AgglomerativeK(in, 4) }},
+		}
+		for _, a := range algos {
+			fast, generic := a.run(m), a.run(o)
+			for i := range fast {
+				if fast[i] != generic[i] {
+					t.Fatalf("seed %d %s: label[%d] = %d fast, %d generic", seed, a.name, i, fast[i], generic[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFastPathProbeChargeEquivalence: the bulk charges of the fast paths
+// must equal the per-call counts of the generic paths, so dist_probes
+// totals mean the same thing regardless of which path ran.
+func TestFastPathProbeChargeEquivalence(t *testing.T) {
+	m := randomMatrix(40, 3)
+	count := func(in Instance, run func(Instance)) int64 {
+		rec := obs.New()
+		run(obs.Count(in, rec.Counter("probes")))
+		return rec.Counters()["probes"]
+	}
+	runs := map[string]func(Instance){
+		"cost":          func(in Instance) { Cost(in, partition.Singletons(m.N())) },
+		"lowerbound":    func(in Instance) { LowerBound(in) },
+		"localsearch":   func(in Instance) { LocalSearch(in, LocalSearchOptions{}) },
+		"balls":         func(in Instance) { _, _ = Balls(in, RecommendedBallsAlpha) },
+		"furthest":      func(in Instance) { Furthest(in) },
+		"agglomerative": func(in Instance) { Agglomerative(in) },
+	}
+	for name, run := range runs {
+		fast, generic := count(m, run), count(opaque{m}, run)
+		if fast != generic {
+			t.Errorf("%s: %d probes charged on the fast path, %d on the generic", name, fast, generic)
+		}
+		if fast == 0 {
+			t.Errorf("%s: zero probes charged", name)
+		}
+	}
+}
+
+// TestMatrixFastUnwrapsCountingLayers: matrixFast must see through stacked
+// counting wrappers and charge each of them.
+func TestMatrixFastUnwrapsCountingLayers(t *testing.T) {
+	m := randomMatrix(10, 4)
+	rec := obs.New()
+	inner := obs.Count(m, rec.Counter("inner"))
+	outer := obs.Count(inner, rec.Counter("outer"))
+	mx, charge := matrixFast(outer)
+	if mx != m {
+		t.Fatal("matrixFast did not unwrap to the backing matrix")
+	}
+	charge(7)
+	if got := rec.Counters()["inner"]; got != 7 {
+		t.Errorf("inner counter = %d, want 7", got)
+	}
+	if got := rec.Counters()["outer"]; got != 7 {
+		t.Errorf("outer counter = %d, want 7", got)
+	}
+	if mx, _ := matrixFast(opaque{m}); mx != nil {
+		t.Error("matrixFast invented a matrix for a non-matrix instance")
+	}
+}

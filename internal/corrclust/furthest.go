@@ -37,6 +37,13 @@ type FurthestOptions struct {
 }
 
 // FurthestWithOptions is FurthestK with instrumentation.
+//
+// Assignments are maintained incrementally: each object tracks its nearest
+// center, and a new center only competes against that running minimum, so a
+// round costs O(n) distance reads instead of the O(n·k) rescan of the naive
+// formulation. Since reassigning every object to the cheapest center is
+// exactly "nearest center wins, earliest center on ties", the incremental
+// labels are identical to the rescan's.
 func FurthestWithOptions(inst Instance, opts FurthestOptions) (partition.Labels, float64) {
 	n, k := inst.N(), opts.K
 	var centerPicks, rounds int64
@@ -59,16 +66,40 @@ func FurthestWithOptions(inst Instance, opts FurthestOptions) (partition.Labels,
 		return best, bestCost
 	}
 
-	// minDist[v] = distance from v to its nearest current center.
+	// Matrix fast path: center scans read one gathered row per new center
+	// instead of n interface calls (bulk-charged to counting layers).
+	mx, charge := matrixFast(inst)
+	var rowBuf []float64
+	if mx != nil {
+		rowBuf = make([]float64, n)
+	}
+
+	// minDist[v] = distance from v to its nearest current center; labels[v]
+	// indexes that center. Ties keep the earliest center, matching a full
+	// cheapest-center rescan.
 	minDist := make([]float64, n)
+	labels := make(partition.Labels, n)
 	var centers []int
 
 	addCenter := func(c int) {
+		idx := len(centers)
 		centers = append(centers, c)
 		centerPicks++
-		for v := 0; v < n; v++ {
-			if d := inst.Dist(c, v); len(centers) == 1 || d < minDist[v] {
-				minDist[v] = d
+		if mx != nil {
+			mx.RowTo(c, rowBuf)
+			charge(int64(n))
+			for v, d := range rowBuf {
+				if idx == 0 || d < minDist[v] {
+					minDist[v] = d
+					labels[v] = idx
+				}
+			}
+		} else {
+			for v := 0; v < n; v++ {
+				if d := inst.Dist(c, v); idx == 0 || d < minDist[v] {
+					minDist[v] = d
+					labels[v] = idx
+				}
 			}
 		}
 	}
@@ -77,7 +108,6 @@ func FurthestWithOptions(inst Instance, opts FurthestOptions) (partition.Labels,
 	u0, v0 := furthestPair(inst)
 	addCenter(u0)
 
-	labels := make(partition.Labels, n)
 	for {
 		if len(centers) == 1 {
 			addCenter(v0)
@@ -95,17 +125,7 @@ func FurthestWithOptions(inst Instance, opts FurthestOptions) (partition.Labels,
 			addCenter(next)
 		}
 
-		// Assign every object to the center incurring the least cost.
 		rounds++
-		for v := 0; v < n; v++ {
-			bestC, bestD := 0, inst.Dist(v, centers[0])
-			for ci := 1; ci < len(centers); ci++ {
-				if d := inst.Dist(v, centers[ci]); d < bestD {
-					bestC, bestD = ci, d
-				}
-			}
-			labels[v] = bestC
-		}
 		cost := Cost(inst, labels)
 
 		switch {
@@ -126,6 +146,18 @@ func FurthestWithOptions(inst Instance, opts FurthestOptions) (partition.Labels,
 func furthestPair(inst Instance) (int, int) {
 	n := inst.N()
 	bu, bv, bd := 0, 0, -1.0
+	if mx, charge := matrixFast(inst); mx != nil {
+		for u := 0; u < n; u++ {
+			rest := mx.Row(u)
+			for j, d := range rest {
+				if d > bd {
+					bu, bv, bd = u, u+1+j, d
+				}
+			}
+		}
+		charge(pairs(n))
+		return bu, bv
+	}
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			if d := inst.Dist(u, v); d > bd {

@@ -67,6 +67,16 @@ func LocalSearch(inst Instance, opts LocalSearchOptions) partition.Labels {
 	}
 	var free []int
 
+	// Matrix fast path: M(v,·) accumulates from a gathered contiguous row
+	// instead of n-1 interface calls; the add order and values match the
+	// generic loop, so results are bit-identical. Reads are bulk-charged to
+	// any counting layers.
+	mx, charge := matrixFast(inst)
+	var rowBuf []float64
+	if mx != nil {
+		rowBuf = make([]float64, n)
+	}
+
 	var sweeps, moves int64
 	converged := false
 	m := make([]float64, len(size), cap(size)) // M(v, C_i), rebuilt per object
@@ -82,9 +92,19 @@ func LocalSearch(inst Instance, opts LocalSearchOptions) partition.Labels {
 			for i := range m {
 				m[i] = 0
 			}
-			for u := 0; u < n; u++ {
-				if u != v {
-					m[labels[u]] += inst.Dist(v, u)
+			if mx != nil {
+				mx.RowTo(v, rowBuf)
+				for u, x := range rowBuf {
+					if u != v {
+						m[labels[u]] += x
+					}
+				}
+				charge(int64(n - 1))
+			} else {
+				for u := 0; u < n; u++ {
+					if u != v {
+						m[labels[u]] += inst.Dist(v, u)
+					}
 				}
 			}
 			// totalAway = Σ_j (|C_j| − M(v,C_j)) over all clusters, with v

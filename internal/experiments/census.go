@@ -50,7 +50,7 @@ func CensusSampling(cfg Config) (*CensusResult, error) {
 	res := &CensusResult{N: t.N(), SampleSize: sampleSize}
 
 	res.Duration, err = timeIt(func() error {
-		labels, err := problem.Sample(core.MethodFurthest, core.AggregateOptions{Recorder: cfg.Recorder},
+		labels, err := problem.Sample(core.MethodFurthest, core.AggregateOptions{Workers: cfg.Workers, Recorder: cfg.Recorder},
 			core.SamplingOptions{
 				SampleSize: sampleSize,
 				Rand:       rand.New(rand.NewSource(cfg.seed())),

@@ -10,7 +10,6 @@ import (
 	"clusteragg/internal/dataset"
 	"clusteragg/internal/ensemble"
 	"clusteragg/internal/eval"
-	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 )
 
@@ -48,7 +47,7 @@ func EnsembleComparison(cfg Config) ([]*EnsembleResult, error) {
 		t      *dataset.Table
 		kGiven int
 	}{{votes, 2}, {mush, 8}} {
-		res, err := ensembleOn(tc.t, cfg.Recorder, tc.kGiven, cfg.seed())
+		res, err := ensembleOn(tc.t, cfg, tc.kGiven, cfg.seed())
 		if err != nil {
 			return nil, err
 		}
@@ -57,7 +56,8 @@ func EnsembleComparison(cfg Config) ([]*EnsembleResult, error) {
 	return out, nil
 }
 
-func ensembleOn(t *dataset.Table, rec *obs.Recorder, kGiven int, seed int64) (*EnsembleResult, error) {
+func ensembleOn(t *dataset.Table, cfg Config, kGiven int, seed int64) (*EnsembleResult, error) {
+	rec := cfg.Recorder
 	clusterings, err := t.Clusterings()
 	if err != nil {
 		return nil, err
@@ -66,7 +66,7 @@ func ensembleOn(t *dataset.Table, rec *obs.Recorder, kGiven int, seed int64) (*E
 	if err != nil {
 		return nil, err
 	}
-	matrix := problem.Matrix()
+	matrix := problem.MatrixWorkers(cfg.Workers)
 	res := &EnsembleResult{Dataset: t.Name, N: t.N(), M: problem.M(), KGiven: kGiven}
 
 	add := func(name string, labels partition.Labels, needsK bool) error {
@@ -83,7 +83,7 @@ func ensembleOn(t *dataset.Table, rec *obs.Recorder, kGiven int, seed int64) (*E
 
 	// The paper's parameter-free methods.
 	for _, method := range []core.Method{core.MethodAgglomerative, core.MethodFurthest, core.MethodLocalSearch} {
-		labels, err := aggregateOnMatrix(problem, matrix, method, core.AggregateOptions{Recorder: rec})
+		labels, err := aggregateOnMatrix(problem, matrix, method, core.AggregateOptions{Workers: cfg.Workers, Recorder: rec})
 		if err != nil {
 			return nil, err
 		}

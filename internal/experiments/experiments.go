@@ -42,6 +42,11 @@ type Config struct {
 	SampleSizes []int
 	// ScalabilitySizes overrides the Figure 5 right dataset-size sweep.
 	ScalabilitySizes []int
+	// Workers caps the worker goroutines of the parallel stages (matrix
+	// materialization, BestOf racing, SAMPLING assignment). Zero means
+	// GOMAXPROCS; 1 forces sequential execution. Results are identical for
+	// every value.
+	Workers int
 	// Recorder, when non-nil, collects spans and algorithm counters from
 	// the aggregation runs inside each experiment (cmd/experiments -report
 	// attaches one per artifact). Nil records nothing; results are

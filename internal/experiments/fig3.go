@@ -83,7 +83,7 @@ func Fig3Robustness(cfg Config) (*Fig3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	agg, err := problem.Aggregate(core.MethodAgglomerative, core.AggregateOptions{Materialize: true, Recorder: cfg.Recorder})
+	agg, err := problem.Aggregate(core.MethodAgglomerative, core.AggregateOptions{Materialize: true, Workers: cfg.Workers, Recorder: cfg.Recorder})
 	if err != nil {
 		return nil, err
 	}

@@ -76,6 +76,7 @@ func Fig4CorrectClusters(cfg Config) (*Fig4Result, error) {
 		agg, err := problem.Aggregate(core.MethodAgglomerative, core.AggregateOptions{
 			Materialize: true,
 			Refine:      true,
+			Workers:     cfg.Workers,
 			Recorder:    cfg.Recorder,
 		})
 		if err != nil {

@@ -48,7 +48,7 @@ func Fig5Sampling(cfg Config) (*Fig5SamplingResult, error) {
 	res := &Fig5SamplingResult{N: t.N()}
 
 	res.FullTime, err = timeIt(func() error {
-		labels, err := problem.Aggregate(core.MethodAgglomerative, core.AggregateOptions{Materialize: true, Recorder: cfg.Recorder})
+		labels, err := problem.Aggregate(core.MethodAgglomerative, core.AggregateOptions{Materialize: true, Workers: cfg.Workers, Recorder: cfg.Recorder})
 		if err != nil {
 			return err
 		}
@@ -70,7 +70,7 @@ func Fig5Sampling(cfg Config) (*Fig5SamplingResult, error) {
 		}
 		p := Fig5SamplePoint{SampleSize: s}
 		d, err := timeIt(func() error {
-			labels, err := problem.Sample(core.MethodAgglomerative, core.AggregateOptions{Recorder: cfg.Recorder},
+			labels, err := problem.Sample(core.MethodAgglomerative, core.AggregateOptions{Workers: cfg.Workers, Recorder: cfg.Recorder},
 				core.SamplingOptions{
 					SampleSize: s,
 					Rand:       rand.New(rand.NewSource(cfg.seed() + int64(s))),
@@ -153,7 +153,7 @@ func Fig5Scalability(cfg Config) (*Fig5ScalabilityResult, error) {
 		}
 		p := Fig5ScalePoint{N: data.N()}
 		p.Duration, err = timeIt(func() error {
-			labels, err := problem.Sample(core.MethodFurthest, core.AggregateOptions{Recorder: cfg.Recorder},
+			labels, err := problem.Sample(core.MethodFurthest, core.AggregateOptions{Workers: cfg.Workers, Recorder: cfg.Recorder},
 				core.SamplingOptions{
 					SampleSize: res.SampleSize,
 					Rand:       rand.New(rand.NewSource(cfg.seed())),

@@ -49,7 +49,7 @@ func MissingValueSweep(cfg Config) (*MissingResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			labels, err := problem.Aggregate(core.MethodAgglomerative, core.AggregateOptions{Materialize: true, Recorder: cfg.Recorder})
+			labels, err := problem.Aggregate(core.MethodAgglomerative, core.AggregateOptions{Materialize: true, Workers: cfg.Workers, Recorder: cfg.Recorder})
 			if err != nil {
 				return nil, err
 			}

@@ -9,7 +9,6 @@ import (
 	"clusteragg/internal/dataset"
 	"clusteragg/internal/eval"
 	"clusteragg/internal/limbo"
-	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 	"clusteragg/internal/rock"
 )
@@ -59,12 +58,13 @@ func (r *CatTableResult) String() string {
 // catTable runs the shared Table 2/3 protocol on a categorical table: class
 // labels and lower bound first, then the five aggregation algorithms, then
 // ROCK and LIMBO at the requested parameter settings.
-func catTable(t *dataset.Table, rec *obs.Recorder, rockRuns []rock.Options, limboRuns []limbo.Options) (*CatTableResult, error) {
+func catTable(t *dataset.Table, cfg Config, rockRuns []rock.Options, limboRuns []limbo.Options) (*CatTableResult, error) {
+	rec := cfg.Recorder
 	problem, err := tableProblem(t)
 	if err != nil {
 		return nil, err
 	}
-	matrix := problem.Matrix()
+	matrix := problem.MatrixWorkers(cfg.Workers)
 	res := &CatTableResult{Dataset: t.Name, N: t.N(), M: problem.M()}
 
 	addLabeled := func(name string, labels partition.Labels) error {
@@ -104,6 +104,7 @@ func catTable(t *dataset.Table, rec *obs.Recorder, rockRuns []rock.Options, limb
 	}
 	for _, r := range runs {
 		r.opts.Materialize = false // reuse the matrix built above instead
+		r.opts.Workers = cfg.Workers
 		r.opts.Recorder = rec
 		labels, err := aggregateOnMatrix(problem, matrix, r.method, r.opts)
 		if err != nil {
@@ -166,7 +167,7 @@ func aggregateOnMatrix(p *core.Problem, m *corrclust.Matrix, method core.Method,
 // real file: the largest θ at which the two parties stay linked).
 func Table2Votes(cfg Config) (*CatTableResult, error) {
 	t := dataset.SyntheticVotes(cfg.seed())
-	return catTable(t, cfg.Recorder,
+	return catTable(t, cfg,
 		[]rock.Options{{K: 2, Theta: 0.50}},
 		[]limbo.Options{{K: 2, Phi: 0.0}},
 	)
@@ -180,7 +181,7 @@ func Table3Mushrooms(cfg Config) (*CatTableResult, error) {
 	// ROCK's θ = 0.60 is the stand-in's analogue of the paper's 0.8 (see
 	// Table2Votes); LIMBO keeps the paper's φ = 0.3.
 	t := subsample(dataset.SyntheticMushrooms(cfg.seed()), cfg.mushroomsRows(), cfg.seed())
-	return catTable(t, cfg.Recorder,
+	return catTable(t, cfg,
 		[]rock.Options{{K: 2, Theta: 0.6}, {K: 7, Theta: 0.6}, {K: 9, Theta: 0.6}},
 		[]limbo.Options{{K: 2, Phi: 0.3}, {K: 7, Phi: 0.3}, {K: 9, Phi: 0.3}},
 	)
@@ -204,7 +205,7 @@ func Table1Confusion(cfg Config) (*Table1Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	agg, err := problem.Aggregate(core.MethodAgglomerative, core.AggregateOptions{Materialize: true, Recorder: cfg.Recorder})
+	agg, err := problem.Aggregate(core.MethodAgglomerative, core.AggregateOptions{Materialize: true, Workers: cfg.Workers, Recorder: cfg.Recorder})
 	if err != nil {
 		return nil, err
 	}

@@ -38,5 +38,11 @@ func (ci *CountingInstance) Dist(u, v int) float64 {
 // Probes returns the number of Dist calls made through the wrapper.
 func (ci *CountingInstance) Probes() int64 { return ci.probes.Value() }
 
+// ProbeCounter returns the wrapper's counter (possibly nil). Bulk kernels
+// that read distances straight from the wrapped oracle's storage use it to
+// charge their reads in one Add, keeping probe totals equivalent to the
+// per-call path.
+func (ci *CountingInstance) ProbeCounter() *Counter { return ci.probes }
+
 // Unwrap returns the wrapped oracle.
 func (ci *CountingInstance) Unwrap() DistanceOracle { return ci.inst }

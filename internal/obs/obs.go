@@ -96,6 +96,25 @@ func (s *Span) End() {
 	}
 }
 
+// StartChild opens a span named name as an explicit child of s, bypassing
+// the open-span stack. Concurrent sections (method racing, parallel workers)
+// use it so their spans attach to a stable parent instead of nesting by
+// goroutine interleaving order. The child never joins the stack: spans
+// started with Recorder.Start while it is open do not nest under it. End it
+// exactly once, as usual; a nil *Span returns nil, keeping call sites
+// unconditional.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	r := s.rec
+	c := &Span{rec: r, name: name, start: time.Now()}
+	r.mu.Lock()
+	s.children = append(s.children, c)
+	r.mu.Unlock()
+	return c
+}
+
 // Counter is a monotonic int64 counter, safe for concurrent use. A nil
 // *Counter ignores Add and reports 0.
 type Counter struct {

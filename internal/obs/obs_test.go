@@ -97,7 +97,7 @@ func TestCountersConcurrent(t *testing.T) {
 
 type unitOracle struct{ n int }
 
-func (o unitOracle) N() int              { return o.n }
+func (o unitOracle) N() int { return o.n }
 func (o unitOracle) Dist(u, v int) float64 {
 	if u == v {
 		return 0

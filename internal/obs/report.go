@@ -33,6 +33,9 @@ type RunReport struct {
 	LowerBound float64 `json:"lower_bound,omitempty"`
 	// WallNS is the end-to-end wall-clock time of the run in nanoseconds.
 	WallNS int64 `json:"wall_ns"`
+	// Workers is the effective worker-goroutine cap used for materialization
+	// and method racing (the resolved -workers flag; 0 when unknown).
+	Workers int `json:"workers,omitempty"`
 	// Metrics holds run-specific headline numbers (classification error,
 	// time ratios, ...) keyed by a short name.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
