@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race test-race check cover bench bench-all bench-short experiments experiments-full fuzz clean
+.PHONY: all build test vet race test-race check cover bench bench-all bench-short experiments experiments-full fuzz fuzz-localsearch clean
 
 all: build test
 
@@ -29,14 +29,19 @@ cover:
 	$(GO) test -cover ./...
 
 # The distance-kernel suite: block materialization vs the naive build,
-# LOCALSEARCH row fast path vs generic, and BestOf racing (see
-# docs/PERFORMANCE.md for how to read the numbers).
+# LOCALSEARCH row fast path vs generic, the incremental LOCALSEARCH kernel
+# vs the reference sweep, and BestOf racing (see docs/PERFORMANCE.md for how
+# to read the numbers).
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkMaterialize$$|BenchmarkLocalSearchMatrix$$|BenchmarkBestOf$$' -benchmem ./internal/core/
+	$(GO) test -run xxx -bench 'BenchmarkMaterialize$$|BenchmarkLocalSearchMatrix$$|BenchmarkLocalSearchIncremental$$|BenchmarkBestOf$$' -benchmem ./internal/core/
 
 # One iteration of the kernel suite, as a fast correctness smoke test.
 bench-short:
-	$(GO) test -run xxx -bench 'BenchmarkMaterialize$$|BenchmarkLocalSearchMatrix$$|BenchmarkBestOf$$' -benchtime 1x ./internal/core/
+	$(GO) test -run xxx -bench 'BenchmarkMaterialize$$|BenchmarkLocalSearchMatrix$$|BenchmarkLocalSearchIncremental$$|BenchmarkBestOf$$' -benchtime 1x ./internal/core/
+
+# Fuzz the incremental LOCALSEARCH kernel against the reference sweep.
+fuzz-localsearch:
+	$(GO) test -run FuzzLocalSearchIncremental -fuzz FuzzLocalSearchIncremental -fuzztime 30s ./internal/corrclust/
 
 # Everything: one benchmark per table/figure plus the ablations.
 bench-all:

@@ -132,6 +132,17 @@ func TestRunReportSchema(t *testing.T) {
 			t.Errorf("counter %s = %d, want > 0", key, rep.Counters[key])
 		}
 	}
+	// The incremental LOCALSEARCH kernel's counters flow into the report:
+	// delta updates happen whenever moves do, and the refresh and proposal
+	// counters are registered even when zero (sequential small-n run).
+	if rep.Counters["localsearch.delta_updates"] <= 0 {
+		t.Errorf("counter localsearch.delta_updates = %d, want > 0", rep.Counters["localsearch.delta_updates"])
+	}
+	for _, key := range []string{"localsearch.refreshes", "localsearch.proposals"} {
+		if _, ok := rep.Counters[key]; !ok {
+			t.Errorf("counter %s missing from report", key)
+		}
+	}
 }
 
 func TestRunProfiles(t *testing.T) {

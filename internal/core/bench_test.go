@@ -76,6 +76,38 @@ func BenchmarkLocalSearchMatrix(b *testing.B) {
 	})
 }
 
+// BenchmarkLocalSearchIncremental is the ISSUE's acceptance workload
+// (n=2000, m=16 clusterings — dyadic distances, so every variant must land
+// on identical labels): the delta-maintained incremental kernel, sequential
+// and parallel, against the O(n²)-per-sweep reference it replaced. The ≥3×
+// criterion compares reference vs incremental/sequential.
+func BenchmarkLocalSearchIncremental(b *testing.B) {
+	p := benchProblem(b, 2000, 16, 8)
+	mx := p.Matrix()
+	want := corrclust.LocalSearch(mx, corrclust.LocalSearchOptions{Workers: 1})
+	b.Run("incremental/sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			corrclust.LocalSearch(mx, corrclust.LocalSearchOptions{Workers: 1})
+		}
+	})
+	b.Run("incremental/parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			got := corrclust.LocalSearch(mx, corrclust.LocalSearchOptions{})
+			if !equalLabels(got, want) {
+				b.Fatal("parallel labels diverge from sequential")
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			got := corrclust.LocalSearchReference(mx, corrclust.LocalSearchOptions{})
+			if !equalLabels(got, want) {
+				b.Fatal("incremental labels diverge from reference")
+			}
+		}
+	})
+}
+
 // hideMatrix forces the generic interface-call paths in benchmarks.
 type hideMatrix struct{ m *corrclust.Matrix }
 

@@ -102,7 +102,8 @@ type AggregateOptions struct {
 	Materialize bool
 	// Workers caps the worker goroutines used by the parallel stages
 	// (cluster-block materialization, BestOf method racing, SAMPLING's
-	// assignment pass). Zero means GOMAXPROCS; 1 forces sequential
+	// assignment pass, LOCALSEARCH's move-proposal phase — standalone and as
+	// the Refine pass). Zero means GOMAXPROCS; 1 forces sequential
 	// execution. Results are identical for every value.
 	Workers int
 	// Rand supplies randomness to the randomized methods (MethodPivot,
@@ -187,7 +188,7 @@ func (p *Problem) aggregateOn(inst corrclust.Instance, method Method, opts Aggre
 	case MethodFurthest:
 		labels, _ = corrclust.FurthestWithOptions(algInst, corrclust.FurthestOptions{K: opts.K, Recorder: rec})
 	case MethodLocalSearch:
-		labels = corrclust.LocalSearch(algInst, corrclust.LocalSearchOptions{Recorder: rec})
+		labels = corrclust.LocalSearch(algInst, corrclust.LocalSearchOptions{Recorder: rec, Workers: opts.Workers})
 	case MethodPivot:
 		rounds := opts.PivotRounds
 		if rounds <= 0 {
@@ -204,7 +205,7 @@ func (p *Problem) aggregateOn(inst corrclust.Instance, method Method, opts Aggre
 		if parent == nil {
 			rs = rec.Start("refine")
 		}
-		labels = corrclust.LocalSearch(counting(inst, rec, "refine.dist_probes"), corrclust.LocalSearchOptions{Init: labels, Recorder: rec})
+		labels = corrclust.LocalSearch(counting(inst, rec, "refine.dist_probes"), corrclust.LocalSearchOptions{Init: labels, Recorder: rec, Workers: opts.Workers})
 		rs.End()
 	}
 	return labels.Normalize(), nil

@@ -90,7 +90,10 @@ func (p *Problem) Sample(method Method, aggOpts AggregateOptions, sOpts Sampling
 
 	// Assignment phase: place each non-sampled object into the sampled
 	// cluster minimizing d(v, C_i) = M(v,C_i) + Σ_{j≠i}(|C_j| − M(v,C_j)),
-	// or into a fresh singleton when that is cheaper. Objects are
+	// or into a fresh singleton when that is cheaper — the LOCALSEARCH
+	// assignment cost; the refinement passes inside the exact core and the
+	// singleton recluster run the incremental LOCALSEARCH kernel with the
+	// same aggOpts.Workers cap (see corrclust.LocalSearch). Objects are
 	// independent, so the pass runs on worker stripes (capped by
 	// aggOpts.Workers); a fresh singleton takes the provisional label k+v,
 	// unique per object regardless of scheduling, and the final Normalize

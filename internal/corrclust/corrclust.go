@@ -89,13 +89,22 @@ func NewMatrix(n int) *Matrix {
 }
 
 // MatrixFromInstance materializes any Instance into a Matrix. Useful when an
-// on-the-fly instance will be probed many times.
+// on-the-fly instance will be probed many times. A source that is itself
+// matrix-backed (possibly under counting layers) is copied condensed-storage
+// to condensed-storage in one pass instead of n(n−1)/2 interface calls, with
+// the reads bulk-charged to any counting layers.
 func MatrixFromInstance(inst Instance) *Matrix {
 	n := inst.N()
 	m := NewMatrix(n)
+	if src, charge := matrixFast(inst); src != nil {
+		copy(m.data, src.data)
+		charge(pairs(n))
+		return m
+	}
 	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			m.data[m.index(u, v)] = inst.Dist(u, v)
+		row := m.Row(u)
+		for j := range row {
+			row[j] = inst.Dist(u, u+1+j)
 		}
 	}
 	return m
@@ -148,14 +157,17 @@ func (m *Matrix) RowTo(u int, dst []float64) []float64 {
 	return dst[:m.n]
 }
 
-// Set stores a distance for the unordered pair {u,v}. Setting a diagonal
-// entry or a value outside [0,1] is an error.
+// Set stores a distance for the unordered pair {u,v}. Setting an
+// out-of-range index, a diagonal entry, or a value outside [0,1] is an
+// error. Range is validated first, so an out-of-range equal pair (e.g.
+// Set(7,7) on a 3-object matrix) reports the range error, not the diagonal
+// one.
 func (m *Matrix) Set(u, v int, x float64) error {
-	if u == v {
-		return fmt.Errorf("corrclust: cannot set diagonal entry (%d,%d)", u, v)
-	}
 	if u < 0 || v < 0 || u >= m.n || v >= m.n {
 		return fmt.Errorf("corrclust: pair (%d,%d) out of range [0,%d)", u, v, m.n)
+	}
+	if u == v {
+		return fmt.Errorf("corrclust: cannot set diagonal entry (%d,%d)", u, v)
 	}
 	if x < 0 || x > 1 || math.IsNaN(x) {
 		return fmt.Errorf("corrclust: distance %v outside [0,1]", x)
@@ -176,14 +188,19 @@ func (m *Matrix) Validate(checkTriangle bool) error {
 	if !checkTriangle {
 		return nil
 	}
+	// Every triple u < v < w reads X_uv, X_uw from row u and X_vw from row
+	// v, so the contiguous rows are hoisted out of the inner loop instead of
+	// paying three condensed-index Dist calls per triple.
 	const eps = 1e-9
 	for u := 0; u < m.n; u++ {
+		rowU := m.Row(u)
 		for v := u + 1; v < m.n; v++ {
-			duv := m.Dist(u, v)
-			for w := v + 1; w < m.n; w++ {
-				duw, dvw := m.Dist(u, w), m.Dist(v, w)
+			duv := rowU[v-u-1]
+			rowV := m.Row(v)
+			for j, dvw := range rowV {
+				duw := rowU[v-u+j] // w = v+1+j, so rowU index w-u-1
 				if duv > duw+dvw+eps || duw > duv+dvw+eps || dvw > duv+duw+eps {
-					return fmt.Errorf("corrclust: triangle inequality violated on (%d,%d,%d)", u, v, w)
+					return fmt.Errorf("corrclust: triangle inequality violated on (%d,%d,%d)", u, v, v+1+j)
 				}
 			}
 		}

@@ -3,6 +3,7 @@ package corrclust
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -123,6 +124,18 @@ func TestMatrixSetErrors(t *testing.T) {
 	}
 	if err := m.Set(0, 3, 0.5); err == nil {
 		t.Error("out-of-range set accepted")
+	}
+	// Range is checked before the diagonal: an out-of-range equal pair must
+	// report the range error, not a bogus diagonal error.
+	if err := m.Set(7, 7, 0.5); err == nil {
+		t.Error("out-of-range equal pair accepted")
+	} else if !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("Set(7,7) reported %q, want a range error", err)
+	}
+	if err := m.Set(1, 1, 0.5); err == nil {
+		t.Error("in-range diagonal accepted")
+	} else if !strings.Contains(err.Error(), "diagonal") {
+		t.Errorf("Set(1,1) reported %q, want a diagonal error", err)
 	}
 	if err := m.Set(0, 1, 1.5); err == nil {
 		t.Error("distance > 1 accepted")

@@ -1,6 +1,8 @@
 package corrclust
 
 import (
+	"runtime"
+
 	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 )
@@ -18,15 +20,43 @@ type LocalSearchOptions struct {
 	// guarding against non-termination from floating-point noise. Zero means
 	// the package default of 1e-9.
 	Epsilon float64
+	// Workers caps the goroutines used by the parallel move-proposal phase
+	// (0 = GOMAXPROCS, 1 = sequential). Proposals are evaluated on worker
+	// stripes against the frozen sweep state and then validated and applied
+	// sequentially in object order, so labels are bit-identical for every
+	// value. The GOMAXPROCS default drops to sequential below
+	// localSearchMinParallel objects; an explicit Workers > 1 is always
+	// honored.
+	Workers int
+	// RefreshEvery rebuilds a cluster's affinity column exactly after this
+	// many incremental delta updates, bounding float drift. Zero means the
+	// package default (DefaultLocalSearchRefresh); the column a move assigns
+	// a fresh singleton to is rebuilt exactly as a side effect, resetting its
+	// drift for free.
+	RefreshEvery int
 	// Recorder, when non-nil, receives the localsearch.* counters (sweeps,
-	// accepted moves, early convergence). Nil records nothing and costs
-	// nothing.
+	// accepted moves, early convergence, delta updates, column refreshes,
+	// parallel proposals). Nil records nothing and costs nothing.
 	Recorder *obs.Recorder
+
+	// onMove, when non-nil, observes every applied move (object, old
+	// cluster slot, new cluster slot), in application order. Test hook.
+	onMove func(v, from, to int)
 }
 
 // DefaultLocalSearchPasses bounds the number of passes when the caller does
 // not specify one. Convergence is typically reached much earlier.
 const DefaultLocalSearchPasses = 100
+
+// DefaultLocalSearchRefresh is the default number of incremental delta
+// updates a cluster's affinity column absorbs before it is rebuilt exactly
+// from the distance oracle (see LocalSearchOptions.RefreshEvery).
+const DefaultLocalSearchRefresh = 256
+
+// localSearchMinParallel is the object count below which the default worker
+// resolution stays sequential: the proposal phase is O(n·k) float reads per
+// sweep, and goroutine overhead dominates under it.
+const localSearchMinParallel = 256
 
 // LocalSearch runs the LOCALSEARCH algorithm of Section 4: repeatedly sweep
 // the objects and move each one to the cluster (or to a fresh singleton)
@@ -37,7 +67,99 @@ const DefaultLocalSearchPasses = 100
 // where M(v, C) = Σ_{u∈C} X_vu, until a full pass makes no improving move.
 // It can be used standalone or to post-process the output of another
 // algorithm (pass that output as opts.Init).
+//
+// The implementation is incremental: the affinity table M[v][c] is grown
+// during the first sweep (singleton clusters stay implicit in the distance
+// rows; a cluster's column materializes when it gains its second member) and
+// maintained under moves (an accepted move updates the affected columns in
+// O(n)), and Σ_j (|C_j| − M(v,C_j)) collapses to the invariant
+// (n−1) − Σ_u X_vu, so once the cluster count has collapsed, evaluating an
+// object costs O(k) table reads instead of an O(n) distance scan — a sweep
+// is O(n·k + moves·n) rather than O(n²). See localsearch_incremental.go for
+// the three sweep modes and when each engages. LocalSearchReference keeps
+// the per-object rebuild as the reference implementation; on instances whose
+// distance arithmetic is exact (dyadic values) the two produce identical
+// labels, and otherwise they agree to float-drift noise bounded by the
+// periodic column refresh (see docs/PERFORMANCE.md).
 func LocalSearch(inst Instance, opts LocalSearchOptions) partition.Labels {
+	n := inst.N()
+	if n == 0 {
+		return partition.Labels{}
+	}
+	maxPasses := opts.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = DefaultLocalSearchPasses
+	}
+	eps := opts.Epsilon
+	if eps <= 0 {
+		eps = 1e-9
+	}
+	refreshEvery := opts.RefreshEvery
+	if refreshEvery <= 0 {
+		refreshEvery = DefaultLocalSearchRefresh
+	}
+
+	var labels partition.Labels
+	if opts.Init != nil {
+		labels = opts.Init.Normalize()
+	} else {
+		labels = partition.Singletons(n)
+	}
+
+	ker := newLSKernel(inst, labels, eps, refreshEvery)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if n < localSearchMinParallel {
+			workers = 1
+		}
+	}
+	if workers > n {
+		workers = n
+	}
+	var props []int
+	if workers > 1 {
+		props = make([]int, n)
+	}
+
+	var sweeps int64
+	converged := false
+	for pass := 0; pass < maxPasses; pass++ {
+		sweeps++
+		var improved bool
+		if workers > 1 {
+			improved = ker.sweepParallel(props, workers, opts.onMove)
+		} else {
+			improved = ker.sweepSequential(opts.onMove)
+		}
+		if !improved {
+			converged = true
+			break
+		}
+	}
+	if rec := opts.Recorder; rec != nil {
+		rec.Add("localsearch.sweeps", sweeps)
+		rec.Add("localsearch.moves", ker.moves)
+		rec.Add("localsearch.delta_updates", ker.deltaUpdates)
+		rec.Add("localsearch.refreshes", ker.refreshes)
+		rec.Add("localsearch.proposals", ker.proposals)
+		if converged {
+			rec.Add("localsearch.converged_early", 1)
+		}
+	}
+	return ker.labels.Normalize()
+}
+
+// LocalSearchReference is the pre-incremental LOCALSEARCH sweep: M(v, C_i)
+// is rebuilt from a full distance row for every object visited, making each
+// pass O(n²). It makes exactly the decisions LocalSearch makes (same
+// ascending-slot iteration, strict-< tie-breaks, same epsilon guard), only
+// with per-evaluation instead of delta-maintained float accumulation, and is
+// kept as the reference implementation the incremental kernel's equivalence
+// tests and benchmarks run against. opts.Workers, opts.RefreshEvery, and the
+// move hook are ignored.
+func LocalSearchReference(inst Instance, opts LocalSearchOptions) partition.Labels {
 	n := inst.N()
 	if n == 0 {
 		return partition.Labels{}

@@ -1,0 +1,244 @@
+package corrclust
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"clusteragg/internal/obs"
+	"clusteragg/internal/partition"
+)
+
+// dyadicInstance draws an aggregation-induced instance whose distances are
+// dyadic rationals (m a power of two), so every float operation the kernels
+// perform is exact and the incremental sweep provably makes the same
+// decisions as the reference sweep.
+func dyadicInstance(t testing.TB, rng *rand.Rand, m, n, k int) *Matrix {
+	t.Helper()
+	return aggInstance(t, randClusterings(rng, m, n, k)...)
+}
+
+func equalLabelSlices(a, b partition.Labels) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLocalSearchIncrementalMatchesReferenceExact: on exact-arithmetic
+// (dyadic) instances the incremental kernel must reproduce the reference
+// sweep's labels identically — from singletons and from a random Init — and
+// the costs must agree to 1e-9.
+func TestLocalSearchIncrementalMatchesReferenceExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		m := []int{1, 2, 4, 8, 16}[rng.Intn(5)]
+		n := 2 + rng.Intn(60)
+		inst := dyadicInstance(t, rng, m, n, 1+rng.Intn(5))
+		var init partition.Labels
+		if trial%2 == 1 {
+			init = make(partition.Labels, n)
+			for i := range init {
+				init[i] = rng.Intn(4)
+			}
+		}
+		want := LocalSearchReference(inst, LocalSearchOptions{Init: init})
+		got := LocalSearch(inst, LocalSearchOptions{Init: init})
+		if !equalLabelSlices(got, want) {
+			t.Fatalf("trial %d (m=%d n=%d): incremental %v != reference %v", trial, m, n, got, want)
+		}
+		if gc, wc := Cost(inst, got), Cost(inst, want); math.Abs(gc-wc) > 1e-9 {
+			t.Fatalf("trial %d: incremental cost %v, reference cost %v", trial, gc, wc)
+		}
+	}
+}
+
+// TestLocalSearchIncrementalMatchesReferenceContinuous: on continuous random
+// matrices (fixed seeds, deterministic) the maintained table drifts by a few
+// ulps from the reference's fresh sums; decision margins dwarf that, so the
+// labels still match and costs agree to 1e-9.
+func TestLocalSearchIncrementalMatchesReferenceContinuous(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		m := randomMatrix(70, 200+seed)
+		want := LocalSearchReference(m, LocalSearchOptions{})
+		got := LocalSearch(m, LocalSearchOptions{})
+		if !equalLabelSlices(got, want) {
+			t.Fatalf("seed %d: incremental %v != reference %v", seed, got, want)
+		}
+		if gc, wc := Cost(m, got), Cost(m, want); math.Abs(gc-wc) > 1e-9 {
+			t.Fatalf("seed %d: incremental cost %v, reference cost %v", seed, gc, wc)
+		}
+	}
+}
+
+// TestLocalSearchWorkersIdentical: every worker count — sequential, 2, and
+// GOMAXPROCS — must produce bit-identical labels, on instances both below
+// and above the parallel threshold. The propose/validate pass re-evaluates
+// against the live state from the first applied move on, which makes it
+// float-for-float equal to the sequential sweep.
+func TestLocalSearchWorkersIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	sizes := []int{2, 37, 90, 300} // 300 crosses localSearchMinParallel
+	for _, n := range sizes {
+		inst := dyadicInstance(t, rng, 4, n, 1+rng.Intn(4))
+		want := LocalSearch(inst, LocalSearchOptions{Workers: 1})
+		for _, workers := range []int{0, 2, 3, runtime.GOMAXPROCS(0), 2 * runtime.GOMAXPROCS(0)} {
+			got := LocalSearch(inst, LocalSearchOptions{Workers: workers})
+			if !equalLabelSlices(got, want) {
+				t.Fatalf("n=%d workers=%d: %v != sequential %v", n, workers, got, want)
+			}
+		}
+		// And the parallel path agrees with the reference on exact instances.
+		ref := LocalSearchReference(inst, LocalSearchOptions{})
+		if !equalLabelSlices(want, ref) {
+			t.Fatalf("n=%d: incremental %v != reference %v", n, want, ref)
+		}
+	}
+}
+
+// TestLocalSearchMoveCostMonotonic: replaying the kernel's move stream must
+// show a strictly improving objective — each applied move lowers the true
+// cost (recomputed from scratch) by more than zero, so the per-move cost is
+// monotonically non-increasing end to end.
+func TestLocalSearchMoveCostMonotonic(t *testing.T) {
+	cases := []struct {
+		name string
+		inst *Matrix
+	}{
+		{"dyadic", dyadicInstance(t, rand.New(rand.NewSource(47)), 8, 48, 4)},
+		{"continuous", randomMatrix(48, 301)},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 3} {
+			labels := partition.Singletons(tc.inst.N())
+			prev := Cost(tc.inst, labels)
+			moveCount := 0
+			opts := LocalSearchOptions{
+				Workers: workers,
+				onMove: func(v, from, to int) {
+					labels[v] = to
+					c := Cost(tc.inst, labels)
+					if c > prev+1e-9 {
+						t.Fatalf("%s workers=%d move %d (obj %d: %d->%d): cost rose %v -> %v",
+							tc.name, workers, moveCount, v, from, to, prev, c)
+					}
+					prev = c
+					moveCount++
+				},
+			}
+			got := LocalSearch(tc.inst, opts)
+			if moveCount == 0 {
+				t.Fatalf("%s workers=%d: no moves observed", tc.name, workers)
+			}
+			if gc := Cost(tc.inst, got); math.Abs(gc-prev) > 1e-9 {
+				t.Fatalf("%s workers=%d: replayed cost %v != final cost %v", tc.name, workers, prev, gc)
+			}
+		}
+	}
+}
+
+// TestLocalSearchRefreshGuard: forcing an exact column rebuild after every
+// delta (RefreshEvery 1) must not change the labels, and the refresh counter
+// must show the rebuilds happened.
+func TestLocalSearchRefreshGuard(t *testing.T) {
+	inst := randomMatrix(60, 57)
+	want := LocalSearch(inst, LocalSearchOptions{})
+	rec := obs.New()
+	got := LocalSearch(inst, LocalSearchOptions{RefreshEvery: 1, Recorder: rec})
+	if !equalLabelSlices(got, want) {
+		t.Fatalf("RefreshEvery=1 labels %v != default %v", got, want)
+	}
+	c := rec.Counters()
+	if c["localsearch.refreshes"] <= 0 {
+		t.Errorf("localsearch.refreshes = %d, want > 0 with RefreshEvery=1", c["localsearch.refreshes"])
+	}
+	if c["localsearch.moves"] <= 0 || c["localsearch.delta_updates"] <= 0 {
+		t.Errorf("moves=%d delta_updates=%d, want both > 0", c["localsearch.moves"], c["localsearch.delta_updates"])
+	}
+}
+
+// TestLocalSearchIncrementalCounters pins the counter relationships: every
+// move costs 2(n−1) delta updates, proposals appear only on the parallel
+// path (n proposals per sweep), and the default sequential small-n run
+// registers proposals at zero.
+func TestLocalSearchIncrementalCounters(t *testing.T) {
+	inst := dyadicInstance(t, rand.New(rand.NewSource(53)), 4, 50, 3)
+	n := inst.N()
+
+	rec := obs.New()
+	LocalSearch(inst, LocalSearchOptions{Recorder: rec})
+	c := rec.Counters()
+	if want := c["localsearch.moves"] * int64(2*(n-1)); c["localsearch.delta_updates"] != want {
+		t.Errorf("delta_updates = %d, want moves*2(n-1) = %d", c["localsearch.delta_updates"], want)
+	}
+	if c["localsearch.proposals"] != 0 {
+		t.Errorf("sequential run: proposals = %d, want 0", c["localsearch.proposals"])
+	}
+
+	recP := obs.New()
+	LocalSearch(inst, LocalSearchOptions{Workers: 2, Recorder: recP})
+	cp := recP.Counters()
+	if want := cp["localsearch.sweeps"] * int64(n); cp["localsearch.proposals"] != want {
+		t.Errorf("parallel run: proposals = %d, want sweeps*n = %d", cp["localsearch.proposals"], want)
+	}
+}
+
+// TestLocalSearchReferenceStillLocalOptimum keeps the reference sweep
+// honest: it remains a correct LOCALSEARCH (no single move can improve its
+// output), since the incremental kernel's equivalence is judged against it.
+func TestLocalSearchReferenceStillLocalOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 8; trial++ {
+		n := 3 + rng.Intn(8)
+		inst := dyadicInstance(t, rng, 4, n, 1+rng.Intn(4))
+		labels := LocalSearchReference(inst, LocalSearchOptions{})
+		base := Cost(inst, labels)
+		for v := 0; v < n; v++ {
+			orig := labels[v]
+			for target := 0; target <= labels.K(); target++ {
+				labels[v] = target
+				if c := Cost(inst, labels); c < base-1e-6 {
+					t.Errorf("trial %d: moving %d to %d improves %v -> %v", trial, v, target, base, c)
+				}
+			}
+			labels[v] = orig
+		}
+	}
+}
+
+// FuzzLocalSearchIncremental drives the incremental kernel against the
+// reference sweep on fuzzer-chosen exact (dyadic) instances and worker
+// counts: identical labels, costs within 1e-9.
+func FuzzLocalSearchIncremental(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(2), uint8(1))
+	f.Add(int64(2), uint8(40), uint8(0), uint8(2))
+	f.Add(int64(3), uint8(25), uint8(3), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, mExp, workersRaw uint8) {
+		n := 1 + int(nRaw)%64
+		m := 1 << (int(mExp) % 5) // 1, 2, 4, 8, 16 clusterings: dyadic distances
+		workers := int(workersRaw) % 5
+		rng := rand.New(rand.NewSource(seed))
+		inst := dyadicInstance(t, rng, m, n, 1+rng.Intn(5))
+		var init partition.Labels
+		if seed%2 == 0 {
+			init = make(partition.Labels, n)
+			for i := range init {
+				init[i] = rng.Intn(3)
+			}
+		}
+		want := LocalSearchReference(inst, LocalSearchOptions{Init: init})
+		got := LocalSearch(inst, LocalSearchOptions{Init: init, Workers: workers})
+		if !equalLabelSlices(got, want) {
+			t.Fatalf("n=%d m=%d workers=%d: incremental %v != reference %v", n, m, workers, got, want)
+		}
+		if gc, wc := Cost(inst, got), Cost(inst, want); math.Abs(gc-wc) > 1e-9 {
+			t.Fatalf("costs differ: %v vs %v", gc, wc)
+		}
+	})
+}

@@ -12,8 +12,13 @@ import (
 // must be safe for concurrent use, which holds for every Instance in this
 // repository. Materialization is O(m·n²) work for aggregation problems and
 // dominates full-size runs, so it parallelizes almost perfectly.
+// Matrix-backed sources (including counting-wrapped ones) skip the workers
+// entirely: MatrixFromInstance copies the condensed storage directly.
 func MatrixFromInstanceParallel(inst Instance, workers int) *Matrix {
 	n := inst.N()
+	if mx, _ := matrixFast(inst); mx != nil {
+		return MatrixFromInstance(inst) // one condensed copy beats any fan-out
+	}
 	m := NewMatrix(n)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -34,9 +39,9 @@ func MatrixFromInstanceParallel(inst Instance, workers int) *Matrix {
 		go func(start int) {
 			defer wg.Done()
 			for u := start; u < n; u += workers {
-				base := u*(2*n-u-1)/2 - (u + 1)
-				for v := u + 1; v < n; v++ {
-					m.data[base+v] = inst.Dist(u, v)
+				row := m.Row(u)
+				for j := range row {
+					row[j] = inst.Dist(u, u+1+j)
 				}
 			}
 		}(w)
@@ -86,4 +91,97 @@ func CostParallel(inst Instance, labels partition.Labels, workers int) float64 {
 		total += s
 	}
 	return total
+}
+
+// lsNoMove marks an object whose proposal found no improving move.
+const lsNoMove = -2
+
+// proposeMoves evaluates every object's best move against the current
+// (frozen) sweep state on contiguous worker stripes. In table mode the
+// evaluation reads only the maintained affinity table; in growing and
+// rebuild modes each worker gathers rows into its own scratch buffers
+// (Instance.Dist is concurrency-safe by contract, and counting layers
+// charge atomically). The only shared writes are growing mode's away[v]
+// recordings, and each object belongs to exactly one stripe, so stripes
+// race nothing and the proposal for each object is exactly what a
+// sequential evaluation at pass start would produce. props[v] receives the
+// move target (-1 = fresh singleton) or lsNoMove.
+func (k *lsKernel) proposeMoves(props []int, workers int) {
+	chunk := (k.n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > k.n {
+			hi = k.n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var row, m []float64
+			if !k.tableBuilt {
+				row = make([]float64, k.n)
+				if !k.growing {
+					m = make([]float64, len(k.size))
+				}
+			}
+			for v := lo; v < hi; v++ {
+				var target int
+				var ok bool
+				switch {
+				case k.tableBuilt:
+					target, ok = k.evaluate(v)
+				case k.growing:
+					target, ok = k.evaluateGrowing(v, k.readRowInto(v, row))
+				default:
+					target, ok = k.evaluateRebuild(v, k.readRowInto(v, row), m)
+				}
+				if ok {
+					props[v] = target
+				} else {
+					props[v] = lsNoMove
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	k.proposals += int64(k.n)
+}
+
+// sweepParallel is one propose/validate pass: proposals are computed in
+// parallel against the frozen pass-start state, then validated and applied
+// sequentially in object order. Until the first move is applied the state
+// equals the frozen snapshot, so proposals are exact and apply directly;
+// from the first applied move on, every later object is re-evaluated
+// against the live state before deciding. The pass therefore makes — float
+// for float — the same decisions as sweepSequential, for every worker
+// count; the parallel phase only pre-pays evaluation work that stays valid.
+func (k *lsKernel) sweepParallel(props []int, workers int, onMove func(v, from, to int)) bool {
+	k.maybeBuildTable()
+	k.proposeMoves(props, workers)
+	improved := false
+	movedSince := false
+	for v := 0; v < k.n; v++ {
+		target := props[v]
+		if movedSince {
+			var ok bool
+			target, ok = k.evalSeq(v)
+			if !ok {
+				continue
+			}
+		} else if target == lsNoMove {
+			continue
+		}
+		from := k.labels[v]
+		k.apply(v, target)
+		movedSince = true
+		improved = true
+		if onMove != nil {
+			onMove(v, from, k.labels[v])
+		}
+	}
+	return improved
 }

@@ -1,0 +1,74 @@
+package corrclust
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// validateTriangleReference is the pre-optimization triangle scan: three
+// condensed-index Dist calls per triple. The row-hoisted Validate must agree
+// with it on every instance.
+func validateTriangleReference(m *Matrix) bool {
+	const eps = 1e-9
+	n := m.N()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			for w := v + 1; w < n; w++ {
+				duv, duw, dvw := m.Dist(u, v), m.Dist(u, w), m.Dist(v, w)
+				if duv > duw+dvw+eps || duw > duv+dvw+eps || dvw > duv+duw+eps {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestValidateTriangleMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	// Aggregation-induced matrices always satisfy the triangle inequality;
+	// random matrices usually violate it. Both outcomes must match the
+	// reference scan.
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(25)
+		agg := dyadicInstance(t, rng, 4, n, 1+rng.Intn(4))
+		if err := agg.Validate(true); err != nil {
+			t.Fatalf("trial %d: aggregation matrix failed Validate: %v", trial, err)
+		}
+		if !validateTriangleReference(agg) {
+			t.Fatalf("trial %d: reference scan disagrees on aggregation matrix", trial)
+		}
+
+		rm := NewMatrix(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				rm.Set(u, v, rng.Float64())
+			}
+		}
+		got := rm.Validate(true) == nil
+		want := validateTriangleReference(rm)
+		if got != want {
+			t.Fatalf("trial %d (n=%d): Validate ok=%v, reference ok=%v", trial, n, got, want)
+		}
+	}
+}
+
+// BenchmarkMatrixValidate measures the O(n³) triangle scan: the row-hoisted
+// version against the three-Dist-calls-per-triple baseline it replaced.
+func BenchmarkMatrixValidate(b *testing.B) {
+	m := aggInstance(b, randClusterings(rand.New(rand.NewSource(7)), 8, 200, 6)...)
+	b.Run("rows", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := m.Validate(true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dist-calls", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !validateTriangleReference(m) {
+				b.Fatal("triangle violation")
+			}
+		}
+	})
+}
