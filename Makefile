@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race test-race check cover bench bench-all bench-short experiments experiments-full fuzz fuzz-localsearch clean
+.PHONY: all build test vet race test-race check cover bench bench-all bench-short experiments experiments-full fuzz fuzz-localsearch fuzz-kernel clean
 
 all: build test
 
@@ -30,18 +30,23 @@ cover:
 
 # The distance-kernel suite: block materialization vs the naive build,
 # LOCALSEARCH row fast path vs generic, the incremental LOCALSEARCH kernel
-# vs the reference sweep, and BestOf racing (see docs/PERFORMANCE.md for how
+# vs the reference sweep, BestOf racing, and the label-kernel sampling
+# assignment vs the probing reference (see docs/PERFORMANCE.md for how
 # to read the numbers).
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkMaterialize$$|BenchmarkLocalSearchMatrix$$|BenchmarkLocalSearchIncremental$$|BenchmarkBestOf$$' -benchmem ./internal/core/
+	$(GO) test -run xxx -bench 'BenchmarkMaterialize$$|BenchmarkLocalSearchMatrix$$|BenchmarkLocalSearchIncremental$$|BenchmarkBestOf$$|BenchmarkSampleAssign$$|BenchmarkSampleLarge$$' -benchmem ./internal/core/
 
 # One iteration of the kernel suite, as a fast correctness smoke test.
 bench-short:
-	$(GO) test -run xxx -bench 'BenchmarkMaterialize$$|BenchmarkLocalSearchMatrix$$|BenchmarkLocalSearchIncremental$$|BenchmarkBestOf$$' -benchtime 1x ./internal/core/
+	$(GO) test -run xxx -bench 'BenchmarkMaterialize$$|BenchmarkLocalSearchMatrix$$|BenchmarkLocalSearchIncremental$$|BenchmarkBestOf$$|BenchmarkSampleAssign$$|BenchmarkSampleLarge$$' -benchtime 1x ./internal/core/
 
 # Fuzz the incremental LOCALSEARCH kernel against the reference sweep.
 fuzz-localsearch:
 	$(GO) test -run FuzzLocalSearchIncremental -fuzz FuzzLocalSearchIncremental -fuzztime 30s ./internal/corrclust/
+
+# Fuzz the columnar label kernel's DistRowTo against Problem.Dist.
+fuzz-kernel:
+	$(GO) test -run FuzzLabelKernelEquiv -fuzz FuzzLabelKernelEquiv -fuzztime 30s ./internal/core/
 
 # Everything: one benchmark per table/figure plus the ablations.
 bench-all:
@@ -63,4 +68,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
-	rm -rf internal/dataset/testdata/fuzz internal/partition/testdata/fuzz
+	rm -rf internal/dataset/testdata/fuzz internal/partition/testdata/fuzz internal/core/testdata/fuzz

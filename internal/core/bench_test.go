@@ -128,3 +128,62 @@ func BenchmarkBestOf(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSampleAssign isolates the assignment phase at n=20_000, m=16:
+// the histogram kernel computes all k affinities in O(m·k) per object,
+// versus O(m·s) Dist probes per object on the reference path. The ≥3×
+// criterion from the ISSUE is judged kernel vs reference here. Both
+// sub-benchmarks disable the singleton recluster so only assignment is
+// timed beyond the (identical) sample aggregation.
+func BenchmarkSampleAssign(b *testing.B) {
+	p := benchProblem(b, 20_000, 16, 7)
+	run := func(ref bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Sample(MethodBalls, AggregateOptions{}, SamplingOptions{
+					Rand: rand.New(rand.NewSource(7)), NoSingletonRecluster: true, ReferenceAssign: ref,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("kernel", run(false))
+	b.Run("reference", run(true))
+
+	// m=16 with uniform weights is dyadic, so the two paths must agree
+	// bit for bit; pin that once outside the timed loops.
+	want, err := p.Sample(MethodBalls, AggregateOptions{}, SamplingOptions{
+		Rand: rand.New(rand.NewSource(7)), NoSingletonRecluster: true, ReferenceAssign: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, err := p.Sample(MethodBalls, AggregateOptions{}, SamplingOptions{
+		Rand: rand.New(rand.NewSource(7)), NoSingletonRecluster: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			b.Fatalf("kernel and reference assignments diverge at object %d", i)
+		}
+	}
+}
+
+// BenchmarkSampleLarge runs the full sampling pipeline at n=100_000, m=8 —
+// the matrix-free regime: peak allocation is the O(n·m) label block plus
+// O(m·L·k) histograms, never an O(n²) matrix.
+func BenchmarkSampleLarge(b *testing.B) {
+	p := benchProblem(b, 100_000, 8, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Sample(MethodBalls, AggregateOptions{}, SamplingOptions{
+			Rand: rand.New(rand.NewSource(7)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

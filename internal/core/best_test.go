@@ -108,3 +108,62 @@ func BenchmarkBestClusteringFast(b *testing.B) {
 		p.BestClustering()
 	}
 }
+
+// TestBestClusteringWorkersIdentical: the parallel pairwise-distance table
+// in bestClusteringFast must yield the same labels, index, and disagreement
+// for every worker count — the reduction runs sequentially in input order,
+// preserving tie-breaking by index.
+func TestBestClusteringWorkersIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 4; trial++ {
+		n := 50 + rng.Intn(100)
+		m := 8 + rng.Intn(8)
+		cs := make([]partition.Labels, m)
+		for i := range cs {
+			c := make(partition.Labels, n)
+			for j := range c {
+				c[j] = rng.Intn(5)
+			}
+			cs[i] = c
+		}
+		var opts ProblemOptions
+		if trial%2 == 1 {
+			w := make([]float64, m)
+			for i := range w {
+				w[i] = 0.5 + rng.Float64()*3
+			}
+			opts.Weights = w
+		}
+		p, err := NewProblem(cs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseL, baseI, baseD := p.bestClustering(nil, 0)
+		for _, workers := range []int{1, 2, 3, 8} {
+			l, i, d := p.bestClustering(nil, workers)
+			if i != baseI || d != baseD {
+				t.Fatalf("trial %d: Workers=%d picked (%d, %v), Workers=0 picked (%d, %v)",
+					trial, workers, i, d, baseI, baseD)
+			}
+			for j := range l {
+				if l[j] != baseL[j] {
+					t.Fatalf("trial %d: Workers=%d labels diverge at %d", trial, workers, j)
+				}
+			}
+		}
+		// The aggregation entry point must thread Workers through too.
+		aggBase, err := p.Aggregate(MethodBest, AggregateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg8, err := p.Aggregate(MethodBest, AggregateOptions{Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range agg8 {
+			if agg8[j] != aggBase[j] {
+				t.Fatalf("trial %d: Aggregate(MethodBest) diverges at %d with Workers=8", trial, j)
+			}
+		}
+	}
+}

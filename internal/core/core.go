@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"clusteragg/internal/corrclust"
 	"clusteragg/internal/obs"
@@ -200,15 +201,20 @@ func (p *Problem) distAverage(u, v int) float64 {
 // disagreements D(C) = Σ_i d_V(C_i, C) between labels and the inputs. This
 // is the objective of Problem 1 on the unordered-pair scale; the paper's
 // ordered-pair figure is exactly twice this value.
+//
+// The O(n²) pair scan runs over the columnar label kernel — bit-identical
+// distances evaluated as contiguous label compares instead of per-pair
+// interface probes — so evaluating a solution never materializes a matrix.
 func (p *Problem) Disagreement(labels partition.Labels) float64 {
-	return p.totalWeight * corrclust.Cost(p, labels)
+	return p.totalWeight * corrclust.Cost(p.kernel(), labels)
 }
 
 // LowerBound returns m · Σ_{u<v} min(X_uv, 1−X_uv), a lower bound on the
 // disagreement of every possible clustering (the "Lower bound" rows of
-// Tables 2 and 3).
+// Tables 2 and 3). Like Disagreement, it scans pairs through the columnar
+// label kernel, matrix-free.
 func (p *Problem) LowerBound() float64 {
-	return p.totalWeight * corrclust.LowerBound(p)
+	return p.totalWeight * corrclust.LowerBound(p.kernel())
 }
 
 // completeMissing returns labels with every Missing entry replaced by a
@@ -241,23 +247,28 @@ func completeMissing(labels partition.Labels) partition.Labels {
 // model's expectations not being needed), the disagreements are computed
 // through pairwise contingency tables in O(m²·(n + k²)) — the near-linear
 // regime the paper attributes to the Barthélemy–Leclerc data structures —
-// instead of the O(m²·n²) pair scan.
+// instead of the O(m²·n²) pair scan. The m(m−1)/2 pairwise Mirkin
+// distances are integers computed independently, so the table fills on
+// worker goroutines (GOMAXPROCS here; AggregateOptions.Workers through
+// Aggregate) and the reduction runs sequentially in index order — the
+// result is identical for every worker count.
 func (p *Problem) BestClustering() (labels partition.Labels, index int, disagreement float64) {
-	return p.bestClustering(nil)
+	return p.bestClustering(nil, 0)
 }
 
-// bestClustering is BestClustering with instrumentation: rec (may be nil)
-// receives bestclustering.candidates, bestclustering.fast_path, and — on
-// the pairwise-scan path — bestclustering.dist_probes.
-func (p *Problem) bestClustering(rec *obs.Recorder) (labels partition.Labels, index int, disagreement float64) {
+// bestClustering is BestClustering with instrumentation and a worker cap
+// (0 = GOMAXPROCS): rec (may be nil) receives bestclustering.candidates,
+// bestclustering.fast_path, and — on the pairwise-scan path —
+// bestclustering.dist_probes.
+func (p *Problem) bestClustering(rec *obs.Recorder, workers int) (labels partition.Labels, index int, disagreement float64) {
 	rec.Add("bestclustering.candidates", int64(len(p.clusterings)))
 	if p.fastBestApplicable() {
 		rec.Add("bestclustering.fast_path", 1)
-		return p.bestClusteringFast()
+		return p.bestClusteringFast(workers)
 	}
-	var inst corrclust.Instance = p
+	var inst corrclust.Instance = p.kernel()
 	if rec != nil {
-		inst = obs.Count(p, rec.Counter("bestclustering.dist_probes"))
+		inst = obs.Count(inst, rec.Counter("bestclustering.dist_probes"))
 	}
 	bestIdx, bestD := -1, 0.0
 	var best partition.Labels
@@ -287,9 +298,55 @@ func (p *Problem) fastBestApplicable() bool {
 }
 
 // bestClusteringFast evaluates D(C_i) = Σ_j w_j·d_V(C_j, C_i) with Mirkin
-// distances from contingency tables.
-func (p *Problem) bestClusteringFast() (partition.Labels, int, float64) {
+// distances from contingency tables. The distance table is symmetric, so
+// only the m(m−1)/2 pairs i<j are computed — striped over worker
+// goroutines, each pair an independent integer — and the weighted
+// reduction then runs sequentially over j in index order for each i, with
+// ties broken toward the lower index: the same additions and comparisons
+// as a fully sequential run, so every worker count returns the same
+// (labels, index, disagreement).
+func (p *Problem) bestClusteringFast(workers int) (partition.Labels, int, float64) {
 	m := len(p.clusterings)
+	np := m * (m - 1) / 2
+	dist := make([]int, m*m)
+	fillPair := func(i, j int) {
+		dij, err := partition.Distance(p.clusterings[i], p.clusterings[j])
+		if err != nil {
+			// Unreachable: lengths were validated at construction.
+			panic(err)
+		}
+		dist[i*m+j], dist[j*m+i] = dij, dij
+	}
+	workers = effectiveWorkers(workers)
+	if workers > np {
+		workers = np
+	}
+	if workers <= 1 {
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				fillPair(i, j)
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(stripe int) {
+				defer wg.Done()
+				pi := 0
+				for i := 0; i < m; i++ {
+					for j := i + 1; j < m; j++ {
+						if pi%workers == stripe {
+							fillPair(i, j)
+						}
+						pi++
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
 	bestIdx, bestD := -1, 0.0
 	for i := 0; i < m; i++ {
 		var d float64
@@ -297,12 +354,7 @@ func (p *Problem) bestClusteringFast() (partition.Labels, int, float64) {
 			if i == j {
 				continue
 			}
-			dij, err := partition.Distance(p.clusterings[i], p.clusterings[j])
-			if err != nil {
-				// Unreachable: lengths were validated at construction.
-				panic(err)
-			}
-			d += p.weight(j) * float64(dij)
+			d += p.weight(j) * float64(dist[i*m+j])
 		}
 		if bestIdx == -1 || d < bestD {
 			bestIdx, bestD = i, d

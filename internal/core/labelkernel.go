@@ -1,0 +1,300 @@
+package core
+
+import (
+	"clusteragg/internal/partition"
+)
+
+// This file is the columnar label kernel: the m input clusterings packed
+// into one row-major per-object block of int32 labels, so that distance
+// evaluation becomes a tight contiguous label-compare loop instead of a
+// per-pair interface probe through a slice of slices.
+//
+// Problem.Dist walks p.clusterings — m separate []int slices — with a
+// branchy switch per clustering, behind a corrclust.Instance interface call
+// per pair. The kernel stores object v's labels as lab[v*m : v*m+m]
+// (partition.Missing mapped to -1), per-clustering weights and the
+// coin-model missing contribution premultiplied, and a per-object
+// has-missing flag. One-against-many evaluation (DistRowTo) then streams
+// two contiguous int32 blocks per pair; pairs where neither side has a
+// missing label and the weights are uniform collapse to an integer
+// label-mismatch count. Every loop performs the same float operations in
+// the same order as Problem.Dist (premultiplied products round identically
+// to the inline ones), so kernel distances are bit-identical to Dist's —
+// not merely close — which the equivalence tests and FuzzLabelKernelEquiv
+// pin exactly.
+//
+// On top of the kernel, SAMPLING's assignment phase (sampling.go) replaces
+// its O(m·s) per-object probing with O(m·k) co-label histograms: for each
+// clustering, the count of sample members per (input label, sample cluster)
+// is precomputed once, and M(v, C_c) for all k sample clusters falls out of
+// one pass over v's label block. See colabelHist below and
+// docs/PERFORMANCE.md for the arithmetic and the equivalence contract.
+
+// labelKernel is the packed columnar view of a Problem's input clusterings.
+// It implements corrclust.Instance and corrclust.RowDistancer; distances
+// are bit-identical to Problem.Dist. The kernel is immutable after
+// construction and safe for concurrent use.
+type labelKernel struct {
+	n, m int
+	// lab holds object v's labels across the m clusterings at
+	// lab[v*m : v*m+m]; partition.Missing is stored as -1.
+	lab []int32
+	// w[i] is clustering i's weight (all 1 under uniform weights); missW[i]
+	// is the premultiplied coin-model missing contribution (1−missingP)·w[i].
+	w     []float64
+	missW []float64
+	// hasMiss[v] reports whether any clustering is missing a label on v;
+	// uniform reports unit weights. Pairs where both flags are clean take
+	// the integer-count fast path.
+	hasMiss []bool
+	anyMiss bool
+	uniform bool
+
+	average     bool // MissingAverage arithmetic (mirrors Problem.distAverage)
+	totalWeight float64
+}
+
+// kernel packs the problem into a fresh labelKernel in O(n·m).
+func (p *Problem) kernel() *labelKernel {
+	n, m := p.n, len(p.clusterings)
+	lk := &labelKernel{
+		n:           n,
+		m:           m,
+		lab:         make([]int32, n*m),
+		w:           make([]float64, m),
+		missW:       make([]float64, m),
+		hasMiss:     make([]bool, n),
+		uniform:     p.weights == nil,
+		average:     p.missingMode == MissingAverage,
+		totalWeight: p.totalWeight,
+	}
+	for i, c := range p.clusterings {
+		wi := p.weight(i)
+		lk.w[i] = wi
+		lk.missW[i] = (1 - p.missingP) * wi
+		for v, l := range c {
+			lk.lab[v*m+i] = int32(l)
+			if l == partition.Missing {
+				lk.hasMiss[v] = true
+				lk.anyMiss = true
+			}
+		}
+	}
+	return lk
+}
+
+// N returns the number of objects.
+func (lk *labelKernel) N() int { return lk.n }
+
+// block returns object v's contiguous label block.
+func (lk *labelKernel) block(v int) []int32 {
+	return lk.lab[v*lk.m : v*lk.m+lk.m]
+}
+
+// Dist returns the distance X_uv, bit-identical to Problem.Dist.
+func (lk *labelKernel) Dist(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	return lk.pairDist(lk.block(u), lk.block(v), lk.hasMiss[u] || lk.hasMiss[v])
+}
+
+// pairDist evaluates one pair from its label blocks. miss gates the
+// missing-label arithmetic: clean pairs take label-compare-only loops (an
+// integer count under uniform weights), and either loop performs exactly
+// the additions Problem.Dist would, in the same order.
+func (lk *labelKernel) pairDist(bu, bv []int32, miss bool) float64 {
+	if !miss {
+		// No missing labels on either side: both modes reduce to the
+		// weighted separating fraction over the total weight (distAverage's
+		// vote accumulation sums all weights in index order, which is
+		// exactly how NewProblem computed totalWeight).
+		if lk.uniform {
+			cnt := 0
+			for i, lu := range bu {
+				if lu != bv[i] {
+					cnt++
+				}
+			}
+			return float64(cnt) / lk.totalWeight
+		}
+		var x float64
+		for i, lu := range bu {
+			if lu != bv[i] {
+				x += lk.w[i]
+			}
+		}
+		return x / lk.totalWeight
+	}
+	if lk.average {
+		var x, votes float64
+		for i, lu := range bu {
+			lv := bv[i]
+			if lu < 0 || lv < 0 {
+				continue
+			}
+			w := lk.w[i]
+			votes += w
+			if lu != lv {
+				x += w
+			}
+		}
+		if votes == 0 {
+			return 0.5
+		}
+		return x / votes
+	}
+	var x float64
+	for i, lu := range bu {
+		lv := bv[i]
+		switch {
+		case lu < 0 || lv < 0:
+			x += lk.missW[i]
+		case lu != lv:
+			x += lk.w[i]
+		}
+	}
+	return x / lk.totalWeight
+}
+
+// DistRowTo evaluates v against many targets in one call:
+// dst[j] = Dist(v, targets[j]), including zeros for diagonal hits. It
+// satisfies corrclust.RowDistancer; dst must have len(targets) capacity.
+// Safe for concurrent use with distinct dst buffers.
+func (lk *labelKernel) DistRowTo(v int, targets []int, dst []float64) {
+	bv := lk.block(v)
+	missV := lk.hasMiss[v]
+	for j, u := range targets {
+		if u == v {
+			dst[j] = 0
+			continue
+		}
+		dst[j] = lk.pairDist(lk.block(u), bv, missV || lk.hasMiss[u])
+	}
+}
+
+// colabelHist holds the co-label histograms of one sample clustering over
+// the input clusterings: everything needed to evaluate M(v, C_c) for all k
+// sample clusters in one O(m·k) pass over v's label block.
+//
+// For input clustering i with weight w_i and missing contribution
+// missW_i = (1−p)·w_i, a sample cluster C_c splits into pres_i[c] members
+// with a label in clustering i and miss_i[c] = |C_c| − pres_i[c] members
+// without one. An object v with present label ℓ contributes to M(v, C_c)
+//
+//	w_i·(pres_i[c] − cnt_i[ℓ][c]) + missW_i·miss_i[c]
+//	  = base[i][c] − w_i·cnt_i[ℓ][c],
+//
+// where cnt_i[ℓ][c] counts C_c's members carrying label ℓ in clustering i;
+// an object missing in clustering i contributes missW_i·|C_c| = missAll[i][c].
+// Summing the per-clustering contributions and dividing once by the total
+// weight yields M(v, C_c) — the same per-clustering terms Problem.Dist
+// sums per pair, associated per clustering instead of per member, so the
+// histogram path is bit-identical to the probing path exactly where float
+// addition on those terms is exact (dyadic instances; see
+// docs/PERFORMANCE.md) and within float drift otherwise.
+//
+// The histograms do not apply under MissingAverage with missing labels
+// present: there each pair divides by its own vote weight, which does not
+// decompose per clustering. That regime keeps the kernel's row path
+// (assignViaRows), which is bit-identical to probing unconditionally.
+type colabelHist struct {
+	k     int
+	sizes []int // |C_c| for each sample cluster
+	// Per input clustering i: labBound[i] bounds the sample-observed labels
+	// (labels ≥ labBound[i] have all-zero counts and take the base row as
+	// is), cnt[i][ℓ*k+c] = w_i·(members of C_c labeled ℓ in clustering i),
+	// base[i][c] and missAll[i][c] as derived above.
+	labBound []int32
+	cnt      [][]float64
+	base     [][]float64
+	missAll  [][]float64
+}
+
+// buildColabelHist builds the histograms for the given sample clusters
+// (members holds original object indices per sample cluster) in
+// O(s·m + m·L·k) time and O(m·L·k) space, L the per-clustering
+// sample-observed label bound.
+func (lk *labelKernel) buildColabelHist(members [][]int) *colabelHist {
+	k := len(members)
+	h := &colabelHist{
+		k:        k,
+		sizes:    make([]int, k),
+		labBound: make([]int32, lk.m),
+		cnt:      make([][]float64, lk.m),
+		base:     make([][]float64, lk.m),
+		missAll:  make([][]float64, lk.m),
+	}
+	for c, mem := range members {
+		h.sizes[c] = len(mem)
+	}
+	for i := 0; i < lk.m; i++ {
+		var bound int32
+		for _, mem := range members {
+			for _, u := range mem {
+				if l := lk.lab[u*lk.m+i]; l >= bound {
+					bound = l + 1
+				}
+			}
+		}
+		h.labBound[i] = bound
+		cnt := make([]float64, int(bound)*k)
+		miss := make([]int, k)
+		for c, mem := range members {
+			for _, u := range mem {
+				if l := lk.lab[u*lk.m+i]; l >= 0 {
+					cnt[int(l)*k+c]++
+				} else {
+					miss[c]++
+				}
+			}
+		}
+		w, missW := lk.w[i], lk.missW[i]
+		base := make([]float64, k)
+		missAll := make([]float64, k)
+		for c := range base {
+			pres := h.sizes[c] - miss[c]
+			base[c] = w*float64(pres) + missW*float64(miss[c])
+			missAll[c] = missW * float64(h.sizes[c])
+		}
+		for idx := range cnt {
+			cnt[idx] *= w
+		}
+		h.cnt[i] = cnt
+		h.base[i] = base
+		h.missAll[i] = missAll
+	}
+	return h
+}
+
+// affinities fills dst[c] = M(v, C_c) = Σ_{u∈C_c} X_vu for every sample
+// cluster in one O(m·k) pass over v's label block. dst must have length k.
+func (h *colabelHist) affinities(lk *labelKernel, v int, dst []float64) {
+	for c := range dst {
+		dst[c] = 0
+	}
+	bv := lk.block(v)
+	k := h.k
+	for i, lv := range bv {
+		if lv < 0 {
+			for c, ma := range h.missAll[i] {
+				dst[c] += ma
+			}
+			continue
+		}
+		base := h.base[i]
+		if lv >= h.labBound[i] {
+			for c, b := range base {
+				dst[c] += b
+			}
+			continue
+		}
+		cnt := h.cnt[i][int(lv)*k : int(lv+1)*k]
+		for c, b := range base {
+			dst[c] += b - cnt[c]
+		}
+	}
+	for c := range dst {
+		dst[c] /= lk.totalWeight
+	}
+}

@@ -151,11 +151,18 @@ func (p *Problem) Aggregate(method Method, opts AggregateOptions) (partition.Lab
 	rec := opts.Recorder
 	span := rec.Start("aggregate:" + method.Slug())
 	defer span.End()
-	var inst corrclust.Instance = p
+	var inst corrclust.Instance
 	if opts.Materialize {
 		ms := rec.Start("materialize")
 		inst = p.materialize(rec, opts.Workers)
 		ms.End()
+	} else {
+		// Matrix-free runs probe through the columnar label kernel: the
+		// same distances, bit for bit, from contiguous label compares
+		// instead of Problem.Dist's slice-of-slices walk, with bulk row
+		// gathers where the algorithm's inner loop supports them (see
+		// corrclust.RowDistancer).
+		inst = p.kernel()
 	}
 	return p.aggregateOn(inst, method, opts, nil)
 }
@@ -172,7 +179,7 @@ func (p *Problem) aggregateOn(inst corrclust.Instance, method Method, opts Aggre
 	var labels partition.Labels
 	switch method {
 	case MethodBest:
-		labels, _, _ = p.bestClustering(rec)
+		labels, _, _ = p.bestClustering(rec, opts.Workers)
 	case MethodBalls:
 		alpha := corrclust.DefaultBallsAlpha
 		if opts.BallsAlpha != nil {
@@ -233,12 +240,14 @@ func (p *Problem) BestOf(methods []Method, opts AggregateOptions) (partition.Lab
 	rec := opts.Recorder
 	span := rec.Start("bestof")
 	defer span.End()
-	var inst corrclust.Instance = p
+	var inst corrclust.Instance
 	if opts.Materialize {
 		ms := rec.Start("materialize")
 		inst = p.materialize(rec, opts.Workers)
 		ms.End()
 		opts.Materialize = false // reuse the shared matrix below
+	} else {
+		inst = p.kernel() // shared matrix-free kernel oracle
 	}
 
 	// Pre-draw one rand per randomized method so concurrent methods never

@@ -25,6 +25,17 @@ type SamplingOptions struct {
 	// all singleton clusters and aggregates them again (enabled by default,
 	// as in the paper).
 	NoSingletonRecluster bool
+	// ReferenceAssign forces the assignment phase onto the reference
+	// probing path: one Problem.Dist interface call per (object, sample
+	// member) pair, O(m·s) per object. The default is the columnar label
+	// kernel's histogram assignment, O(m·k) per object (see
+	// internal/core/labelkernel.go and docs/PERFORMANCE.md); the two paths
+	// produce the same clustering — bit-identical where the distance
+	// arithmetic is exact (dyadic instances, and always under
+	// MissingAverage with missing values, where the kernel keeps per-pair
+	// evaluation) and within float drift otherwise — and the equivalence
+	// tests pin it. The reference is kept for validation and benchmarking.
+	ReferenceAssign bool
 	// Recorder, when non-nil, receives the sampling spans (sample:core,
 	// sample:assign, sample:recluster) and sample.* counters, splitting the
 	// exact-core work from the linear assignment pass. Nil falls back to
@@ -94,16 +105,16 @@ func (p *Problem) Sample(method Method, aggOpts AggregateOptions, sOpts Sampling
 	// assignment cost; the refinement passes inside the exact core and the
 	// singleton recluster run the incremental LOCALSEARCH kernel with the
 	// same aggOpts.Workers cap (see corrclust.LocalSearch). Objects are
-	// independent, so the pass runs on worker stripes (capped by
-	// aggOpts.Workers); a fresh singleton takes the provisional label k+v,
-	// unique per object regardless of scheduling, and the final Normalize
-	// maps both the sequential and the striped labelings to the same
-	// clustering.
+	// independent, so the pass streams them on chunked worker stripes
+	// (capped by aggOpts.Workers); a fresh singleton takes the provisional
+	// label k+v, unique per object regardless of scheduling, and the final
+	// Normalize maps every worker count's labeling to the same clustering.
+	//
+	// The default path is the columnar label kernel's histogram assignment
+	// — O(m·k) per object with O(n·m + m·L·k) total memory, no O(n²)
+	// anything (see labelkernel.go); sOpts.ReferenceAssign keeps the
+	// original probing pass, O(m·s) interface calls per object.
 	assignSpan := rec.Start("sample:assign")
-	var oracle corrclust.Instance = p
-	if rec != nil {
-		oracle = obs.Count(p, rec.Counter("sample.assign.dist_probes"))
-	}
 	inSample := make([]bool, n)
 	for _, i := range sample {
 		inSample[i] = true
@@ -114,6 +125,38 @@ func (p *Problem) Sample(method Method, aggOpts AggregateOptions, sOpts Sampling
 	}
 	if n-s < materializeMinParallel {
 		workers = 1
+	}
+	var assigned, fresh int64
+	if sOpts.ReferenceAssign {
+		assigned, fresh = p.assignReference(rec, labels, members, inSample, workers)
+	} else {
+		assigned, fresh = p.assignKernel(rec, labels, members, inSample, workers)
+	}
+	rec.Add("sample.assigned", assigned)
+	rec.Add("sample.fresh_singletons", fresh)
+	assignSpan.End()
+
+	if !sOpts.NoSingletonRecluster {
+		rs := rec.Start("sample:recluster")
+		err := p.reclusterSingletons(labels, method, aggOpts, rng)
+		rs.End()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return labels.Normalize(), nil
+}
+
+// assignReference is the probing assignment pass: every non-sampled object
+// evaluates each sample member through one Problem.Dist interface call
+// (O(m·s) per object), on modulo worker stripes. Kept as the reference the
+// kernel path is pinned against; rec counts each probe individually under
+// sample.assign.dist_probes.
+func (p *Problem) assignReference(rec *obs.Recorder, labels partition.Labels, members [][]int, inSample []bool, workers int) (assigned, fresh int64) {
+	n, k := p.n, len(members)
+	var oracle corrclust.Instance = p
+	if rec != nil {
+		oracle = obs.Count(p, rec.Counter("sample.assign.dist_probes"))
 	}
 	counts := make([][2]int64, workers) // assigned, fresh per stripe
 	assignStripe := func(stripe int) {
@@ -159,24 +202,128 @@ func (p *Problem) Sample(method Method, aggOpts AggregateOptions, sOpts Sampling
 		}
 		wg.Wait()
 	}
-	var assigned, fresh int64
 	for _, c := range counts {
 		assigned += c[0]
 		fresh += c[1]
 	}
-	rec.Add("sample.assigned", assigned)
-	rec.Add("sample.fresh_singletons", fresh)
-	assignSpan.End()
+	return assigned, fresh
+}
 
-	if !sOpts.NoSingletonRecluster {
-		rs := rec.Start("sample:recluster")
-		err := p.reclusterSingletons(labels, method, aggOpts, rng)
-		rs.End()
-		if err != nil {
-			return nil, err
+// assignKernel is the columnar label-kernel assignment pass. The default
+// route evaluates M(v, C_c) for all k sample clusters through the co-label
+// histograms in one O(m·k) pass per object; under MissingAverage with
+// missing labels present — where per-pair vote denominators do not
+// decompose per clustering — it evaluates the sample members through the
+// kernel's bulk row path instead (still O(m·s) per object, but tight label
+// compares rather than interface probes, and bit-identical to the
+// reference unconditionally). Objects stream on contiguous chunk stripes;
+// the selection loop is the reference's, so the same affinities produce
+// the same labels.
+//
+// Counters: sample.assign.dist_probes is bulk-charged with the
+// (n−s)·s probes the reference path would make (the kernel evaluates the
+// same object/member pairs, just not one Dist call at a time);
+// sample.assign.kernel_cols records the n packed label columns and
+// sample.assign.hist_builds the per-clustering histogram builds (0 on the
+// row route).
+func (p *Problem) assignKernel(rec *obs.Recorder, labels partition.Labels, members [][]int, inSample []bool, workers int) (assigned, fresh int64) {
+	n, k := p.n, len(members)
+	lk := p.kernel()
+	rec.Add("sample.assign.kernel_cols", int64(n))
+
+	var hist *colabelHist
+	var flat []int  // row route: sample members flattened in cluster order
+	var ends []int  // per-cluster segment ends into flat
+	sampleSize := 0
+	for _, mem := range members {
+		sampleSize += len(mem)
+	}
+	if lk.average && lk.anyMiss {
+		flat = make([]int, 0, sampleSize)
+		ends = make([]int, 0, k)
+		for _, mem := range members {
+			flat = append(flat, mem...)
+			ends = append(ends, len(flat))
+		}
+		rec.Add("sample.assign.hist_builds", 0)
+	} else {
+		hist = lk.buildColabelHist(members)
+		rec.Add("sample.assign.hist_builds", int64(lk.m))
+	}
+	rec.Add("sample.assign.dist_probes", int64(n-sampleSize)*int64(sampleSize))
+
+	counts := make([][2]int64, workers) // assigned, fresh per stripe
+	assignChunk := func(stripe, lo, hi int) {
+		m := make([]float64, k)
+		var buf []float64
+		if hist == nil {
+			buf = make([]float64, len(flat))
+		}
+		for v := lo; v < hi; v++ {
+			if inSample[v] {
+				continue
+			}
+			if hist != nil {
+				hist.affinities(lk, v, m)
+			} else {
+				lk.DistRowTo(v, flat, buf)
+				start := 0
+				for ci, end := range ends {
+					var s float64
+					for _, x := range buf[start:end] {
+						s += x
+					}
+					m[ci] = s
+					start = end
+				}
+			}
+			var totalAway float64
+			for ci := range members {
+				totalAway += float64(len(members[ci])) - m[ci]
+			}
+			bestC, bestCost := -1, totalAway // -1 = fresh singleton
+			for ci := range members {
+				d := m[ci] + totalAway - (float64(len(members[ci])) - m[ci])
+				if d < bestCost {
+					bestC, bestCost = ci, d
+				}
+			}
+			if bestC == -1 {
+				labels[v] = k + v
+				counts[stripe][1]++
+			} else {
+				labels[v] = bestC
+				counts[stripe][0]++
+			}
 		}
 	}
-	return labels.Normalize(), nil
+	if workers <= 1 {
+		assignChunk(0, 0, n)
+	} else {
+		chunk := (n + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(stripe, lo, hi int) {
+				defer wg.Done()
+				assignChunk(stripe, lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+	}
+	for _, c := range counts {
+		assigned += c[0]
+		fresh += c[1]
+	}
+	return assigned, fresh
 }
 
 // autoSampleSize returns ceil(20·ln n), clamped to [1, n].

@@ -40,6 +40,10 @@ func Cost(inst Instance, labels partition.Labels) float64 {
 		charge(pairs(n))
 		return costMatrix(m, labels)
 	}
+	if rd, charge := rowFast(inst); rd != nil {
+		charge(pairs(n))
+		return costRows(rd, labels)
+	}
 	var cost float64
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
@@ -61,6 +65,10 @@ func LowerBound(inst Instance) float64 {
 	if m, charge := matrixFast(inst); m != nil {
 		charge(pairs(n))
 		return lowerBoundMatrix(m)
+	}
+	if rd, charge := rowFast(inst); rd != nil {
+		charge(pairs(n))
+		return lowerBoundRows(rd)
 	}
 	var lb float64
 	for u := 0; u < n; u++ {
@@ -98,6 +106,14 @@ func MatrixFromInstance(inst Instance) *Matrix {
 	m := NewMatrix(n)
 	if src, charge := matrixFast(inst); src != nil {
 		copy(m.data, src.data)
+		charge(pairs(n))
+		return m
+	}
+	if rd, charge := rowFast(inst); rd != nil {
+		ids := identity(n)
+		for u := 0; u < n; u++ {
+			rd.DistRowTo(u, ids[u+1:], m.Row(u))
+		}
 		charge(pairs(n))
 		return m
 	}

@@ -16,6 +16,39 @@ import (
 // layers in bulk, so <method>.dist_probes totals stay equivalent to the
 // per-call path (see docs/PERFORMANCE.md).
 
+// RowDistancer is an Instance that can evaluate one object against many in
+// a single call, without a per-pair interface probe: DistRowTo must fill
+// dst[j] with exactly Dist(u, targets[j]) (zero on diagonal hits), bit for
+// bit, and must be safe for concurrent use with distinct dst buffers. The
+// generic consumers (Cost, LowerBound, MatrixFromInstance, LOCALSEARCH's
+// row gathers) detect it the same way they detect a *Matrix and switch
+// their inner loops to bulk row evaluation — the matrix-free analogue of
+// the Row/RowTo fast paths, used by core's columnar label kernel to keep
+// large-n pipelines O(n·m) in memory.
+type RowDistancer interface {
+	Instance
+	DistRowTo(u int, targets []int, dst []float64)
+}
+
+// chargeFunc builds the bulk-charge closure over the counting layers an
+// unwrap walked through.
+func chargeFunc(counters []*obs.Counter) func(int64) {
+	switch len(counters) {
+	case 0:
+		return func(int64) {}
+	case 1:
+		c := counters[0]
+		return func(reads int64) { c.Add(reads) }
+	default:
+		cs := counters
+		return func(reads int64) {
+			for _, c := range cs {
+				c.Add(reads)
+			}
+		}
+	}
+}
+
 // matrixFast unwraps inst to its backing *Matrix, looking through
 // obs.CountingInstance layers. It returns the matrix (nil when inst is not
 // matrix-backed) and a charge function that adds a bulk number of distance
@@ -25,19 +58,7 @@ func matrixFast(inst Instance) (*Matrix, func(int64)) {
 	for {
 		switch v := inst.(type) {
 		case *Matrix:
-			cs := counters
-			switch len(cs) {
-			case 0:
-				return v, func(int64) {}
-			case 1:
-				return v, func(reads int64) { cs[0].Add(reads) }
-			default:
-				return v, func(reads int64) {
-					for _, c := range cs {
-						c.Add(reads)
-					}
-				}
-			}
+			return v, chargeFunc(counters)
 		case *obs.CountingInstance:
 			counters = append(counters, v.ProbeCounter())
 			next, ok := v.Unwrap().(Instance)
@@ -49,6 +70,38 @@ func matrixFast(inst Instance) (*Matrix, func(int64)) {
 			return nil, nil
 		}
 	}
+}
+
+// rowFast unwraps inst to a RowDistancer, looking through
+// obs.CountingInstance layers exactly like matrixFast. Consumers try
+// matrixFast first (contiguous storage beats re-evaluation), then rowFast.
+func rowFast(inst Instance) (RowDistancer, func(int64)) {
+	var counters []*obs.Counter
+	for {
+		if rd, ok := inst.(RowDistancer); ok {
+			return rd, chargeFunc(counters)
+		}
+		ci, ok := inst.(*obs.CountingInstance)
+		if !ok {
+			return nil, nil
+		}
+		counters = append(counters, ci.ProbeCounter())
+		next, ok := ci.Unwrap().(Instance)
+		if !ok {
+			return nil, nil
+		}
+		inst = next
+	}
+}
+
+// identity returns the target list [0, 1, ..., n); row consumers slice it
+// to address contiguous object ranges without per-row allocations.
+func identity(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
 }
 
 // costMatrix is Cost against contiguous row storage; the pair iteration
@@ -75,6 +128,48 @@ func lowerBoundMatrix(m *Matrix) float64 {
 	var lb float64
 	for u := 0; u < m.n; u++ {
 		for _, x := range m.Row(u) {
+			lb += math.Min(x, 1-x)
+		}
+	}
+	return lb
+}
+
+// costRows is Cost against a RowDistancer: each object's upper-triangular
+// tail is evaluated in one DistRowTo call. The pair order and additions
+// match the generic loop exactly, so the result is bit-identical to it.
+func costRows(rd RowDistancer, labels partition.Labels) float64 {
+	n := rd.N()
+	ids := identity(n)
+	buf := make([]float64, n)
+	var cost float64
+	for u := 0; u < n; u++ {
+		rest := ids[u+1:]
+		row := buf[:len(rest)]
+		rd.DistRowTo(u, rest, row)
+		lu := labels[u]
+		tail := labels[u+1:]
+		for j, x := range row {
+			if lu == tail[j] {
+				cost += x
+			} else {
+				cost += 1 - x
+			}
+		}
+	}
+	return cost
+}
+
+// lowerBoundRows is LowerBound against a RowDistancer.
+func lowerBoundRows(rd RowDistancer) float64 {
+	n := rd.N()
+	ids := identity(n)
+	buf := make([]float64, n)
+	var lb float64
+	for u := 0; u < n; u++ {
+		rest := ids[u+1:]
+		row := buf[:len(rest)]
+		rd.DistRowTo(u, rest, row)
+		for _, x := range row {
 			lb += math.Min(x, 1-x)
 		}
 	}

@@ -65,6 +65,8 @@ import (
 type lsKernel struct {
 	inst    Instance
 	mx      *Matrix
+	rd      RowDistancer // matrix-free bulk row oracle (nil without one)
+	rdIDs   []int        // identity targets for rd gathers
 	charge  func(int64)
 	n       int
 	rowBuf  []float64
@@ -110,12 +112,18 @@ func tableWidthFor(n int) int {
 }
 
 // readRowInto gathers X_v· into buf: a contiguous RowTo on the matrix fast
-// path (bulk-charged to any counting layers), n−1 Dist calls otherwise. Both
-// fill the same values with a zero diagonal. Safe for concurrent use with
-// distinct buffers.
+// path, one bulk DistRowTo on a matrix-free row oracle (both bulk-charged
+// to any counting layers), n−1 Dist calls otherwise. All three fill the
+// same values with a zero diagonal. Safe for concurrent use with distinct
+// buffers.
 func (k *lsKernel) readRowInto(v int, buf []float64) []float64 {
 	if k.mx != nil {
 		k.mx.RowTo(v, buf)
+		k.charge(int64(k.n - 1))
+		return buf
+	}
+	if k.rd != nil {
+		k.rd.DistRowTo(v, k.rdIDs, buf)
 		k.charge(int64(k.n - 1))
 		return buf
 	}
@@ -148,10 +156,21 @@ func (k *lsKernel) readRow(v int) []float64 {
 func newLSKernel(inst Instance, labels partition.Labels, eps float64, refreshEvery int) *lsKernel {
 	n := inst.N()
 	mx, charge := matrixFast(inst)
+	var rd RowDistancer
+	var rdIDs []int
+	if mx == nil {
+		if rd, charge = rowFast(inst); rd != nil {
+			rdIDs = identity(n)
+		} else {
+			charge = func(int64) {}
+		}
+	}
 	slots := labels.K()
 	k := &lsKernel{
 		inst:         inst,
 		mx:           mx,
+		rd:           rd,
+		rdIDs:        rdIDs,
 		charge:       charge,
 		n:            n,
 		rowBuf:       make([]float64, n),

@@ -32,7 +32,15 @@ func MatrixFromInstanceParallel(inst Instance, workers int) *Matrix {
 
 	// Static row interleaving: row u costs n-1-u entries, so contiguous
 	// blocks would be badly imbalanced; striding by worker count balances
-	// to within one row.
+	// to within one row. A row-capable oracle fills each row in one bulk
+	// call (concurrency-safe by the RowDistancer contract), with the reads
+	// charged to any counting layers afterwards in one lump equal to the
+	// per-call count.
+	rd, charge := rowFast(inst)
+	var ids []int
+	if rd != nil {
+		ids = identity(n)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -40,6 +48,10 @@ func MatrixFromInstanceParallel(inst Instance, workers int) *Matrix {
 			defer wg.Done()
 			for u := start; u < n; u += workers {
 				row := m.Row(u)
+				if rd != nil {
+					rd.DistRowTo(u, ids[u+1:], row)
+					continue
+				}
 				for j := range row {
 					row[j] = inst.Dist(u, u+1+j)
 				}
@@ -47,6 +59,9 @@ func MatrixFromInstanceParallel(inst Instance, workers int) *Matrix {
 		}(w)
 	}
 	wg.Wait()
+	if rd != nil {
+		charge(pairs(n))
+	}
 	return m
 }
 
@@ -64,6 +79,11 @@ func CostParallel(inst Instance, labels partition.Labels, workers int) float64 {
 	if workers <= 1 || n < 256 {
 		return Cost(inst, labels)
 	}
+	rd, charge := rowFast(inst)
+	var ids []int
+	if rd != nil {
+		ids = identity(n)
+	}
 	partial := make([]float64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -71,8 +91,27 @@ func CostParallel(inst Instance, labels partition.Labels, workers int) float64 {
 		go func(idx int) {
 			defer wg.Done()
 			var sum float64
+			var buf []float64
+			if rd != nil {
+				buf = make([]float64, n)
+			}
 			for u := idx; u < n; u += workers {
 				lu := labels[u]
+				if rd != nil {
+					// Bulk-evaluate the tail; same values and addition
+					// order as the per-pair loop below.
+					row := buf[:n-1-u]
+					rd.DistRowTo(u, ids[u+1:], row)
+					tail := labels[u+1:]
+					for j, x := range row {
+						if lu == tail[j] {
+							sum += x
+						} else {
+							sum += 1 - x
+						}
+					}
+					continue
+				}
 				for v := u + 1; v < n; v++ {
 					x := inst.Dist(u, v)
 					if lu == labels[v] {
@@ -86,6 +125,9 @@ func CostParallel(inst Instance, labels partition.Labels, workers int) float64 {
 		}(w)
 	}
 	wg.Wait()
+	if rd != nil {
+		charge(pairs(n))
+	}
 	var total float64
 	for _, s := range partial {
 		total += s
