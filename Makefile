@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race test-race check cover bench bench-all bench-short experiments experiments-full fuzz fuzz-localsearch fuzz-kernel clean
+.PHONY: all build test vet race test-race check cover bench bench-all bench-short benchdiff experiments experiments-full fuzz fuzz-localsearch fuzz-kernel clean
 
 all: build test
 
@@ -21,9 +21,20 @@ race: test-race
 test-race:
 	$(GO) test -race ./...
 
-# The full gate: compile, vet, tests, the race detector, and one pass of
-# the distance-kernel benchmarks (a smoke test that they still run).
-check: build vet test test-race bench-short
+# The full gate: compile, vet, tests, the race detector, one pass of the
+# distance-kernel benchmarks (a smoke test that they still run), and the
+# bench-report regression diff against the committed baseline.
+check: build vet test test-race bench-short benchdiff
+
+# Regression gate: regenerate the bench report and diff it against the
+# committed BENCH_experiments.json (counters exact, cost to float tolerance,
+# wall time ratio-thresholded; machine-dependent series ignored — see
+# cmd/benchdiff). Fails the build on any unreviewed behavior change.
+benchdiff:
+	@tmp=$$(mktemp /tmp/benchdiff.XXXXXX.json); \
+	$(GO) run ./cmd/experiments -report $$tmp all >/dev/null && \
+	$(GO) run ./cmd/benchdiff BENCH_experiments.json $$tmp; \
+	st=$$?; rm -f $$tmp; exit $$st
 
 cover:
 	$(GO) test -cover ./...

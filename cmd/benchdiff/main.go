@@ -1,0 +1,299 @@
+// Command benchdiff compares two bench reports and exits nonzero when the
+// current report regresses against the baseline. It is the regression gate
+// behind `make benchdiff`: regenerate the bench report, diff it against the
+// committed BENCH_experiments.json, and fail the build when a counter,
+// objective value, or wall-time budget moved.
+//
+// Usage:
+//
+//	benchdiff [flags] <baseline.json> <current.json>
+//
+// Both inputs may be a BenchReport (cmd/experiments -report: one RunReport
+// per artifact) or a single RunReport (clusteragg -report). Schema versions
+// 1 and 2 both parse; the version-2-only sections (gauges, histograms) are
+// diffed only when present on both sides.
+//
+// What is compared, per artifact matched by name:
+//
+//   - counters: exact by default (-counter-tol loosens to a relative
+//     tolerance). The algorithms are deterministic at a fixed seed, so any
+//     drift in heap pushes, moves, or distance probes is a behavior change —
+//     flagged even when it looks like an improvement, because it was not
+//     reviewed as one. A counter present in the baseline but missing from
+//     the current run is a regression; a new counter is a note.
+//   - cost and headline metrics: relative tolerance -metric-tol.
+//   - gauges: same treatment as metrics (schema 2 both sides).
+//   - wall time: current must stay under baseline × -wall-ratio (generous
+//     by default — wall clock is the one machine-dependent axis that cannot
+//     be pinned exactly; 0 disables).
+//
+// Names matching -ignore are skipped entirely. The default pattern drops
+// the known machine-dependent series: *.workers counters (resolved
+// GOMAXPROCS), localsearch.proposals (scales with the worker count), and
+// every timing-derived metric (seconds, time_ratio, linearity_ratio
+// suffixes — including histogram-backed *.seconds series).
+//
+// Exit status: 0 clean, 1 regression, 2 usage or unreadable input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+
+	"clusteragg/internal/obs"
+)
+
+// defaultIgnore matches the counter/metric names whose values depend on the
+// machine (worker count, timing) rather than on the algorithms.
+const defaultIgnore = `\.workers$|^localsearch\.proposals$|seconds$|time_ratio$|linearity_ratio$`
+
+// defaultWallRatio is deliberately generous: the baseline may come from a
+// different machine, and wall time is the one compared axis that legitimately
+// varies. Four-fold is far outside scheduling noise while still catching a
+// complexity-class slip.
+const defaultWallRatio = 4.0
+
+type options struct {
+	wallRatio  float64
+	counterTol float64
+	metricTol  float64
+	ignore     *regexp.Regexp
+	verbose    bool
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		o         options
+		ignoreStr string
+	)
+	fs.Float64Var(&o.wallRatio, "wall-ratio", defaultWallRatio, "fail when an artifact's wall time exceeds baseline×ratio (0 disables)")
+	fs.Float64Var(&o.counterTol, "counter-tol", 0, "relative tolerance for counter deltas (0 = exact match)")
+	fs.Float64Var(&o.metricTol, "metric-tol", 1e-9, "relative tolerance for cost/metric/gauge deltas")
+	fs.StringVar(&ignoreStr, "ignore", defaultIgnore, "regexp of counter/metric names to skip")
+	fs.BoolVar(&o.verbose, "v", false, "print matching values too, not only deltas")
+	fs.Usage = func() {
+		fmt.Fprintln(errw, "usage: benchdiff [flags] <baseline.json> <current.json>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	if ignoreStr != "" {
+		re, err := regexp.Compile(ignoreStr)
+		if err != nil {
+			fmt.Fprintf(errw, "benchdiff: -ignore: %v\n", err)
+			return 2
+		}
+		o.ignore = re
+	}
+
+	base, err := readReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(errw, "benchdiff: baseline: %v\n", err)
+		return 2
+	}
+	cur, err := readReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(errw, "benchdiff: current: %v\n", err)
+		return 2
+	}
+
+	d := &differ{opts: o, out: out}
+	d.diff(base, cur)
+	fmt.Fprintf(out, "benchdiff: %d artifacts compared, %d regressions, %d notes\n",
+		d.compared, d.regressions, d.notes)
+	if d.regressions > 0 {
+		return 1
+	}
+	return 0
+}
+
+// readReport loads a BenchReport, accepting a bare RunReport (clusteragg
+// -report output) by wrapping it as a one-artifact report.
+func readReport(path string) (obs.BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return obs.BenchReport{}, err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return obs.BenchReport{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if _, isBench := probe["artifacts"]; isBench {
+		var b obs.BenchReport
+		if err := json.Unmarshal(data, &b); err != nil {
+			return obs.BenchReport{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return b, nil
+	}
+	var r obs.RunReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return obs.BenchReport{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Name == "" {
+		r.Name = "(run)"
+	}
+	return obs.BenchReport{SchemaVersion: r.SchemaVersion, Artifacts: []obs.RunReport{r}}, nil
+}
+
+type differ struct {
+	opts        options
+	out         io.Writer
+	compared    int
+	regressions int
+	notes       int
+}
+
+func (d *differ) regress(artifact, format string, args ...any) {
+	d.regressions++
+	fmt.Fprintf(d.out, "REGRESSION %s: %s\n", artifact, fmt.Sprintf(format, args...))
+}
+
+func (d *differ) note(artifact, format string, args ...any) {
+	d.notes++
+	fmt.Fprintf(d.out, "NOTE %s: %s\n", artifact, fmt.Sprintf(format, args...))
+}
+
+func (d *differ) ignored(name string) bool {
+	return d.opts.ignore != nil && d.opts.ignore.MatchString(name)
+}
+
+func (d *differ) diff(base, cur obs.BenchReport) {
+	if base.Config != cur.Config && base.Config != "" && cur.Config != "" {
+		d.note("(report)", "config differs: %q vs %q", base.Config, cur.Config)
+	}
+	curByName := make(map[string]obs.RunReport, len(cur.Artifacts))
+	for _, a := range cur.Artifacts {
+		curByName[a.Name] = a
+	}
+	seen := make(map[string]bool, len(base.Artifacts))
+	for _, b := range base.Artifacts {
+		seen[b.Name] = true
+		c, ok := curByName[b.Name]
+		if !ok {
+			d.regress(b.Name, "artifact missing from current report")
+			continue
+		}
+		d.compared++
+		d.diffArtifact(b, c)
+	}
+	for _, c := range cur.Artifacts {
+		if !seen[c.Name] {
+			d.note(c.Name, "new artifact (no baseline)")
+		}
+	}
+}
+
+func (d *differ) diffArtifact(base, cur obs.RunReport) {
+	name := base.Name
+
+	// Counters: deterministic at a fixed seed, so exact by default.
+	for _, k := range sortedKeys(base.Counters) {
+		if d.ignored(k) {
+			continue
+		}
+		bv := base.Counters[k]
+		cv, ok := cur.Counters[k]
+		if !ok {
+			d.regress(name, "counter %s removed (was %d)", k, bv)
+			continue
+		}
+		if bv == cv {
+			if d.opts.verbose {
+				fmt.Fprintf(d.out, "ok %s: counter %s = %d\n", name, k, bv)
+			}
+			continue
+		}
+		if relDelta(float64(bv), float64(cv)) <= d.opts.counterTol {
+			continue
+		}
+		d.regress(name, "counter %s %d -> %d (%+d)", k, bv, cv, cv-bv)
+	}
+	for _, k := range sortedKeys(cur.Counters) {
+		if _, ok := base.Counters[k]; !ok && !d.ignored(k) {
+			d.note(name, "counter %s added (%d)", k, cur.Counters[k])
+		}
+	}
+
+	// Objective value: any drift beyond float tolerance is a behavior
+	// change, improvement or not.
+	if !d.ignored("cost") && relDelta(base.Cost, cur.Cost) > d.opts.metricTol {
+		d.regress(name, "cost %g -> %g", base.Cost, cur.Cost)
+	}
+
+	d.diffFloats(name, "metric", base.Metrics, cur.Metrics)
+	d.diffFloats(name, "gauge", base.Gauges, cur.Gauges)
+
+	if d.opts.wallRatio > 0 && base.WallNS > 0 && cur.WallNS > int64(float64(base.WallNS)*d.opts.wallRatio) {
+		d.regress(name, "wall time %.3fs -> %.3fs (over %.1fx budget)",
+			float64(base.WallNS)/1e9, float64(cur.WallNS)/1e9, d.opts.wallRatio)
+	}
+}
+
+// diffFloats compares a float-valued series (headline metrics, gauges) with
+// the relative metric tolerance.
+func (d *differ) diffFloats(name, kind string, base, cur map[string]float64) {
+	for _, k := range sortedKeys(base) {
+		if d.ignored(k) {
+			continue
+		}
+		bv := base[k]
+		cv, ok := cur[k]
+		if !ok {
+			d.regress(name, "%s %s removed (was %g)", kind, k, bv)
+			continue
+		}
+		if relDelta(bv, cv) <= d.opts.metricTol {
+			if d.opts.verbose {
+				fmt.Fprintf(d.out, "ok %s: %s %s = %g\n", name, kind, k, cv)
+			}
+			continue
+		}
+		d.regress(name, "%s %s %g -> %g", kind, k, bv, cv)
+	}
+	for _, k := range sortedKeys(cur) {
+		if _, ok := base[k]; !ok && !d.ignored(k) {
+			d.note(name, "%s %s added (%g)", kind, k, cur[k])
+		}
+	}
+}
+
+// relDelta is the relative deviation of cur from base, falling back to the
+// absolute deviation when the baseline is zero.
+func relDelta(base, cur float64) float64 {
+	if base == cur {
+		return 0
+	}
+	den := math.Abs(base)
+	if den == 0 {
+		den = 1
+	}
+	return math.Abs(cur-base) / den
+}
+
+// sortedKeys returns the map's keys in ascending order, for deterministic
+// output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clusteragg/internal/obs"
+)
+
+// writeJSON writes v (or a raw string) to a temp file and returns the path.
+func writeJSON(t *testing.T, name string, v any) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if raw, ok := v.(string); ok {
+		if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	if err := obs.WriteJSON(path, v); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baseReport() obs.BenchReport {
+	return obs.BenchReport{
+		SchemaVersion: obs.ReportSchemaVersion,
+		Config:        "seed=1",
+		Artifacts: []obs.RunReport{
+			{
+				SchemaVersion: obs.ReportSchemaVersion,
+				Name:          "fig9",
+				N:             100,
+				Cost:          1234.5,
+				WallNS:        1e9,
+				Counters: map[string]int64{
+					"localsearch.moves":   42,
+					"localsearch.sweeps":  3,
+					"materialize.workers": 1,
+				},
+				Metrics: map[string]float64{"ec": 0.125, "seconds": 2.0},
+				Gauges:  map[string]float64{"localsearch.clusters": 5},
+			},
+		},
+	}
+}
+
+// runDiff runs benchdiff against the two reports and returns exit code and
+// combined output.
+func runDiff(t *testing.T, extra []string, base, cur any) (int, string) {
+	t.Helper()
+	bp := writeJSON(t, "base.json", base)
+	cp := writeJSON(t, "cur.json", cur)
+	var out, errw bytes.Buffer
+	code := run(append(extra, bp, cp), &out, &errw)
+	return code, out.String() + errw.String()
+}
+
+func TestCleanPass(t *testing.T) {
+	code, out := runDiff(t, nil, baseReport(), baseReport())
+	if code != 0 {
+		t.Fatalf("identical reports: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "0 regressions") {
+		t.Fatalf("missing summary:\n%s", out)
+	}
+}
+
+func TestPerturbedCounterFails(t *testing.T) {
+	cur := baseReport()
+	cur.Artifacts[0].Counters = map[string]int64{
+		"localsearch.moves":   43, // perturbed
+		"localsearch.sweeps":  3,
+		"materialize.workers": 1,
+	}
+	code, out := runDiff(t, nil, baseReport(), cur)
+	if code != 1 {
+		t.Fatalf("perturbed counter: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION fig9: counter localsearch.moves 42 -> 43") {
+		t.Fatalf("missing regression line:\n%s", out)
+	}
+}
+
+func TestRemovedCounterFails(t *testing.T) {
+	cur := baseReport()
+	cur.Artifacts[0].Counters = map[string]int64{
+		"localsearch.sweeps":  3,
+		"materialize.workers": 1,
+	}
+	code, out := runDiff(t, nil, baseReport(), cur)
+	if code != 1 || !strings.Contains(out, "counter localsearch.moves removed") {
+		t.Fatalf("removed counter: exit %d\n%s", code, out)
+	}
+}
+
+func TestAddedCounterIsNote(t *testing.T) {
+	cur := baseReport()
+	cur.Artifacts[0].Counters["sample.size"] = 7
+	code, out := runDiff(t, nil, baseReport(), cur)
+	if code != 0 || !strings.Contains(out, "NOTE fig9: counter sample.size added") {
+		t.Fatalf("added counter: exit %d\n%s", code, out)
+	}
+}
+
+func TestMachineDependentSeriesIgnored(t *testing.T) {
+	cur := baseReport()
+	cur.Artifacts[0].Counters["materialize.workers"] = 8 // different machine
+	cur.Artifacts[0].Metrics["seconds"] = 37.0           // timing
+	code, out := runDiff(t, nil, baseReport(), cur)
+	if code != 0 {
+		t.Fatalf("machine-dependent drift flagged: exit %d\n%s", code, out)
+	}
+}
+
+func TestCostDriftFails(t *testing.T) {
+	cur := baseReport()
+	cur.Artifacts[0].Cost = 1200 // "improvement" is still unreviewed change
+	code, out := runDiff(t, nil, baseReport(), cur)
+	if code != 1 || !strings.Contains(out, "cost 1234.5 -> 1200") {
+		t.Fatalf("cost drift: exit %d\n%s", code, out)
+	}
+}
+
+func TestWallTimeBudget(t *testing.T) {
+	cur := baseReport()
+	cur.Artifacts[0].WallNS = 10e9 // 10x the baseline second
+	code, out := runDiff(t, nil, baseReport(), cur)
+	if code != 1 || !strings.Contains(out, "wall time") {
+		t.Fatalf("wall blowup: exit %d\n%s", code, out)
+	}
+	if code, out = runDiff(t, []string{"-wall-ratio", "0"}, baseReport(), cur); code != 0 {
+		t.Fatalf("-wall-ratio=0 still failed: exit %d\n%s", code, out)
+	}
+}
+
+func TestMissingArtifactFails(t *testing.T) {
+	cur := baseReport()
+	cur.Artifacts[0].Name = "fig10"
+	code, out := runDiff(t, nil, baseReport(), cur)
+	if code != 1 || !strings.Contains(out, "artifact missing") {
+		t.Fatalf("missing artifact: exit %d\n%s", code, out)
+	}
+}
+
+// TestSchemaV1Parses pins backward compatibility: a version-1 report (no
+// gauges, no histograms, no start_ns/self_ns) must load and diff cleanly
+// against a version-2 run of the same tree — new sections surface as notes,
+// not regressions.
+func TestSchemaV1Parses(t *testing.T) {
+	v1 := `{
+  "schema_version": 1,
+  "config": "seed=1",
+  "artifacts": [
+    {
+      "schema_version": 1,
+      "name": "fig9",
+      "n": 100,
+      "cost": 1234.5,
+      "wall_ns": 1000000000,
+      "counters": {"localsearch.moves": 42, "localsearch.sweeps": 3, "materialize.workers": 1},
+      "metrics": {"ec": 0.125, "seconds": 2.0},
+      "spans": [{"name": "aggregate", "duration_ns": 5}]
+    }
+  ]
+}`
+	code, out := runDiff(t, nil, v1, baseReport())
+	if code != 0 {
+		t.Fatalf("v1 baseline vs v2 current: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "NOTE fig9: gauge localsearch.clusters added") {
+		t.Fatalf("v2-only gauge should be a note:\n%s", out)
+	}
+}
+
+// TestBareRunReport pins that clusteragg -report output (a single RunReport,
+// no artifacts wrapper) is accepted on both sides.
+func TestBareRunReport(t *testing.T) {
+	rep := baseReport().Artifacts[0]
+	rep.Name = ""
+	code, out := runDiff(t, nil, rep, rep)
+	if code != 0 {
+		t.Fatalf("bare run reports: exit %d\n%s", code, out)
+	}
+	cur := rep
+	cur.Counters = map[string]int64{
+		"localsearch.moves":   41,
+		"localsearch.sweeps":  3,
+		"materialize.workers": 1,
+	}
+	if code, out = runDiff(t, nil, rep, cur); code != 1 || !strings.Contains(out, "REGRESSION (run)") {
+		t.Fatalf("bare run report regression: exit %d\n%s", code, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(nil, &out, &errw); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"-ignore", "(", "a.json", "b.json"}, &out, &errw); code != 2 {
+		t.Fatalf("bad regexp: exit %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent.json", "/nonexistent.json"}, &out, &errw); code != 2 {
+		t.Fatalf("unreadable input: exit %d, want 2", code)
+	}
+}

@@ -31,6 +31,12 @@
 //	-trace         print a span tree and algorithm counters on stderr
 //	-report FILE   write a JSON run report (schema: docs/OBSERVABILITY.md);
 //	               "-" writes it to stdout
+//	-tracefile F   write the span tree as Chrome trace_event JSON ("-" =
+//	               stdout); load in Perfetto or chrome://tracing
+//	-progress      print throttled progress events on stderr while running
+//	-listen ADDR   serve /metrics (Prometheus text), /debug/vars, and
+//	               /debug/pprof on ADDR (e.g. ":9090") for the duration of
+//	               the run
 //	-cpuprofile F  write a pprof CPU profile of the run
 //	-memprofile F  write a pprof heap profile taken after the run
 package main
@@ -69,12 +75,20 @@ type cliConfig struct {
 	describe   bool
 	trace      bool
 	report     string
+	tracefile  string
+	progress   bool
+	listen     string
 	cpuprofile string
 	memprofile string
 
-	// traceOut receives the -trace output; nil means os.Stderr. Tests
-	// substitute a buffer.
-	traceOut io.Writer
+	// traceOut receives the -trace output and progressOut the -progress
+	// ticker; nil means os.Stderr. Tests substitute buffers.
+	traceOut    io.Writer
+	progressOut io.Writer
+	// onServe, when non-nil, is called with the -listen server's bound
+	// address after the aggregation finishes but while the server is still
+	// up, so tests can scrape /metrics from a live run.
+	onServe func(addr string)
 }
 
 func main() {
@@ -92,6 +106,9 @@ func main() {
 	flag.BoolVar(&cfg.describe, "describe", false, "print each cluster's dominant attribute values")
 	flag.BoolVar(&cfg.trace, "trace", false, "print a span tree and algorithm counters on stderr")
 	flag.StringVar(&cfg.report, "report", "", "write a JSON run report to this file (\"-\" = stdout)")
+	flag.StringVar(&cfg.tracefile, "tracefile", "", "write a Chrome trace_event JSON trace to this file (\"-\" = stdout)")
+	flag.BoolVar(&cfg.progress, "progress", false, "print throttled progress events on stderr")
+	flag.StringVar(&cfg.listen, "listen", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
 	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
@@ -120,8 +137,28 @@ func run(path string, cfg cliConfig) error {
 	}
 
 	var rec *obs.Recorder
-	if cfg.trace || cfg.report != "" {
+	if cfg.trace || cfg.report != "" || cfg.tracefile != "" || cfg.listen != "" {
 		rec = obs.New()
+	}
+	var srv *obs.MetricsServer
+	if cfg.listen != "" {
+		var err error
+		srv, err = obs.Serve(cfg.listen, rec)
+		if err != nil {
+			return fmt.Errorf("listen: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "# metrics: http://%s/metrics\n", srv.Addr())
+	}
+	var progress *obs.Progress
+	if cfg.progress {
+		w := cfg.progressOut
+		if w == nil {
+			w = os.Stderr
+		}
+		progress = obs.NewProgress(func(e obs.ProgressEvent) {
+			fmt.Fprintf(w, "# %s\n", e)
+		}, 0)
 	}
 	start := time.Now()
 
@@ -173,6 +210,7 @@ func run(path string, cfg cliConfig) error {
 		Workers:     cfg.workers,
 		Rand:        rand.New(rand.NewSource(cfg.seed)),
 		Recorder:    rec,
+		Progress:    progress,
 	}
 
 	methodName := cfg.method
@@ -211,6 +249,10 @@ func run(path string, cfg cliConfig) error {
 		fmt.Printf("# classification-error=%.1f%%\n", 100*ec)
 	}
 
+	if cfg.onServe != nil && srv != nil {
+		cfg.onServe(srv.Addr())
+	}
+
 	if cfg.trace {
 		w := cfg.traceOut
 		if w == nil {
@@ -218,6 +260,11 @@ func run(path string, cfg cliConfig) error {
 		}
 		if err := rec.WriteText(w); err != nil {
 			return err
+		}
+	}
+	if cfg.tracefile != "" {
+		if err := obs.WriteTraceFile(cfg.tracefile, "clusteragg "+methodName, rec.Spans()); err != nil {
+			return fmt.Errorf("tracefile: %w", err)
 		}
 	}
 	if cfg.report != "" {

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -97,8 +99,9 @@ func TestRunReportSchema(t *testing.T) {
 	}
 	sort.Strings(got)
 	want := []string{
-		"clusters", "cost", "counters", "lower_bound", "m", "method",
-		"n", "schema_version", "spans", "wall_ns", "workers",
+		"clusters", "cost", "counters", "gauges", "histograms",
+		"lower_bound", "m", "method", "n", "schema_version", "spans",
+		"wall_ns", "workers",
 	}
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Errorf("report keys = %v, want %v", got, want)
@@ -141,6 +144,122 @@ func TestRunReportSchema(t *testing.T) {
 	for _, key := range []string{"localsearch.refreshes", "localsearch.proposals"} {
 		if _, ok := rep.Counters[key]; !ok {
 			t.Errorf("counter %s missing from report", key)
+		}
+	}
+	// Schema v2 additions: per-stage latency histograms and live gauges.
+	for _, key := range []string{"materialize.seconds", "localsearch.sweep.seconds"} {
+		if rep.Histograms[key].Count <= 0 {
+			t.Errorf("histogram %s missing or empty in report", key)
+		}
+	}
+	if _, ok := rep.Gauges["localsearch.clusters"]; !ok {
+		t.Error("gauge localsearch.clusters missing from report")
+	}
+}
+
+// TestRunListenServesMetrics is the acceptance criterion for the exposition
+// endpoint: during a -listen run, GET /metrics returns Prometheus text with
+// the run's live counters and histograms.
+func TestRunListenServesMetrics(t *testing.T) {
+	path := bestofCSV(t)
+	cfg := base()
+	cfg.method = "bestof"
+	cfg.header = true
+	cfg.summary = true
+	cfg.listen = "127.0.0.1:0"
+	var body string
+	cfg.onServe = func(addr string) {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/metrics status %d", resp.StatusCode)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = string(raw)
+	}
+	if err := run(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE clusteragg_localsearch_sweeps_total counter",
+		"# TYPE clusteragg_localsearch_clusters gauge",
+		"# TYPE clusteragg_materialize_seconds histogram",
+		`clusteragg_materialize_seconds_bucket{le="+Inf"} 1`,
+		"clusteragg_localsearch_sweep_seconds_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestRunProgressOutput checks the -progress ticker: at least the guaranteed
+// completion events reach the writer, formatted as stderr comments.
+func TestRunProgressOutput(t *testing.T) {
+	path := bestofCSV(t)
+	var buf bytes.Buffer
+	cfg := base()
+	cfg.method = "localsearch"
+	cfg.header = true
+	cfg.summary = true
+	cfg.progress = true
+	cfg.progressOut = &buf
+	if err := run(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# localsearch ") {
+		t.Errorf("-progress output has no localsearch events:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "# ") {
+			t.Errorf("progress line %q is not a comment", line)
+		}
+	}
+}
+
+// TestRunTraceFile checks -tracefile emits valid trace_event JSON with the
+// run's spans.
+func TestRunTraceFile(t *testing.T) {
+	path := bestofCSV(t)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	cfg := base()
+	cfg.method = "bestof"
+	cfg.header = true
+	cfg.summary = true
+	cfg.tracefile = tracePath
+	if err := run(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("tracefile is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range f.TraceEvents {
+		names[e.Ph+":"+e.Name] = true
+	}
+	if !names["M:process_name"] {
+		t.Error("tracefile has no process_name metadata event")
+	}
+	for _, span := range []string{"load", "bestof", "evaluate"} {
+		if !names["X:"+span] {
+			t.Errorf("tracefile missing span %q", span)
 		}
 	}
 }

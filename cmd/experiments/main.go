@@ -25,6 +25,12 @@
 //	-report FILE   write a JSON bench report: one RunReport per artifact
 //	               with headline metrics, algorithm counters, and spans
 //	               (schema: docs/OBSERVABILITY.md); "-" writes to stdout
+//	-tracefile F   write every artifact's span tree as Chrome trace_event
+//	               JSON, one trace process per artifact ("-" = stdout)
+//	-progress      print throttled per-artifact progress on stderr
+//	-listen ADDR   serve /metrics (Prometheus text), /debug/vars, and
+//	               /debug/pprof on ADDR; the scrape follows the artifact
+//	               currently running
 package main
 
 import (
@@ -50,6 +56,9 @@ func main() {
 		plot      = flag.Bool("plot", false, "render ASCII scatter plots for fig3/fig4")
 		asJSON    = flag.Bool("json", false, "emit results as JSON instead of text tables")
 		report    = flag.String("report", "", "write a JSON bench report to this file (\"-\" = stdout)")
+		tracefile = flag.String("tracefile", "", "write a Chrome trace_event JSON trace to this file, one process per artifact (\"-\" = stdout)")
+		progress  = flag.Bool("progress", false, "print throttled per-artifact progress on stderr")
+		listen    = flag.String("listen", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <fig3|fig4|table1|table2|table3|census|fig5left|fig5middle|fig5right|ensembles|missing|all>\n")
@@ -68,7 +77,25 @@ func main() {
 		CensusRows:    *census,
 		Workers:       *workers,
 	}
-	rep := &reporter{enabled: *report != ""}
+	rep := &reporter{
+		enabled:      *report != "",
+		collectTrace: *tracefile != "",
+	}
+	if *listen != "" {
+		srv, err := obs.Serve(*listen, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: listen: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "# metrics: http://%s/metrics\n", srv.Addr())
+		rep.server = srv
+	}
+	if *progress {
+		rep.progress = obs.NewProgress(func(e obs.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "# %s\n", e)
+		}, 0)
+	}
 	if err := run(flag.Arg(0), cfg, *plot, *asJSON, rep); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
@@ -85,25 +112,52 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if rep.collectTrace {
+		if err := obs.WriteTraceFileProcesses(*tracefile, rep.traces); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: tracefile: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
-// reporter accumulates one RunReport per artifact when -report is set.
+// reporter accumulates per-artifact observability: RunReports when -report
+// is set, trace processes when -tracefile is set, and the live recorder the
+// -listen server scrapes. A fresh Recorder per artifact keeps each
+// artifact's counters and spans separable; the metrics server is rebound to
+// the new recorder at every begin, so a scrape always follows the artifact
+// currently running.
 type reporter struct {
-	enabled bool
-	reports []obs.RunReport
+	enabled      bool // -report: accumulate RunReports
+	collectTrace bool // -tracefile: accumulate TraceProcesses
+	server       *obs.MetricsServer
+	progress     *obs.Progress
+	reports      []obs.RunReport
+	traces       []obs.TraceProcess
+}
+
+// collect reports whether any consumer needs a per-artifact Recorder.
+func (r *reporter) collect() bool {
+	return r.enabled || r.collectTrace || r.server != nil
 }
 
 // begin attaches a fresh Recorder to cfg and returns a done func that
 // snapshots it, together with the artifact's headline metrics, into the
-// report list. With reporting disabled both are no-ops.
+// report and trace lists. With all collection disabled both are no-ops.
 func (r *reporter) begin(artifact string, cfg experiments.Config) (experiments.Config, func(metrics map[string]float64)) {
-	if !r.enabled {
+	if !r.collect() {
 		return cfg, func(map[string]float64) {}
 	}
 	rec := obs.New()
 	cfg.Recorder = rec
+	r.server.SetRecorder(rec)
 	start := time.Now()
 	return cfg, func(metrics map[string]float64) {
+		if r.collectTrace {
+			r.traces = append(r.traces, obs.TraceProcess{Name: artifact, Spans: rec.Spans()})
+		}
+		if !r.enabled {
+			return
+		}
 		runRep := obs.RunReport{
 			Name:    artifact,
 			Workers: core.EffectiveWorkers(cfg.Workers),
@@ -317,12 +371,18 @@ func run(artifact string, cfg experiments.Config, plot, asJSON bool, rep *report
 			fmt.Println()
 		}
 	case "all":
-		for _, a := range []string{"fig3", "fig4", "table1", "table2", "table3", "census", "fig5left", "fig5right", "ensembles", "missing"} {
+		artifacts := []string{"fig3", "fig4", "table1", "table2", "table3", "census", "fig5left", "fig5right", "ensembles", "missing"}
+		for i, a := range artifacts {
 			fmt.Printf("==== %s ====\n", a)
 			if err := run(a, cfg, plot, asJSON, rep); err != nil {
 				return fmt.Errorf("%s: %w", a, err)
 			}
 			fmt.Println()
+			// One event per finished artifact; the last one is a completion
+			// event, so the throttle always delivers it.
+			rep.progress.Emit(obs.ProgressEvent{
+				Stage: "experiments:" + a, Done: int64(i + 1), Total: int64(len(artifacts)),
+			})
 		}
 	default:
 		return fmt.Errorf("unknown artifact %q", artifact)

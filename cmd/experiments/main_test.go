@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"clusteragg/internal/experiments"
+	"clusteragg/internal/obs"
 )
 
 func tinyCfg() experiments.Config {
@@ -45,6 +46,45 @@ func TestRunJSON(t *testing.T) {
 		if err := run(artifact, tinyCfg(), false, true, &reporter{}); err != nil {
 			t.Fatalf("%s as JSON: %v", artifact, err)
 		}
+	}
+}
+
+// TestRunCollectsTraces checks -tracefile collection alone: trace processes
+// accumulate (one per artifact, spans attached) without any RunReports.
+func TestRunCollectsTraces(t *testing.T) {
+	rep := &reporter{collectTrace: true}
+	if err := run("fig4", tinyCfg(), false, false, rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.traces) != 1 || rep.traces[0].Name != "fig4" {
+		t.Fatalf("traces = %+v, want one process named fig4", rep.traces)
+	}
+	if len(rep.traces[0].Spans) == 0 {
+		t.Error("fig4 trace process has no spans")
+	}
+	if len(rep.reports) != 0 {
+		t.Errorf("reports accumulated without -report: %d", len(rep.reports))
+	}
+}
+
+// TestRunRebindsServer checks -listen collection alone: each artifact gets a
+// fresh recorder and the metrics server follows it.
+func TestRunRebindsServer(t *testing.T) {
+	srv, err := obs.Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rep := &reporter{server: srv}
+	if err := run("fig4", tinyCfg(), false, false, rep); err != nil {
+		t.Fatal(err)
+	}
+	rec := srv.Recorder()
+	if rec == nil {
+		t.Fatal("server not rebound to the artifact's recorder")
+	}
+	if len(rec.Counters()) == 0 {
+		t.Error("artifact recorder collected no counters")
 	}
 }
 

@@ -122,6 +122,15 @@ type AggregateOptions struct {
 	// default everywhere — records nothing and changes nothing: results
 	// are always identical with and without a Recorder.
 	Recorder *obs.Recorder
+	// Progress, when non-nil, receives throttled live-progress events from
+	// the long-running stages: AGGLOMERATIVE merges, LOCALSEARCH sweeps
+	// (standalone and as the Refine pass), and SAMPLING's assignment batches
+	// (see Problem.Sample). Build one with obs.NewProgress; the CLIs'
+	// -progress flag drives a stderr ticker with it. Like the Recorder it
+	// observes and never steers: results are bit-identical with and without
+	// it (internal/core/recorder_test.go asserts this for every method and
+	// worker count).
+	Progress *obs.Progress
 }
 
 // counting wraps inst so its Dist probes are counted under name; with a nil
@@ -191,11 +200,11 @@ func (p *Problem) aggregateOn(inst corrclust.Instance, method Method, opts Aggre
 			return nil, err
 		}
 	case MethodAgglomerative:
-		labels = corrclust.AgglomerativeWithOptions(algInst, corrclust.AgglomerativeOptions{K: opts.K, Recorder: rec})
+		labels = corrclust.AgglomerativeWithOptions(algInst, corrclust.AgglomerativeOptions{K: opts.K, Recorder: rec, Progress: opts.Progress})
 	case MethodFurthest:
 		labels, _ = corrclust.FurthestWithOptions(algInst, corrclust.FurthestOptions{K: opts.K, Recorder: rec})
 	case MethodLocalSearch:
-		labels = corrclust.LocalSearch(algInst, corrclust.LocalSearchOptions{Recorder: rec, Workers: opts.Workers})
+		labels = corrclust.LocalSearch(algInst, corrclust.LocalSearchOptions{Recorder: rec, Workers: opts.Workers, Progress: opts.Progress})
 	case MethodPivot:
 		rounds := opts.PivotRounds
 		if rounds <= 0 {
@@ -212,7 +221,7 @@ func (p *Problem) aggregateOn(inst corrclust.Instance, method Method, opts Aggre
 		if parent == nil {
 			rs = rec.Start("refine")
 		}
-		labels = corrclust.LocalSearch(counting(inst, rec, "refine.dist_probes"), corrclust.LocalSearchOptions{Init: labels, Recorder: rec, Workers: opts.Workers})
+		labels = corrclust.LocalSearch(counting(inst, rec, "refine.dist_probes"), corrclust.LocalSearchOptions{Init: labels, Recorder: rec, Workers: opts.Workers, Progress: opts.Progress})
 		rs.End()
 	}
 	return labels.Normalize(), nil

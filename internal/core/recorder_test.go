@@ -1,8 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
@@ -148,6 +152,118 @@ func TestRecorderSampleEquivalence(t *testing.T) {
 	}
 	if counters["sample.assign.dist_probes"] <= 0 {
 		t.Error("sample.assign.dist_probes not counted")
+	}
+}
+
+// TestProgressDoesNotChangeResults attaches an unthrottled Progress sink to
+// every method at Workers 0, 1 and 8 and demands labels bit-identical to the
+// uninstrumented run. Refine is on so every method exercises the LOCALSEARCH
+// emit path, whose completion event is guaranteed to be delivered.
+func TestProgressDoesNotChangeResults(t *testing.T) {
+	p := recorderProblem(t, 90, 5, 19)
+	methods := append(Methods(), ExtensionMethods()...)
+	for _, method := range methods {
+		for _, workers := range []int{0, 1, 8} {
+			opts := func(prog *obs.Progress) AggregateOptions {
+				return AggregateOptions{
+					Materialize: true,
+					Refine:      true,
+					Workers:     workers,
+					Rand:        rand.New(rand.NewSource(3)),
+					Progress:    prog,
+				}
+			}
+			plain, err := p.Aggregate(method, opts(nil))
+			if err != nil {
+				t.Fatalf("%v (workers=%d): %v", method, workers, err)
+			}
+			var events atomic.Int64
+			prog := obs.NewProgress(func(obs.ProgressEvent) { events.Add(1) }, time.Nanosecond)
+			observed, err := p.Aggregate(method, opts(prog))
+			if err != nil {
+				t.Fatalf("%v (workers=%d) with progress: %v", method, workers, err)
+			}
+			sameLabels(t, fmt.Sprintf("%v workers=%d", method, workers), plain, observed)
+			if events.Load() == 0 {
+				t.Errorf("%v (workers=%d): no progress events delivered", method, workers)
+			}
+		}
+	}
+}
+
+// TestProgressSampleEquivalence runs the SAMPLING pipeline with a Progress
+// sink at every worker count: identical labels, and the batched assignment
+// stage reports completion (Done == Total == n).
+func TestProgressSampleEquivalence(t *testing.T) {
+	const n, sampleSize = 600, 60
+	p := recorderProblem(t, n, 4, 23)
+	run := func(prog *obs.Progress, workers int) partition.Labels {
+		t.Helper()
+		labels, err := p.Sample(MethodAgglomerative,
+			AggregateOptions{Workers: workers, Progress: prog},
+			SamplingOptions{SampleSize: sampleSize, Rand: rand.New(rand.NewSource(2))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return labels
+	}
+	plain := run(nil, 0)
+	for _, workers := range []int{0, 1, 8} {
+		var completed atomic.Bool
+		prog := obs.NewProgress(func(e obs.ProgressEvent) {
+			if e.Stage == "sample:assign" && e.Total == n && e.Done == n {
+				completed.Store(true)
+			}
+		}, time.Nanosecond)
+		got := run(prog, workers)
+		sameLabels(t, fmt.Sprintf("sample workers=%d", workers), plain, got)
+		if !completed.Load() {
+			t.Errorf("workers=%d: sample:assign completion event not delivered", workers)
+		}
+	}
+}
+
+// TestConcurrentMetricWrites drives the parallel assignment and local-search
+// paths with Workers=8 while a second goroutine continuously snapshots the
+// registry, so `go test -race` covers concurrent histogram/gauge writes
+// against scrapes (the situation a live -listen server creates).
+func TestConcurrentMetricWrites(t *testing.T) {
+	p := recorderProblem(t, 600, 4, 29)
+	rec := obs.New()
+	done := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				rec.Counters()
+				rec.Gauges()
+				rec.Histograms()
+				runtime.Gosched()
+			}
+		}
+	}()
+	prog := obs.NewProgress(func(obs.ProgressEvent) {}, time.Nanosecond)
+	_, err := p.Sample(MethodLocalSearch,
+		AggregateOptions{Workers: 8, Recorder: rec, Progress: prog},
+		SamplingOptions{SampleSize: 80, Rand: rand.New(rand.NewSource(6))})
+	close(done)
+	<-scraped
+	if err != nil {
+		t.Fatal(err)
+	}
+	hists := rec.Histograms()
+	if hists["sample.assign.batch.seconds"].Count == 0 {
+		t.Error("no assignment batches observed")
+	}
+	if hists["localsearch.sweep.seconds"].Count == 0 {
+		t.Error("no local-search sweeps observed")
+	}
+	if _, ok := rec.Gauges()["localsearch.clusters"]; !ok {
+		t.Error("localsearch.clusters gauge missing")
 	}
 }
 

@@ -6,11 +6,20 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"clusteragg/internal/corrclust"
 	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 )
+
+// assignBatchSize is the number of objects one assignment batch covers: each
+// batch lands one observation in the sample.assign.batch.seconds histogram
+// and advances the shared progress counter once, so the instrumentation cost
+// is amortized across thousands of objects and stays invisible next to the
+// per-object evaluation work.
+const assignBatchSize = 8192
 
 // SamplingOptions configures the SAMPLING wrapper of Section 4.1.
 type SamplingOptions struct {
@@ -128,12 +137,14 @@ func (p *Problem) Sample(method Method, aggOpts AggregateOptions, sOpts Sampling
 	}
 	var assigned, fresh int64
 	if sOpts.ReferenceAssign {
-		assigned, fresh = p.assignReference(rec, labels, members, inSample, workers)
+		assigned, fresh = p.assignReference(rec, aggOpts.Progress, labels, members, inSample, workers)
 	} else {
-		assigned, fresh = p.assignKernel(rec, labels, members, inSample, workers)
+		assigned, fresh = p.assignKernel(rec, aggOpts.Progress, labels, members, inSample, workers)
 	}
 	rec.Add("sample.assigned", assigned)
 	rec.Add("sample.fresh_singletons", fresh)
+	// Completion event (always delivered): every object has been scanned.
+	aggOpts.Progress.Emit(obs.ProgressEvent{Stage: "sample:assign", Done: int64(n), Total: int64(n)})
 	assignSpan.End()
 
 	if !sOpts.NoSingletonRecluster {
@@ -151,43 +162,70 @@ func (p *Problem) Sample(method Method, aggOpts AggregateOptions, sOpts Sampling
 // evaluates each sample member through one Problem.Dist interface call
 // (O(m·s) per object), on modulo worker stripes. Kept as the reference the
 // kernel path is pinned against; rec counts each probe individually under
-// sample.assign.dist_probes.
-func (p *Problem) assignReference(rec *obs.Recorder, labels partition.Labels, members [][]int, inSample []bool, workers int) (assigned, fresh int64) {
+// sample.assign.dist_probes. Each stripe observes its batch latencies in the
+// sample.assign.batch.seconds histogram and advances the shared progress
+// counter (Done = objects scanned so far across all stripes, Total = n).
+func (p *Problem) assignReference(rec *obs.Recorder, progress *obs.Progress, labels partition.Labels, members [][]int, inSample []bool, workers int) (assigned, fresh int64) {
 	n, k := p.n, len(members)
 	var oracle corrclust.Instance = p
+	var batchHist *obs.Histogram
 	if rec != nil {
 		oracle = obs.Count(p, rec.Counter("sample.assign.dist_probes"))
+		batchHist = rec.Histogram("sample.assign.batch.seconds", nil)
 	}
+	var done atomic.Int64
 	counts := make([][2]int64, workers) // assigned, fresh per stripe
 	assignStripe := func(stripe int) {
 		m := make([]float64, k)
+		inBatch := 0
+		var batchStart time.Time
+		if batchHist != nil {
+			batchStart = time.Now()
+		}
+		flush := func() {
+			if inBatch == 0 {
+				return
+			}
+			if batchHist != nil {
+				batchHist.Observe(time.Since(batchStart).Seconds())
+				batchStart = time.Now()
+			}
+			progress.Emit(obs.ProgressEvent{
+				Stage: "sample:assign", Done: done.Add(int64(inBatch)), Total: int64(n),
+			})
+			inBatch = 0
+		}
 		for v := stripe; v < n; v += workers {
-			if inSample[v] {
-				continue
-			}
-			var totalAway float64
-			for ci := range members {
-				m[ci] = 0
-				for _, u := range members[ci] {
-					m[ci] += oracle.Dist(v, u)
+			if !inSample[v] {
+				var totalAway float64
+				for ci := range members {
+					m[ci] = 0
+					for _, u := range members[ci] {
+						m[ci] += oracle.Dist(v, u)
+					}
+					totalAway += float64(len(members[ci])) - m[ci]
 				}
-				totalAway += float64(len(members[ci])) - m[ci]
-			}
-			bestC, bestCost := -1, totalAway // -1 = fresh singleton
-			for ci := range members {
-				d := m[ci] + totalAway - (float64(len(members[ci])) - m[ci])
-				if d < bestCost {
-					bestC, bestCost = ci, d
+				bestC, bestCost := -1, totalAway // -1 = fresh singleton
+				for ci := range members {
+					d := m[ci] + totalAway - (float64(len(members[ci])) - m[ci])
+					if d < bestCost {
+						bestC, bestCost = ci, d
+					}
+				}
+				if bestC == -1 {
+					labels[v] = k + v
+					counts[stripe][1]++
+				} else {
+					labels[v] = bestC
+					counts[stripe][0]++
 				}
 			}
-			if bestC == -1 {
-				labels[v] = k + v
-				counts[stripe][1]++
-			} else {
-				labels[v] = bestC
-				counts[stripe][0]++
+			inBatch++
+			if inBatch == assignBatchSize {
+				flush()
 			}
 		}
+		flush()
 	}
 	if workers <= 1 {
 		assignStripe(0)
@@ -225,15 +263,17 @@ func (p *Problem) assignReference(rec *obs.Recorder, labels partition.Labels, me
 // same object/member pairs, just not one Dist call at a time);
 // sample.assign.kernel_cols records the n packed label columns and
 // sample.assign.hist_builds the per-clustering histogram builds (0 on the
-// row route).
-func (p *Problem) assignKernel(rec *obs.Recorder, labels partition.Labels, members [][]int, inSample []bool, workers int) (assigned, fresh int64) {
+// row route). Batch latencies land in sample.assign.batch.seconds and the
+// shared progress counter ticks once per batch (Done = objects scanned so
+// far across all chunks, Total = n).
+func (p *Problem) assignKernel(rec *obs.Recorder, progress *obs.Progress, labels partition.Labels, members [][]int, inSample []bool, workers int) (assigned, fresh int64) {
 	n, k := p.n, len(members)
 	lk := p.kernel()
 	rec.Add("sample.assign.kernel_cols", int64(n))
 
 	var hist *colabelHist
-	var flat []int  // row route: sample members flattened in cluster order
-	var ends []int  // per-cluster segment ends into flat
+	var flat []int // row route: sample members flattened in cluster order
+	var ends []int // per-cluster segment ends into flat
 	sampleSize := 0
 	for _, mem := range members {
 		sampleSize += len(mem)
@@ -251,6 +291,11 @@ func (p *Problem) assignKernel(rec *obs.Recorder, labels partition.Labels, membe
 		rec.Add("sample.assign.hist_builds", int64(lk.m))
 	}
 	rec.Add("sample.assign.dist_probes", int64(n-sampleSize)*int64(sampleSize))
+	var batchHist *obs.Histogram
+	if rec != nil {
+		batchHist = rec.Histogram("sample.assign.batch.seconds", nil)
+	}
+	var done atomic.Int64
 
 	counts := make([][2]int64, workers) // assigned, fresh per stripe
 	assignChunk := func(stripe, lo, hi int) {
@@ -259,42 +304,58 @@ func (p *Problem) assignKernel(rec *obs.Recorder, labels partition.Labels, membe
 		if hist == nil {
 			buf = make([]float64, len(flat))
 		}
-		for v := lo; v < hi; v++ {
-			if inSample[v] {
-				continue
+		for bLo := lo; bLo < hi; bLo += assignBatchSize {
+			bHi := bLo + assignBatchSize
+			if bHi > hi {
+				bHi = hi
 			}
-			if hist != nil {
-				hist.affinities(lk, v, m)
-			} else {
-				lk.DistRowTo(v, flat, buf)
-				start := 0
-				for ci, end := range ends {
-					var s float64
-					for _, x := range buf[start:end] {
-						s += x
+			var batchStart time.Time
+			if batchHist != nil {
+				batchStart = time.Now()
+			}
+			for v := bLo; v < bHi; v++ {
+				if inSample[v] {
+					continue
+				}
+				if hist != nil {
+					hist.affinities(lk, v, m)
+				} else {
+					lk.DistRowTo(v, flat, buf)
+					start := 0
+					for ci, end := range ends {
+						var s float64
+						for _, x := range buf[start:end] {
+							s += x
+						}
+						m[ci] = s
+						start = end
 					}
-					m[ci] = s
-					start = end
+				}
+				var totalAway float64
+				for ci := range members {
+					totalAway += float64(len(members[ci])) - m[ci]
+				}
+				bestC, bestCost := -1, totalAway // -1 = fresh singleton
+				for ci := range members {
+					d := m[ci] + totalAway - (float64(len(members[ci])) - m[ci])
+					if d < bestCost {
+						bestC, bestCost = ci, d
+					}
+				}
+				if bestC == -1 {
+					labels[v] = k + v
+					counts[stripe][1]++
+				} else {
+					labels[v] = bestC
+					counts[stripe][0]++
 				}
 			}
-			var totalAway float64
-			for ci := range members {
-				totalAway += float64(len(members[ci])) - m[ci]
+			if batchHist != nil {
+				batchHist.Observe(time.Since(batchStart).Seconds())
 			}
-			bestC, bestCost := -1, totalAway // -1 = fresh singleton
-			for ci := range members {
-				d := m[ci] + totalAway - (float64(len(members[ci])) - m[ci])
-				if d < bestCost {
-					bestC, bestCost = ci, d
-				}
-			}
-			if bestC == -1 {
-				labels[v] = k + v
-				counts[stripe][1]++
-			} else {
-				labels[v] = bestC
-				counts[stripe][0]++
-			}
+			progress.Emit(obs.ProgressEvent{
+				Stage: "sample:assign", Done: done.Add(int64(bHi - bLo)), Total: int64(n),
+			})
 		}
 	}
 	if workers <= 1 {

@@ -17,6 +17,12 @@ type AgglomerativeOptions struct {
 	// pushes, pops, merges, stale pops). Nil records nothing and costs
 	// nothing.
 	Recorder *obs.Recorder
+	// Progress, when non-nil, receives throttled events as merges apply:
+	// Done is the merge count so far, Total the n−1 merges a run to a single
+	// cluster would take (the parameter-free rule usually stops earlier). A
+	// final completion event with Total = Done = total merges is always
+	// delivered. Results are identical with and without it.
+	Progress *obs.Progress
 }
 
 // Agglomerative runs the AGGLOMERATIVE algorithm of Section 4: start with
@@ -136,12 +142,16 @@ func AgglomerativeWithOptions(inst Instance, opts AgglomerativeOptions) partitio
 		members[cand.a] = append(members[cand.a], members[cand.b]...)
 		members[cand.b] = nil
 		clusters--
+		opts.Progress.Emit(obs.ProgressEvent{Stage: "agglomerative", Done: merges, Total: int64(n - 1)})
 	}
 	if rec := opts.Recorder; rec != nil {
 		rec.Add("agglomerative.heap_pushes", state.pushes)
 		rec.Add("agglomerative.heap_pops", pops)
 		rec.Add("agglomerative.stale_pops", stale)
 		rec.Add("agglomerative.merges", merges)
+	}
+	if merges > 0 {
+		opts.Progress.Emit(obs.ProgressEvent{Stage: "agglomerative", Done: merges, Total: merges})
 	}
 	return labels.Normalize()
 }

@@ -2,6 +2,7 @@ package corrclust
 
 import (
 	"runtime"
+	"time"
 
 	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
@@ -36,8 +37,17 @@ type LocalSearchOptions struct {
 	RefreshEvery int
 	// Recorder, when non-nil, receives the localsearch.* counters (sweeps,
 	// accepted moves, early convergence, delta updates, column refreshes,
-	// parallel proposals). Nil records nothing and costs nothing.
+	// parallel proposals), the localsearch.sweep.seconds latency histogram
+	// (one observation per pass), and the localsearch.clusters /
+	// localsearch.improvement gauges updated at every sweep boundary. Nil
+	// records nothing and costs nothing.
 	Recorder *obs.Recorder
+	// Progress, when non-nil, receives one throttled event per sweep: Done
+	// is the sweep number, Total the pass cap, Moves the accepted moves so
+	// far, and Improved the cumulative objective improvement over the
+	// starting clustering. Progress observes and never steers: labels are
+	// bit-identical with and without it.
+	Progress *obs.Progress
 
 	// onMove, when non-nil, observes every applied move (object, old
 	// cluster slot, new cluster slot), in application order. Test hook.
@@ -119,26 +129,52 @@ func LocalSearch(inst Instance, opts LocalSearchOptions) partition.Labels {
 		workers = n
 	}
 	var props []int
+	var gains []float64
 	if workers > 1 {
 		props = make([]int, n)
+		gains = make([]float64, n)
+	}
+
+	// Per-sweep observability: a latency histogram plus live gauges,
+	// refreshed at sweep boundaries so a /metrics scrape mid-run shows the
+	// sweep cadence, the collapsing cluster count, and the accumulated
+	// improvement. All of it is observational and guarded on rec/Progress,
+	// so an uninstrumented run pays only nil checks.
+	rec := opts.Recorder
+	var sweepHist *obs.Histogram
+	if rec != nil {
+		sweepHist = rec.Histogram("localsearch.sweep.seconds", nil)
 	}
 
 	var sweeps int64
 	converged := false
 	for pass := 0; pass < maxPasses; pass++ {
 		sweeps++
+		var sweepStart time.Time
+		if rec != nil {
+			sweepStart = time.Now()
+		}
 		var improved bool
 		if workers > 1 {
-			improved = ker.sweepParallel(props, workers, opts.onMove)
+			improved = ker.sweepParallel(props, gains, workers, opts.onMove)
 		} else {
 			improved = ker.sweepSequential(opts.onMove)
+		}
+		if rec != nil {
+			sweepHist.Observe(time.Since(sweepStart).Seconds())
+			rec.SetGauge("localsearch.clusters", float64(len(ker.live)))
+			rec.SetGauge("localsearch.improvement", ker.improvement)
 		}
 		if !improved {
 			converged = true
 			break
 		}
+		opts.Progress.Emit(obs.ProgressEvent{
+			Stage: "localsearch", Done: sweeps, Total: int64(maxPasses),
+			Moves: ker.moves, Improved: ker.improvement,
+		})
 	}
-	if rec := opts.Recorder; rec != nil {
+	if rec != nil {
 		rec.Add("localsearch.sweeps", sweeps)
 		rec.Add("localsearch.moves", ker.moves)
 		rec.Add("localsearch.delta_updates", ker.deltaUpdates)
@@ -148,6 +184,13 @@ func LocalSearch(inst Instance, opts LocalSearchOptions) partition.Labels {
 			rec.Add("localsearch.converged_early", 1)
 		}
 	}
+	// The final event reports convergence (or cap exhaustion) with the
+	// completed sweep count; Total = Done marks it complete, so the
+	// throttle always delivers it.
+	opts.Progress.Emit(obs.ProgressEvent{
+		Stage: "localsearch", Done: sweeps, Total: sweeps,
+		Moves: ker.moves, Improved: ker.improvement,
+	})
 	return ker.labels.Normalize()
 }
 

@@ -94,6 +94,7 @@ type lsKernel struct {
 	deltaUpdates int64
 	refreshes    int64
 	proposals    int64
+	improvement  float64 // cumulative accepted objective improvement
 }
 
 // tableWidthFor bounds the live-cluster count at which the affinity table is
@@ -260,13 +261,16 @@ func (k *lsKernel) maybeBuildTable() {
 	k.tableBuilt = true
 }
 
-// evaluate returns v's best move target (-1 = fresh singleton) and whether
-// it improves on the current assignment by more than epsilon. Table mode
-// only: it reads just the maintained state — O(live clusters), no distance
-// access — and mirrors the reference sweep's decision logic: ascending slot
-// order, strict-< best selection, the singleton baseline, the epsilon accept
-// guard.
-func (k *lsKernel) evaluate(v int) (int, bool) {
+// evaluate returns v's best move target (-1 = fresh singleton), the move's
+// objective improvement curCost−bestCost, and whether it improves on the
+// current assignment by more than epsilon. Table mode only: it reads just
+// the maintained state — O(live clusters), no distance access — and mirrors
+// the reference sweep's decision logic: ascending slot order, strict-< best
+// selection, the singleton baseline, the epsilon accept guard. The gain is
+// observational (it feeds the progress events and the
+// localsearch.improvement gauge); accept/reject decisions do not read it,
+// so results are unchanged by its accumulation.
+func (k *lsKernel) evaluate(v int) (int, float64, bool) {
 	cur := k.labels[v]
 	away := k.away[v]
 	best, bestCost := -1, away // -1 = fresh singleton, d = totalAway
@@ -286,9 +290,9 @@ func (k *lsKernel) evaluate(v int) (int, bool) {
 		}
 	}
 	if bestCost >= curCost-k.eps || best == cur {
-		return -1, false
+		return -1, 0, false
 	}
-	return best, true
+	return best, curCost - bestCost, true
 }
 
 // evaluateGrowing is the growing-mode evaluation: v's contiguous row is in
@@ -296,7 +300,7 @@ func (k *lsKernel) evaluate(v int) (int, bool) {
 // materialized cluster's comes from its column, and the away identity falls
 // out of the row sum (recorded for the later table completion — distinct
 // objects write distinct away slots, so parallel stripes do not race).
-func (k *lsKernel) evaluateGrowing(v int, row []float64) (int, bool) {
+func (k *lsKernel) evaluateGrowing(v int, row []float64) (int, float64, bool) {
 	var s float64
 	for _, x := range row {
 		s += x
@@ -326,16 +330,16 @@ func (k *lsKernel) evaluateGrowing(v int, row []float64) (int, bool) {
 		}
 	}
 	if bestCost >= curCost-k.eps || best == cur {
-		return -1, false
+		return -1, 0, false
 	}
-	return best, true
+	return best, curCost - bestCost, true
 }
 
 // evaluateRebuild is the rebuild-mode evaluation: M(v,·) is accumulated from
 // the already-gathered row into the caller's per-slot scratch (the reference
 // sweep's inner loop, value for value), so it needs no maintained table.
 // Safe for concurrent use with distinct buffers against a frozen kernel.
-func (k *lsKernel) evaluateRebuild(v int, row, m []float64) (int, bool) {
+func (k *lsKernel) evaluateRebuild(v int, row, m []float64) (int, float64, bool) {
 	for i := range m {
 		m[i] = 0
 	}
@@ -369,14 +373,14 @@ func (k *lsKernel) evaluateRebuild(v int, row, m []float64) (int, bool) {
 		}
 	}
 	if bestCost >= curCost-k.eps || best == cur {
-		return -1, false
+		return -1, 0, false
 	}
-	return best, true
+	return best, curCost - bestCost, true
 }
 
 // evalSeq evaluates v in whichever mode the kernel is in, using the kernel's
 // own scratch buffers (sequential callers only).
-func (k *lsKernel) evalSeq(v int) (int, bool) {
+func (k *lsKernel) evalSeq(v int) (int, float64, bool) {
 	if k.tableBuilt {
 		return k.evaluate(v)
 	}
@@ -540,12 +544,13 @@ func (k *lsKernel) sweepSequential(onMove func(v, from, to int)) bool {
 	k.maybeBuildTable()
 	improved := false
 	for v := 0; v < k.n; v++ {
-		target, ok := k.evalSeq(v)
+		target, gain, ok := k.evalSeq(v)
 		if !ok {
 			continue
 		}
 		from := k.labels[v]
 		k.apply(v, target)
+		k.improvement += gain
 		improved = true
 		if onMove != nil {
 			onMove(v, from, k.labels[v])

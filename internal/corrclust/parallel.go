@@ -147,8 +147,9 @@ const lsNoMove = -2
 // recordings, and each object belongs to exactly one stripe, so stripes
 // race nothing and the proposal for each object is exactly what a
 // sequential evaluation at pass start would produce. props[v] receives the
-// move target (-1 = fresh singleton) or lsNoMove.
-func (k *lsKernel) proposeMoves(props []int, workers int) {
+// move target (-1 = fresh singleton) or lsNoMove, and gains[v] the move's
+// objective improvement (observational — see lsKernel.evaluate).
+func (k *lsKernel) proposeMoves(props []int, gains []float64, workers int) {
 	chunk := (k.n + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -172,17 +173,18 @@ func (k *lsKernel) proposeMoves(props []int, workers int) {
 			}
 			for v := lo; v < hi; v++ {
 				var target int
+				var gain float64
 				var ok bool
 				switch {
 				case k.tableBuilt:
-					target, ok = k.evaluate(v)
+					target, gain, ok = k.evaluate(v)
 				case k.growing:
-					target, ok = k.evaluateGrowing(v, k.readRowInto(v, row))
+					target, gain, ok = k.evaluateGrowing(v, k.readRowInto(v, row))
 				default:
-					target, ok = k.evaluateRebuild(v, k.readRowInto(v, row), m)
+					target, gain, ok = k.evaluateRebuild(v, k.readRowInto(v, row), m)
 				}
 				if ok {
-					props[v] = target
+					props[v], gains[v] = target, gain
 				} else {
 					props[v] = lsNoMove
 				}
@@ -201,16 +203,17 @@ func (k *lsKernel) proposeMoves(props []int, workers int) {
 // against the live state before deciding. The pass therefore makes — float
 // for float — the same decisions as sweepSequential, for every worker
 // count; the parallel phase only pre-pays evaluation work that stays valid.
-func (k *lsKernel) sweepParallel(props []int, workers int, onMove func(v, from, to int)) bool {
+func (k *lsKernel) sweepParallel(props []int, gains []float64, workers int, onMove func(v, from, to int)) bool {
 	k.maybeBuildTable()
-	k.proposeMoves(props, workers)
+	k.proposeMoves(props, gains, workers)
 	improved := false
 	movedSince := false
 	for v := 0; v < k.n; v++ {
 		target := props[v]
+		gain := gains[v]
 		if movedSince {
 			var ok bool
-			target, ok = k.evalSeq(v)
+			target, gain, ok = k.evalSeq(v)
 			if !ok {
 				continue
 			}
@@ -219,6 +222,7 @@ func (k *lsKernel) sweepParallel(props []int, workers int, onMove func(v, from, 
 		}
 		from := k.labels[v]
 		k.apply(v, target)
+		k.improvement += gain
 		movedSince = true
 		improved = true
 		if onMove != nil {

@@ -28,6 +28,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 
 	"clusteragg/internal/dataset"
 	"clusteragg/internal/partition"
@@ -154,6 +155,12 @@ func (f *feature) clone() *feature {
 }
 
 // mergeLoss returns δI(a,b) = (w_a+w_b)/n · JS_π(p_a, p_b).
+//
+// The JS terms are accumulated over items in ascending id order. Go
+// randomizes map iteration per process, and a last-ulp difference in the
+// sum flips borderline merge decisions, so summing in map order made LIMBO
+// output vary from run to run on identical input — which the benchdiff
+// regression gate (exact-by-default metrics) cannot tolerate.
 func mergeLoss(a, b *feature, n float64) float64 {
 	wa, wb := a.weight, b.weight
 	total := wa + wb
@@ -161,18 +168,24 @@ func mergeLoss(a, b *feature, n float64) float64 {
 		return 0
 	}
 	pa, pb := wa/total, wb/total
+	items := make([]int, 0, len(a.dist)+len(b.dist))
+	for item := range a.dist {
+		items = append(items, item)
+	}
+	for item := range b.dist {
+		if _, ok := a.dist[item]; !ok {
+			items = append(items, item)
+		}
+	}
+	sort.Ints(items)
 	// JS = H(mix) - pa·H(a) - pb·H(b), computed via KL to the mixture.
 	var js float64
-	for item, p := range a.dist {
-		q := b.dist[item]
+	for _, item := range items {
+		p, q := a.dist[item], b.dist[item]
 		mix := pa*p + pb*q
 		if p > 0 {
 			js += pa * p * math.Log(p/mix)
 		}
-	}
-	for item, q := range b.dist {
-		p := a.dist[item]
-		mix := pa*p + pb*q
 		if q > 0 {
 			js += pb * q * math.Log(q/mix)
 		}

@@ -1,0 +1,50 @@
+package obs
+
+import "testing"
+
+// The nil-receiver no-op contract is only free if it is also allocation-free:
+// these tests pin 0 allocations for every call an instrumented hot path makes
+// when recording is disabled, and for the per-event work of the live metric
+// types when it is enabled.
+
+func pinAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if n := testing.AllocsPerRun(100, f); n != 0 {
+		t.Errorf("%s allocates %v times per call, want 0", name, n)
+	}
+}
+
+func TestNilRecorderZeroAllocs(t *testing.T) {
+	var r *Recorder
+	pinAllocs(t, "nil Recorder.Start+End", func() { r.Start("x").End() })
+	pinAllocs(t, "nil Recorder.Add", func() { r.Add("c", 1) })
+	pinAllocs(t, "nil Recorder.Counter", func() { r.Counter("c").Add(1) })
+	pinAllocs(t, "nil Recorder.SetGauge", func() { r.SetGauge("g", 1) })
+	pinAllocs(t, "nil Recorder.Gauge", func() { r.Gauge("g").Add(1) })
+	pinAllocs(t, "nil Recorder.Observe", func() { r.Observe("h", 1) })
+	pinAllocs(t, "nil Recorder.Histogram", func() { r.Histogram("h", nil).Observe(1) })
+}
+
+func TestNilSpanZeroAllocs(t *testing.T) {
+	var s *Span
+	pinAllocs(t, "nil Span.End", func() { s.End() })
+	pinAllocs(t, "nil Span.StartChild", func() { s.StartChild("w").End() })
+}
+
+func TestNilProgressZeroAllocs(t *testing.T) {
+	var p *Progress
+	pinAllocs(t, "nil Progress.Emit", func() {
+		p.Emit(ProgressEvent{Stage: "s", Done: 1, Total: 2})
+	})
+}
+
+func TestLiveMetricsZeroAllocs(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", nil)
+	pinAllocs(t, "Counter.Add", func() { c.Add(1) })
+	pinAllocs(t, "Gauge.Set", func() { g.Set(2) })
+	pinAllocs(t, "Gauge.Add", func() { g.Add(1) })
+	pinAllocs(t, "Histogram.Observe", func() { h.Observe(0.01) })
+}

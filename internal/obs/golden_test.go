@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// populate fills a recorder with the same values in the given key order.
+func populate(r *Recorder, order []string) {
+	for _, k := range order {
+		switch k {
+		case "moves":
+			r.Add("localsearch.moves", 12)
+		case "merges":
+			r.Add("agglomerative.merges", 3)
+		case "alpha":
+			r.SetGauge("alpha", -2)
+		case "z":
+			r.SetGauge("z", 1.5)
+		case "lat":
+			h := r.Histogram("lat", []float64{1, 2})
+			h.Observe(1)
+			h.Observe(3)
+		}
+	}
+}
+
+// TestWriteTextGolden pins WriteText byte-for-byte: sections and keys sort
+// deterministically, so registration order must not leak into the output.
+// Spans are omitted — their durations are wall clock and cannot be golden.
+func TestWriteTextGolden(t *testing.T) {
+	const want = `counters:
+  agglomerative.merges            3
+  localsearch.moves              12
+gauges:
+  alpha           -2
+  z              1.5
+histograms:
+  lat count=2 sum=4 mean=2
+`
+	a, b := New(), New()
+	populate(a, []string{"moves", "merges", "alpha", "z", "lat"})
+	populate(b, []string{"lat", "z", "alpha", "merges", "moves"})
+	var outA, outB strings.Builder
+	if err := a.WriteText(&outA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteText(&outB); err != nil {
+		t.Fatal(err)
+	}
+	if outA.String() != want {
+		t.Errorf("WriteText:\n%s\nwant:\n%s", outA.String(), want)
+	}
+	if outA.String() != outB.String() {
+		t.Errorf("registration order leaked into output:\n%s\nvs\n%s", outA.String(), outB.String())
+	}
+}
+
+// TestRunReportJSONGolden pins the report encoding byte-for-byte: map keys
+// marshal sorted, histogram snapshots keep their field order, and the same
+// metric values always produce the same bytes regardless of how the
+// recorder was populated.
+func TestRunReportJSONGolden(t *testing.T) {
+	const want = `{"schema_version":2,"n":4,"cost":9,"wall_ns":0,` +
+		`"counters":{"agglomerative.merges":3,"localsearch.moves":12},` +
+		`"gauges":{"alpha":-2,"z":1.5},` +
+		`"histograms":{"lat":{"bounds":[1,2],"counts":[1,0,1],"count":2,"sum":4}}}`
+	for _, order := range [][]string{
+		{"moves", "merges", "alpha", "z", "lat"},
+		{"lat", "z", "alpha", "merges", "moves"},
+	} {
+		r := New()
+		populate(r, order)
+		rep := RunReport{N: 4, Cost: 9}
+		rep.FillFrom(r)
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != want {
+			t.Errorf("order %v:\n%s\nwant:\n%s", order, data, want)
+		}
+	}
+}

@@ -31,16 +31,26 @@ import (
 // for the sequential phase structure of a run (concurrent Start/End calls
 // are safe but the nesting then reflects interleaving order).
 type Recorder struct {
-	mu       sync.Mutex
-	roots    []*Span
-	stack    []*Span
-	counters map[string]*Counter
-	names    []string // counter names in first-registration order
+	mu         sync.Mutex
+	epoch      time.Time // construction time; span starts are relative to it
+	roots      []*Span
+	stack      []*Span
+	counters   map[string]*Counter
+	names      []string // counter names in first-registration order
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
-// New returns an empty Recorder.
+// New returns an empty Recorder. Its construction time is the epoch all span
+// start offsets (SpanSnapshot.StartNS, the trace export's timestamps) are
+// measured from.
 func New() *Recorder {
-	return &Recorder{counters: make(map[string]*Counter)}
+	return &Recorder{
+		epoch:      time.Now(),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
 }
 
 // Span is one named, wall-clock-timed section of a run. Spans nest: a span
@@ -178,15 +188,25 @@ func (r *Recorder) Counters() map[string]int64 {
 }
 
 // SpanSnapshot is an immutable copy of a span subtree for reporting. A span
-// still open at snapshot time reports its duration so far.
+// still open at snapshot time reports its duration so far. StartNS is the
+// span's start offset from the Recorder's construction time (the epoch the
+// Chrome trace export positions events by). SelfNS is the span's exclusive
+// self time: its duration minus the sum of its direct children's durations,
+// clamped at zero — concurrent children (worker spans) can sum past their
+// parent's wall clock, and a negative self time carries no information.
 type SpanSnapshot struct {
 	Name       string         `json:"name"`
+	StartNS    int64          `json:"start_ns"`
 	DurationNS int64          `json:"duration_ns"`
+	SelfNS     int64          `json:"self_ns"`
 	Children   []SpanSnapshot `json:"children,omitempty"`
 }
 
 // Duration returns the span's wall-clock duration.
 func (s SpanSnapshot) Duration() time.Duration { return time.Duration(s.DurationNS) }
+
+// Self returns the span's exclusive self time (duration minus children).
+func (s SpanSnapshot) Self() time.Duration { return time.Duration(s.SelfNS) }
 
 // Spans returns a snapshot of the recorded span forest.
 func (r *Recorder) Spans() []SpanSnapshot {
@@ -195,10 +215,10 @@ func (r *Recorder) Spans() []SpanSnapshot {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return snapshotSpans(r.roots)
+	return snapshotSpans(r.roots, r.epoch)
 }
 
-func snapshotSpans(spans []*Span) []SpanSnapshot {
+func snapshotSpans(spans []*Span, epoch time.Time) []SpanSnapshot {
 	if len(spans) == 0 {
 		return nil
 	}
@@ -208,23 +228,39 @@ func snapshotSpans(spans []*Span) []SpanSnapshot {
 		if !s.ended {
 			d = time.Since(s.start)
 		}
+		children := snapshotSpans(s.children, epoch)
+		self := int64(d)
+		for _, c := range children {
+			self -= c.DurationNS
+		}
+		if self < 0 {
+			self = 0
+		}
 		out[i] = SpanSnapshot{
 			Name:       s.name,
+			StartNS:    int64(s.start.Sub(epoch)),
 			DurationNS: int64(d),
-			Children:   snapshotSpans(s.children),
+			SelfNS:     self,
+			Children:   children,
 		}
 	}
 	return out
 }
 
-// WriteText writes a human-readable span tree followed by the counters,
-// sorted by name. It is what the clusteragg -trace flag prints.
+// WriteText writes a human-readable span tree (total and exclusive self
+// time per span) followed by the counters, gauges, and histograms, each
+// section sorted by name. Every section's iteration order is deterministic,
+// so two recorders holding the same metric values produce byte-identical
+// output (the golden test in text_golden_test.go pins this). It is what the
+// clusteragg -trace flag prints.
 func (r *Recorder) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	spans := r.Spans()
 	counters := r.Counters()
+	gauges := r.Gauges()
+	histograms := r.Histograms()
 	if len(spans) > 0 {
 		if _, err := fmt.Fprintln(w, "spans (wall clock):"); err != nil {
 			return err
@@ -237,17 +273,34 @@ func (r *Recorder) WriteText(w io.Writer) error {
 		if _, err := fmt.Fprintln(w, "counters:"); err != nil {
 			return err
 		}
-		names := make([]string, 0, len(counters))
-		width := 0
-		for name := range counters {
-			names = append(names, name)
-			if len(name) > width {
-				width = len(name)
+		for _, name := range sortedKeys(counters) {
+			if _, err := fmt.Fprintf(w, "  %-*s %12d\n", keyWidth(counters), name, counters[name]); err != nil {
+				return err
 			}
 		}
-		sort.Strings(names)
-		for _, name := range names {
-			if _, err := fmt.Fprintf(w, "  %-*s %12d\n", width, name, counters[name]); err != nil {
+	}
+	if len(gauges) > 0 {
+		if _, err := fmt.Fprintln(w, "gauges:"); err != nil {
+			return err
+		}
+		for _, name := range sortedKeys(gauges) {
+			if _, err := fmt.Fprintf(w, "  %-*s %12g\n", keyWidth(gauges), name, gauges[name]); err != nil {
+				return err
+			}
+		}
+	}
+	if len(histograms) > 0 {
+		if _, err := fmt.Fprintln(w, "histograms:"); err != nil {
+			return err
+		}
+		for _, name := range sortedKeys(histograms) {
+			h := histograms[name]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			if _, err := fmt.Fprintf(w, "  %-*s count=%d sum=%g mean=%g\n",
+				keyWidth(histograms), name, h.Count, h.Sum, mean); err != nil {
 				return err
 			}
 		}
@@ -255,10 +308,32 @@ func (r *Recorder) WriteText(w io.Writer) error {
 	return nil
 }
 
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// keyWidth returns the widest key length, for column alignment.
+func keyWidth[V any](m map[string]V) int {
+	w := 0
+	for k := range m {
+		if len(k) > w {
+			w = len(k)
+		}
+	}
+	return w
+}
+
 func writeSpanTree(w io.Writer, spans []SpanSnapshot, depth int) error {
 	for _, s := range spans {
 		pad := 2 * depth
-		if _, err := fmt.Fprintf(w, "%*s%-*s %12s\n", pad, "", 40-pad, s.Name, s.Duration().Round(time.Microsecond)); err != nil {
+		if _, err := fmt.Fprintf(w, "%*s%-*s %12s self %12s\n", pad, "", 40-pad, s.Name,
+			s.Duration().Round(time.Microsecond), s.Self().Round(time.Microsecond)); err != nil {
 			return err
 		}
 		if err := writeSpanTree(w, s.Children, depth+1); err != nil {

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProgressEvent is one throttled progress observation from a running
+// algorithm stage. Done/Total are the stage's own work units (merges for
+// AGGLOMERATIVE, sweeps for LOCALSEARCH, objects for SAMPLING's assignment,
+// artifacts for cmd/experiments); Total is 0 when the stage cannot bound its
+// work up front. Moves and Improved are LOCALSEARCH extras: accepted moves
+// so far and the cumulative objective improvement (instance cost scale)
+// since the starting clustering — the current cost is the initial cost minus
+// Improved, without the O(n²) scan computing the initial cost would take.
+type ProgressEvent struct {
+	// Stage names the emitting stage ("agglomerative", "localsearch",
+	// "sample:assign", "experiments").
+	Stage string
+	// Done and Total are work units completed / expected (Total 0 = unknown).
+	Done, Total int64
+	// Moves counts LOCALSEARCH's accepted moves so far (0 elsewhere).
+	Moves int64
+	// Improved is LOCALSEARCH's cumulative cost improvement (0 elsewhere).
+	Improved float64
+}
+
+// String formats the event as a single stderr-ticker line.
+func (e ProgressEvent) String() string {
+	s := e.Stage + " " + fmt.Sprint(e.Done)
+	if e.Total > 0 {
+		s += "/" + fmt.Sprint(e.Total)
+	}
+	if e.Moves > 0 {
+		s += fmt.Sprintf(" moves=%d", e.Moves)
+	}
+	if e.Improved > 0 {
+		s += fmt.Sprintf(" improved=%.4g", e.Improved)
+	}
+	return s
+}
+
+// Progress delivers throttled ProgressEvents to a callback. Algorithms call
+// Emit from their hot loops — including concurrently, from worker
+// goroutines — and Progress guarantees the throttling contract:
+//
+//   - at most one event is delivered per Every interval (a lock-free
+//     compare-and-swap on the last-emit time elects the emitting goroutine,
+//     so losers pay two atomic ops and no lock);
+//   - a completion event (Total > 0 and Done >= Total) is always delivered,
+//     bypassing the throttle, so every stage's final state is observed;
+//   - the callback is never invoked concurrently with itself (a mutex
+//     serializes delivery), so a stderr ticker needs no locking of its own.
+//
+// A nil *Progress ignores Emit, costing one nil check — algorithms never
+// need to guard, and results are bit-identical with and without one
+// attached (instrumentation observes, never steers).
+type Progress struct {
+	fn    func(ProgressEvent)
+	every int64 // ns between deliveries
+	last  atomic.Int64
+	mu    sync.Mutex
+}
+
+// DefaultProgressInterval is the throttle interval used when NewProgress is
+// given a non-positive one.
+const DefaultProgressInterval = 500 * time.Millisecond
+
+// NewProgress wraps fn in a throttle delivering at most one event per every
+// (non-positive means DefaultProgressInterval). A nil fn returns a nil
+// Progress, so call sites can pass an optional callback through untouched.
+func NewProgress(fn func(ProgressEvent), every time.Duration) *Progress {
+	if fn == nil {
+		return nil
+	}
+	if every <= 0 {
+		every = DefaultProgressInterval
+	}
+	return &Progress{fn: fn, every: int64(every)}
+}
+
+// Emit offers an event for delivery under the throttling contract above.
+func (p *Progress) Emit(e ProgressEvent) {
+	if p == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	if e.Total > 0 && e.Done >= e.Total {
+		// Completion events always deliver.
+		p.last.Store(now)
+		p.mu.Lock()
+		p.fn(e)
+		p.mu.Unlock()
+		return
+	}
+	last := p.last.Load()
+	if now-last < p.every || !p.last.CompareAndSwap(last, now) {
+		return // inside the window, or another goroutine won this slot
+	}
+	p.mu.Lock()
+	p.fn(e)
+	p.mu.Unlock()
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestProgressNilSafety(t *testing.T) {
+	if NewProgress(nil, time.Second) != nil {
+		t.Error("nil fn should yield a nil Progress")
+	}
+	var p *Progress
+	p.Emit(ProgressEvent{Stage: "x", Done: 1}) // must not panic
+}
+
+func TestProgressThrottles(t *testing.T) {
+	var n atomic.Int64
+	p := NewProgress(func(ProgressEvent) { n.Add(1) }, time.Hour)
+	for i := 0; i < 1000; i++ {
+		p.Emit(ProgressEvent{Stage: "s", Done: int64(i), Total: 2000})
+	}
+	if got := n.Load(); got != 1 {
+		t.Errorf("1000 emits in one window delivered %d events, want 1", got)
+	}
+}
+
+func TestProgressCompletionBypassesThrottle(t *testing.T) {
+	var events []ProgressEvent
+	p := NewProgress(func(e ProgressEvent) { events = append(events, e) }, time.Hour)
+	p.Emit(ProgressEvent{Stage: "s", Done: 1, Total: 10}) // consumes the window
+	p.Emit(ProgressEvent{Stage: "s", Done: 5, Total: 10}) // throttled
+	p.Emit(ProgressEvent{Stage: "s", Done: 10, Total: 10})
+	p.Emit(ProgressEvent{Stage: "s", Done: 10, Total: 10}) // completion repeats too
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3: %+v", len(events), events)
+	}
+	if events[1].Done != 10 || events[2].Done != 10 {
+		t.Errorf("completion events missing: %+v", events)
+	}
+	// Total 0 (unknown) never counts as completion.
+	p.Emit(ProgressEvent{Stage: "s", Done: 99})
+	if len(events) != 3 {
+		t.Errorf("Total=0 event treated as completion: %+v", events)
+	}
+}
+
+func TestProgressConcurrentEmitSerialized(t *testing.T) {
+	var inFn atomic.Int32
+	var delivered atomic.Int64
+	p := NewProgress(func(ProgressEvent) {
+		if inFn.Add(1) != 1 {
+			t.Error("callback invoked concurrently with itself")
+		}
+		delivered.Add(1)
+		inFn.Add(-1)
+	}, time.Nanosecond) // effectively unthrottled
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p.Emit(ProgressEvent{Stage: "s", Done: int64(i), Total: 1000})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if delivered.Load() == 0 {
+		t.Error("no events delivered")
+	}
+}
+
+func TestProgressEventString(t *testing.T) {
+	cases := []struct {
+		e    ProgressEvent
+		want string
+	}{
+		{ProgressEvent{Stage: "agglomerative", Done: 5, Total: 99}, "agglomerative 5/99"},
+		{ProgressEvent{Stage: "sample:assign", Done: 8192}, "sample:assign 8192"},
+		{
+			ProgressEvent{Stage: "localsearch", Done: 3, Total: 100, Moves: 42, Improved: 12.5},
+			"localsearch 3/100 moves=42 improved=12.5",
+		},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
+func TestDefaultProgressInterval(t *testing.T) {
+	p := NewProgress(func(ProgressEvent) {}, 0)
+	if p.every != int64(DefaultProgressInterval) {
+		t.Errorf("every = %d, want default %d", p.every, DefaultProgressInterval)
+	}
+}

@@ -9,7 +9,14 @@ import (
 // ReportSchemaVersion identifies the RunReport JSON layout. Bump it on any
 // field rename or semantic change so downstream diff tooling can detect
 // incompatible trajectories.
-const ReportSchemaVersion = 1
+//
+// Version history:
+//
+//	1 — counters + spans (PR 1).
+//	2 — adds the gauges and histograms sections, and start_ns/self_ns on
+//	    every span. Version-1 reports remain readable: the new fields
+//	    decode to their zero values, and cmd/benchdiff accepts both.
+const ReportSchemaVersion = 2
 
 // RunReport is the machine-readable record of one run: problem shape,
 // method, objective values, wall time, and everything the Recorder
@@ -39,15 +46,21 @@ type RunReport struct {
 	// Metrics holds run-specific headline numbers (classification error,
 	// time ratios, ...) keyed by a short name.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
-	// Counters and Spans are the Recorder's snapshots.
-	Counters map[string]int64 `json:"counters,omitempty"`
-	Spans    []SpanSnapshot   `json:"spans,omitempty"`
+	// Counters, Gauges, Histograms, and Spans are the Recorder's snapshots
+	// (gauges and histograms since schema_version 2).
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      []SpanSnapshot               `json:"spans,omitempty"`
 }
 
-// FillFrom copies the recorder's counters and spans into the report.
+// FillFrom copies the recorder's counters, gauges, histograms, and spans
+// into the report.
 func (r *RunReport) FillFrom(rec *Recorder) {
 	r.SchemaVersion = ReportSchemaVersion
 	r.Counters = rec.Counters()
+	r.Gauges = rec.Gauges()
+	r.Histograms = rec.Histograms()
 	r.Spans = rec.Spans()
 }
 

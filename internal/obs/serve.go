@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the opt-in HTTP exposition of a Recorder: Prometheus text on
+// /metrics, the process's expvar JSON on /debug/vars, and the runtime/pprof
+// handlers on /debug/pprof/. Nothing here runs unless Serve is called (the
+// CLIs' -listen flag), so a run without it pays nothing. A scrape locks the
+// registry only against concurrent metric *registration* — metric writes
+// are plain atomic ops that take no lock and are never blocked by a scrape
+// — and reads every value in a single pass of atomic loads, so a snapshot
+// is consistent per metric and costs the instrumented run nothing.
+
+// MetricsServer is a live metrics endpoint bound to a Recorder. The bound
+// recorder is swappable (SetRecorder), so a process that uses one recorder
+// per run — cmd/experiments runs one per artifact — exposes whichever run is
+// current.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+	rec atomic.Pointer[Recorder]
+}
+
+// expvarOnce guards the process-global expvar publication: expvar.Publish
+// panics on duplicate names, and tests start several servers.
+var (
+	expvarOnce sync.Once
+	// expvarServer is the most recently started server; the published
+	// expvar Func snapshots its current recorder.
+	expvarServer atomic.Pointer[MetricsServer]
+)
+
+// Serve starts an HTTP server on addr (host:port; ":0" picks a free port)
+// exposing rec. Endpoints:
+//
+//	/metrics      Prometheus text: counters (…_total), gauges, histograms
+//	/debug/vars   expvar JSON (cmdline, memstats, and a "clusteragg" var
+//	              holding the recorder's counters and gauges)
+//	/debug/pprof/ the standard runtime profiling handlers
+//
+// It returns once the listener is bound; requests are served on a
+// background goroutine until Close. rec may be nil (endpoints then expose
+// an empty registry) and may be swapped later with SetRecorder.
+func Serve(addr string, rec *Recorder) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &MetricsServer{ln: ln}
+	s.rec.Store(rec)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, s.Recorder())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	expvarServer.Store(s)
+	expvarOnce.Do(func() {
+		expvar.Publish("clusteragg", expvar.Func(func() any {
+			srv := expvarServer.Load()
+			if srv == nil {
+				return nil
+			}
+			rec := srv.Recorder()
+			return map[string]any{
+				"counters": rec.Counters(),
+				"gauges":   rec.Gauges(),
+			}
+		}))
+	})
+
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // Close's ErrServerClosed is expected
+	return s, nil
+}
+
+// Addr returns the server's bound address (resolving a requested ":0").
+func (s *MetricsServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Recorder returns the currently bound recorder (possibly nil).
+func (s *MetricsServer) Recorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.rec.Load()
+}
+
+// SetRecorder rebinds the server to rec. Safe concurrently with scrapes.
+func (s *MetricsServer) SetRecorder(rec *Recorder) {
+	if s == nil {
+		return
+	}
+	s.rec.Store(rec)
+}
+
+// Close shuts the server down. A nil receiver is a no-op, so CLIs can defer
+// Close unconditionally.
+func (s *MetricsServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// promName maps a registry name to a valid Prometheus metric name:
+// prefixed with the subsystem, dots and other invalid runes to underscores
+// ("localsearch.sweeps" → "clusteragg_localsearch_sweeps").
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("clusteragg_")
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float the way Prometheus text expects (+Inf spelled
+// out).
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus writes the recorder's metrics in the Prometheus text
+// exposition format (version 0.0.4): every counter as a _total counter,
+// every gauge as a gauge, every histogram with cumulative _bucket series
+// plus _sum and _count. Families are sorted by name, so output order is
+// deterministic. A nil recorder writes nothing.
+func WritePrometheus(w io.Writer, rec *Recorder) {
+	if rec == nil {
+		return
+	}
+	counters := rec.Counters()
+	for _, name := range sortedKeys(counters) {
+		pn := promName(name) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name])
+	}
+	gauges := rec.Gauges()
+	for _, name := range sortedKeys(gauges) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(gauges[name]))
+	}
+	histograms := rec.Histograms()
+	names := make([]string, 0, len(histograms))
+	for name := range histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(bound), cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+		fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", pn, cum)
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// get fetches path from the server and returns status and body.
+func get(t *testing.T, s *MetricsServer, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	rec := New()
+	rec.Add("localsearch.sweeps", 7)
+	rec.SetGauge("localsearch.clusters", 3)
+	h := rec.Histogram("materialize.seconds", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	s, err := Serve("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, body := get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE clusteragg_localsearch_sweeps_total counter",
+		"clusteragg_localsearch_sweeps_total 7",
+		"# TYPE clusteragg_localsearch_clusters gauge",
+		"clusteragg_localsearch_clusters 3",
+		"# TYPE clusteragg_materialize_seconds histogram",
+		`clusteragg_materialize_seconds_bucket{le="0.01"} 1`,
+		`clusteragg_materialize_seconds_bucket{le="0.1"} 2`,
+		`clusteragg_materialize_seconds_bucket{le="+Inf"} 3`,
+		"clusteragg_materialize_seconds_sum 5.055",
+		"clusteragg_materialize_seconds_count 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestServeDebugVars(t *testing.T) {
+	rec := New()
+	rec.Add("sample.size", 42)
+	rec.SetGauge("live", 1.5)
+	s, err := Serve("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, body := get(t, s, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars struct {
+		Clusteragg struct {
+			Counters map[string]int64   `json:"counters"`
+			Gauges   map[string]float64 `json:"gauges"`
+		} `json:"clusteragg"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if vars.Clusteragg.Counters["sample.size"] != 42 || vars.Clusteragg.Gauges["live"] != 1.5 {
+		t.Errorf("clusteragg expvar = %+v", vars.Clusteragg)
+	}
+}
+
+func TestServePprofIndex(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, body := get(t, s, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "heap") {
+		t.Errorf("/debug/pprof/ status %d, heap link present %v", code, strings.Contains(body, "heap"))
+	}
+}
+
+func TestServeSetRecorder(t *testing.T) {
+	first := New()
+	first.Add("runs", 1)
+	s, err := Serve("127.0.0.1:0", first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Recorder() != first {
+		t.Fatal("Recorder() != bound recorder")
+	}
+
+	second := New()
+	second.Add("runs", 2)
+	s.SetRecorder(second)
+	_, body := get(t, s, "/metrics")
+	if !strings.Contains(body, "clusteragg_runs_total 2") {
+		t.Errorf("scrape did not follow SetRecorder:\n%s", body)
+	}
+
+	// A nil recorder exposes an empty (not erroring) registry.
+	s.SetRecorder(nil)
+	code, body := get(t, s, "/metrics")
+	if code != http.StatusOK || strings.Contains(body, "clusteragg_runs_total") {
+		t.Errorf("nil recorder scrape: status %d body %q", code, body)
+	}
+}
+
+func TestServeNilReceivers(t *testing.T) {
+	var s *MetricsServer
+	if s.Addr() != "" || s.Recorder() != nil {
+		t.Error("nil server exposes state")
+	}
+	s.SetRecorder(New())
+	if err := s.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"localsearch.sweeps": "clusteragg_localsearch_sweeps",
+		"sample:assign":      "clusteragg_sample:assign",
+		"a-b c/2":            "clusteragg_a_b_c_2",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// This file serializes the recorded span forest to Chrome trace_event JSON
+// ("JSON Object Format": {"traceEvents": [...]}), loadable in Perfetto or
+// chrome://tracing. Every span becomes one complete ("X") event; timestamps
+// are microseconds from the Recorder's epoch, so spans line up on one
+// timeline. Spans whose intervals nest render nested on a single track, but
+// concurrent siblings — the parallel stages' worker spans started with
+// StartChild — overlap without containment, which a single track cannot
+// draw; the exporter lays those out onto additional tracks (tids) greedily,
+// keeping every span on its parent's track unless it overlaps an earlier
+// sibling there.
+
+// traceEvent is one trace_event entry. Ph "X" is a complete event with a
+// duration; Ph "M" is metadata (process/thread names).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds from epoch
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// laneLayout allocates tracks. Lane 1 is the first track of pid's timeline;
+// overlapping siblings spill to fresh lanes.
+type laneLayout struct {
+	events   []traceEvent
+	nextLane int
+}
+
+// place emits span s on lane and lays out its children: each child prefers
+// the first already-used slot (its parent's lane first) whose previous
+// occupant ended before the child starts, and otherwise opens a fresh lane.
+// Children arrive in start order (spans append in Start order), so the
+// greedy scan is the classic interval-partitioning argument: the lane count
+// equals the maximum sibling overlap.
+func (l *laneLayout) place(s SpanSnapshot, pid, lane int) {
+	l.events = append(l.events, traceEvent{
+		Name: s.Name,
+		Ph:   "X",
+		TS:   float64(s.StartNS) / 1e3,
+		Dur:  float64(s.DurationNS) / 1e3,
+		PID:  pid,
+		TID:  lane,
+		Args: map[string]any{"self_us": float64(s.SelfNS) / 1e3},
+	})
+	type slot struct {
+		lane int
+		end  int64
+	}
+	slots := []slot{{lane: lane, end: 0}} // parent's lane, free for the first child
+	for _, c := range s.Children {
+		placed := false
+		for i := range slots {
+			if slots[i].end <= c.StartNS {
+				slots[i].end = c.StartNS + c.DurationNS
+				l.place(c, pid, slots[i].lane)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			l.nextLane++
+			slots = append(slots, slot{lane: l.nextLane, end: c.StartNS + c.DurationNS})
+			l.place(c, pid, l.nextLane)
+		}
+	}
+}
+
+// WriteTrace writes one process's span forest as Chrome trace_event JSON.
+// name labels the process in the viewer (the run's method or file name).
+func WriteTrace(w io.Writer, name string, spans []SpanSnapshot) error {
+	return writeTraceProcesses(w, []TraceProcess{{Name: name, Spans: spans}})
+}
+
+// TraceProcess is one named timeline in a multi-process trace export —
+// cmd/experiments exports each artifact as its own process so Perfetto
+// shows them stacked.
+type TraceProcess struct {
+	Name  string
+	Spans []SpanSnapshot
+}
+
+// WriteTraceProcesses writes several span forests as one trace, one process
+// (pid) per entry.
+func WriteTraceProcesses(w io.Writer, procs []TraceProcess) error {
+	return writeTraceProcesses(w, procs)
+}
+
+func writeTraceProcesses(w io.Writer, procs []TraceProcess) error {
+	var events []traceEvent
+	for i, p := range procs {
+		pid := i + 1
+		events = append(events, traceEvent{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  pid,
+			TID:  0,
+			Args: map[string]any{"name": p.Name},
+		})
+		l := &laneLayout{nextLane: 1}
+		for _, root := range p.Spans {
+			// Roots are sequential phases of one run; they share lane 1.
+			l.place(root, pid, 1)
+		}
+		events = append(events, l.events...)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteTraceFile writes a single-process trace to path ("-" means stdout).
+// It is the -tracefile flag's implementation.
+func WriteTraceFile(path, name string, spans []SpanSnapshot) error {
+	return writeTraceFileProcs(path, []TraceProcess{{Name: name, Spans: spans}})
+}
+
+// WriteTraceFileProcesses writes a multi-process trace to path ("-" means
+// stdout).
+func WriteTraceFileProcesses(path string, procs []TraceProcess) error {
+	return writeTraceFileProcs(path, procs)
+}
+
+func writeTraceFileProcs(path string, procs []TraceProcess) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return writeTraceProcesses(w, procs)
+}
