@@ -21,10 +21,11 @@ race: test-race
 test-race:
 	$(GO) test -race ./...
 
-# The full gate: compile, vet, tests, the race detector, one pass of the
-# distance-kernel benchmarks (a smoke test that they still run), and the
-# bench-report regression diff against the committed baseline.
-check: build vet test test-race bench-short benchdiff
+# The full gate: compile, vet, tests, the race detector, the obs coverage
+# floor, one pass of the distance-kernel benchmarks (a smoke test that they
+# still run), and the bench-report regression diff against the committed
+# baseline.
+check: build vet test test-race cover bench-short benchdiff
 
 # Regression gate: regenerate the bench report and diff it against the
 # committed BENCH_experiments.json (counters exact, cost to float tolerance,
@@ -36,8 +37,20 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff BENCH_experiments.json $$tmp; \
 	st=$$?; rm -f $$tmp; exit $$st
 
+# The telemetry layer is the one subsystem every algorithm and both CLIs
+# depend on, so its statement coverage is gated: the build fails when
+# internal/obs drops below the floor.
+OBS_COVER_FLOOR ?= 85.0
+
 cover:
-	$(GO) test -cover ./...
+	@tmp=$$(mktemp /tmp/obscover.XXXXXX.out); \
+	$(GO) test -coverprofile=$$tmp ./internal/obs/ >/dev/null && \
+	total=$$($(GO) tool cover -func=$$tmp | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	st=$$?; rm -f $$tmp; \
+	if [ $$st -ne 0 ] || [ -z "$$total" ]; then echo "cover: failed to measure internal/obs"; exit 1; fi; \
+	echo "internal/obs coverage: $$total% (floor $(OBS_COVER_FLOOR)%)"; \
+	awk "BEGIN { exit !($$total >= $(OBS_COVER_FLOOR)) }" || \
+		{ echo "cover: internal/obs coverage $$total% is below the $(OBS_COVER_FLOOR)% floor"; exit 1; }
 
 # The distance-kernel suite: block materialization vs the naive build,
 # LOCALSEARCH row fast path vs generic, the incremental LOCALSEARCH kernel

@@ -10,8 +10,8 @@
 //
 // Both inputs may be a BenchReport (cmd/experiments -report: one RunReport
 // per artifact) or a single RunReport (clusteragg -report). Schema versions
-// 1 and 2 both parse; the version-2-only sections (gauges, histograms) are
-// diffed only when present on both sides.
+// 1 through 3 all parse; sections a version lacks (gauges, histograms,
+// series) are diffed only when present on both sides.
 //
 // What is compared, per artifact matched by name:
 //
@@ -23,6 +23,10 @@
 //     the current run is a regression; a new counter is a note.
 //   - cost and headline metrics: relative tolerance -metric-tol.
 //   - gauges: same treatment as metrics (schema 2 both sides).
+//   - series (schema 3): the final point's value — the converged endpoint
+//     of the trajectory, deterministic at a fixed seed — under -metric-tol.
+//     Intermediate points and wall_ns components are never compared: the
+//     former shift with downsampling cadence, the latter with the machine.
 //   - wall time: current must stay under baseline × -wall-ratio (generous
 //     by default — wall clock is the one machine-dependent axis that cannot
 //     be pinned exactly; 0 disables).
@@ -30,14 +34,14 @@
 // Names matching -ignore are skipped entirely. The default pattern drops
 // the known machine-dependent series: *.workers counters (resolved
 // GOMAXPROCS), localsearch.proposals (scales with the worker count), and
-// every timing-derived metric (seconds, time_ratio, linearity_ratio
-// suffixes — including histogram-backed *.seconds series).
+// every timing-derived metric (seconds, time_ratio, linearity_ratio,
+// throughput suffixes — including histogram-backed *.seconds series and
+// the timing-bearing convergence series).
 //
 // Exit status: 0 clean, 1 regression, 2 usage or unreadable input.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -51,7 +55,7 @@ import (
 
 // defaultIgnore matches the counter/metric names whose values depend on the
 // machine (worker count, timing) rather than on the algorithms.
-const defaultIgnore = `\.workers$|^localsearch\.proposals$|seconds$|time_ratio$|linearity_ratio$`
+const defaultIgnore = `\.workers$|^localsearch\.proposals$|seconds$|time_ratio$|linearity_ratio$|throughput$`
 
 // defaultWallRatio is deliberately generous: the baseline may come from a
 // different machine, and wall time is the one compared axis that legitimately
@@ -103,12 +107,12 @@ func run(args []string, out, errw io.Writer) int {
 		o.ignore = re
 	}
 
-	base, err := readReport(fs.Arg(0))
+	base, err := obs.ReadReportFile(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintf(errw, "benchdiff: baseline: %v\n", err)
 		return 2
 	}
-	cur, err := readReport(fs.Arg(1))
+	cur, err := obs.ReadReportFile(fs.Arg(1))
 	if err != nil {
 		fmt.Fprintf(errw, "benchdiff: current: %v\n", err)
 		return 2
@@ -122,34 +126,6 @@ func run(args []string, out, errw io.Writer) int {
 		return 1
 	}
 	return 0
-}
-
-// readReport loads a BenchReport, accepting a bare RunReport (clusteragg
-// -report output) by wrapping it as a one-artifact report.
-func readReport(path string) (obs.BenchReport, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return obs.BenchReport{}, err
-	}
-	var probe map[string]json.RawMessage
-	if err := json.Unmarshal(data, &probe); err != nil {
-		return obs.BenchReport{}, fmt.Errorf("%s: %w", path, err)
-	}
-	if _, isBench := probe["artifacts"]; isBench {
-		var b obs.BenchReport
-		if err := json.Unmarshal(data, &b); err != nil {
-			return obs.BenchReport{}, fmt.Errorf("%s: %w", path, err)
-		}
-		return b, nil
-	}
-	var r obs.RunReport
-	if err := json.Unmarshal(data, &r); err != nil {
-		return obs.BenchReport{}, fmt.Errorf("%s: %w", path, err)
-	}
-	if r.Name == "" {
-		r.Name = "(run)"
-	}
-	return obs.BenchReport{SchemaVersion: r.SchemaVersion, Artifacts: []obs.RunReport{r}}, nil
 }
 
 type differ struct {
@@ -239,6 +215,7 @@ func (d *differ) diffArtifact(base, cur obs.RunReport) {
 
 	d.diffFloats(name, "metric", base.Metrics, cur.Metrics)
 	d.diffFloats(name, "gauge", base.Gauges, cur.Gauges)
+	d.diffSeries(name, base.Series, cur.Series)
 
 	if d.opts.wallRatio > 0 && base.WallNS > 0 && cur.WallNS > int64(float64(base.WallNS)*d.opts.wallRatio) {
 		d.regress(name, "wall time %.3fs -> %.3fs (over %.1fx budget)",
@@ -272,6 +249,53 @@ func (d *differ) diffFloats(name, kind string, base, cur map[string]float64) {
 			d.note(name, "%s %s added (%g)", kind, k, cur[k])
 		}
 	}
+}
+
+// diffSeries compares convergence trajectories by their final value only:
+// the endpoint is the converged objective, deterministic at a fixed seed,
+// while intermediate points shift with downsampling cadence and wall_ns
+// with the machine, so neither is gated on.
+func (d *differ) diffSeries(name string, base, cur map[string]obs.SeriesSnapshot) {
+	for _, k := range sortedKeys(base) {
+		if d.ignored(k) {
+			continue
+		}
+		bs := base[k]
+		cs, ok := cur[k]
+		if !ok {
+			d.regress(name, "series %s removed (had %d points)", k, len(bs.Points))
+			continue
+		}
+		bv, bok := seriesFinal(bs)
+		if !bok {
+			continue
+		}
+		cv, cok := seriesFinal(cs)
+		if !cok {
+			d.regress(name, "series %s has no points (baseline final %g)", k, bv)
+			continue
+		}
+		if relDelta(bv, cv) <= d.opts.metricTol {
+			if d.opts.verbose {
+				fmt.Fprintf(d.out, "ok %s: series %s final = %g\n", name, k, cv)
+			}
+			continue
+		}
+		d.regress(name, "series %s final %g -> %g", k, bv, cv)
+	}
+	for _, k := range sortedKeys(cur) {
+		if _, ok := base[k]; !ok && !d.ignored(k) {
+			d.note(name, "series %s added (%d points)", k, len(cur[k].Points))
+		}
+	}
+}
+
+// seriesFinal is the value of the trajectory's last retained point.
+func seriesFinal(ss obs.SeriesSnapshot) (float64, bool) {
+	if len(ss.Points) == 0 {
+		return 0, false
+	}
+	return ss.Points[len(ss.Points)-1].Value, true
 }
 
 // relDelta is the relative deviation of cur from base, falling back to the

@@ -44,6 +44,19 @@ func baseReport() obs.BenchReport {
 				},
 				Metrics: map[string]float64{"ec": 0.125, "seconds": 2.0},
 				Gauges:  map[string]float64{"localsearch.clusters": 5},
+				Series: map[string]obs.SeriesSnapshot{
+					"localsearch.cost": {
+						Points: []obs.SeriesPoint{
+							{Step: 0, WallNS: 100, Value: 2000},
+							{Step: 3, WallNS: 900, Value: 1234.5},
+						},
+						Count: 4, Stride: 1,
+					},
+					"sample.assign.throughput": {
+						Points: []obs.SeriesPoint{{Step: 50, WallNS: 10, Value: 5e6}},
+						Count:  1, Stride: 1,
+					},
+				},
 			},
 		},
 	}
@@ -135,6 +148,53 @@ func TestWallTimeBudget(t *testing.T) {
 	}
 	if code, out = runDiff(t, []string{"-wall-ratio", "0"}, baseReport(), cur); code != 0 {
 		t.Fatalf("-wall-ratio=0 still failed: exit %d\n%s", code, out)
+	}
+}
+
+// TestPerturbedSeriesEndpointFails pins the trajectory gate: a drifted
+// final series value is a regression, while drifts confined to wall_ns
+// components, intermediate points, or timing-suffixed series pass.
+func TestPerturbedSeriesEndpointFails(t *testing.T) {
+	cur := baseReport()
+	ls := cur.Artifacts[0].Series["localsearch.cost"]
+	ls.Points = append([]obs.SeriesPoint(nil), ls.Points...)
+	ls.Points[len(ls.Points)-1].Value = 1230 // perturbed endpoint
+	cur.Artifacts[0].Series["localsearch.cost"] = ls
+	code, out := runDiff(t, nil, baseReport(), cur)
+	if code != 1 || !strings.Contains(out, "series localsearch.cost final 1234.5 -> 1230") {
+		t.Fatalf("perturbed series endpoint: exit %d\n%s", code, out)
+	}
+}
+
+func TestSeriesTimingComponentsIgnored(t *testing.T) {
+	cur := baseReport()
+	ls := cur.Artifacts[0].Series["localsearch.cost"]
+	ls.Points = append([]obs.SeriesPoint(nil), ls.Points...)
+	ls.Points[0].Value = 2500   // intermediate point drifts
+	ls.Points[1].WallNS = 77777 // machine time drifts
+	cur.Artifacts[0].Series["localsearch.cost"] = ls
+	cur.Artifacts[0].Series["sample.assign.throughput"] = obs.SeriesSnapshot{
+		Points: []obs.SeriesPoint{{Step: 50, WallNS: 99, Value: 9e6}}, // timing series drifts
+		Count:  1, Stride: 1,
+	}
+	code, out := runDiff(t, nil, baseReport(), cur)
+	if code != 0 {
+		t.Fatalf("non-endpoint series drift flagged: exit %d\n%s", code, out)
+	}
+}
+
+func TestRemovedAndAddedSeries(t *testing.T) {
+	cur := baseReport()
+	delete(cur.Artifacts[0].Series, "localsearch.cost")
+	cur.Artifacts[0].Series["agglomerative.merge_loss"] = obs.SeriesSnapshot{
+		Points: []obs.SeriesPoint{{Step: 1, Value: 0.5}}, Count: 1, Stride: 1,
+	}
+	code, out := runDiff(t, nil, baseReport(), cur)
+	if code != 1 || !strings.Contains(out, "series localsearch.cost removed") {
+		t.Fatalf("removed series: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "NOTE fig9: series agglomerative.merge_loss added") {
+		t.Fatalf("added series should be a note:\n%s", out)
 	}
 }
 

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strings"
+
+	"clusteragg/internal/asciiplot"
+	"clusteragg/internal/obs"
+)
+
+// runAnalyze implements the `clusteragg analyze` subcommand: it loads one
+// JSON run report (a bare clusteragg -report or a cmd/experiments
+// BenchReport) and renders every recorded convergence series as an ASCII
+// line chart. With a second report as baseline, matching series are
+// overlaid on one chart and their final values diffed.
+//
+// Flags:
+//
+//	-series RE   only plot series whose name matches the regexp
+//	-width N     chart width in columns (default 64)
+//	-height N    chart height in rows (default 12)
+func runAnalyze(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	seriesPat := fs.String("series", "", "only plot series whose name matches this regexp")
+	width := fs.Int("width", 64, "chart width in columns")
+	height := fs.Int("height", 12, "chart height in rows")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: clusteragg analyze [flags] <report.json> [baseline.json]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 || fs.NArg() > 2 {
+		fs.Usage()
+		return fmt.Errorf("expected 1 or 2 report files, got %d", fs.NArg())
+	}
+	var filter *regexp.Regexp
+	if *seriesPat != "" {
+		var err error
+		if filter, err = regexp.Compile(*seriesPat); err != nil {
+			return fmt.Errorf("-series: %w", err)
+		}
+	}
+
+	report, err := obs.ReadReportFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var baseline map[string]obs.RunReport
+	if fs.NArg() == 2 {
+		base, err := obs.ReadReportFile(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		baseline = make(map[string]obs.RunReport, len(base.Artifacts))
+		for _, a := range base.Artifacts {
+			baseline[a.Name] = a
+		}
+	}
+
+	plotted := 0
+	for _, art := range report.Artifacts {
+		names := make([]string, 0, len(art.Series))
+		for name := range art.Series {
+			if filter == nil || filter.MatchString(name) {
+				names = append(names, name)
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "== %s", art.Name)
+		if art.Method != "" {
+			fmt.Fprintf(w, " (%s, n=%d)", art.Method, art.N)
+		}
+		fmt.Fprintln(w)
+		for _, name := range names {
+			ss := art.Series[name]
+			charted := [][]asciiplot.XY{toXY(ss)}
+			legend := fmt.Sprintf("%c %s", asciiplot.LineGlyph(0), name)
+			var baseSS obs.SeriesSnapshot
+			hasBase := false
+			if base, ok := baseline[art.Name]; ok {
+				if baseSS, hasBase = base.Series[name]; hasBase {
+					charted = append(charted, toXY(baseSS))
+					legend += fmt.Sprintf("   %c baseline", asciiplot.LineGlyph(1))
+				}
+			}
+			fmt.Fprintf(w, "\n-- %s  (%d points of %d appends)\n", name, len(ss.Points), ss.Count)
+			if hasBase {
+				fmt.Fprintln(w, legend)
+			}
+			fmt.Fprint(w, asciiplot.Lines(charted, *width, *height))
+			if final, ok := finalValue(ss); ok {
+				fmt.Fprintf(w, "final: %g", final)
+				if hasBase {
+					if baseFinal, ok := finalValue(baseSS); ok {
+						fmt.Fprintf(w, "  baseline: %g  delta: %+g", baseFinal, final-baseFinal)
+						if baseFinal != 0 {
+							fmt.Fprintf(w, " (%+.2f%%)", 100*(final-baseFinal)/baseFinal)
+						}
+					}
+				}
+				fmt.Fprintln(w)
+			}
+			plotted++
+		}
+		fmt.Fprintln(w)
+	}
+	if plotted == 0 {
+		return fmt.Errorf("no series in %s%s (reports from schema version 3 on carry them)",
+			fs.Arg(0), filterNote(filter))
+	}
+	return nil
+}
+
+func toXY(ss obs.SeriesSnapshot) []asciiplot.XY {
+	pts := make([]asciiplot.XY, len(ss.Points))
+	for i, p := range ss.Points {
+		pts[i] = asciiplot.XY{X: float64(p.Step), Y: p.Value}
+	}
+	return pts
+}
+
+func finalValue(ss obs.SeriesSnapshot) (float64, bool) {
+	if len(ss.Points) == 0 {
+		return 0, false
+	}
+	return ss.Points[len(ss.Points)-1].Value, true
+}
+
+func filterNote(filter *regexp.Regexp) string {
+	if filter == nil {
+		return ""
+	}
+	return " matching -series " + strings.TrimSpace(filter.String())
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// analyzeReport produces a real -report file to feed the analyze
+// subcommand: a localsearch run so the report carries a cost trajectory.
+func analyzeReport(t *testing.T) string {
+	t.Helper()
+	path := bestofCSV(t)
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	cfg := base()
+	cfg.method = "localsearch"
+	cfg.header = true
+	cfg.summary = true
+	cfg.report = reportPath
+	if err := run(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return reportPath
+}
+
+func TestAnalyzeRendersConvergencePlot(t *testing.T) {
+	reportPath := analyzeReport(t)
+	var buf bytes.Buffer
+	if err := runAnalyze([]string{reportPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"-- localsearch.cost",
+		"-- cost_over_lower_bound",
+		"final:",
+		"+----", // the chart frame
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeSeriesFilter(t *testing.T) {
+	reportPath := analyzeReport(t)
+	var buf bytes.Buffer
+	if err := runAnalyze([]string{"-series", "^localsearch", reportPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "localsearch.cost") {
+		t.Errorf("filtered output missing localsearch.cost:\n%s", out)
+	}
+	if strings.Contains(out, "cost_over_lower_bound") {
+		t.Errorf("filter leaked non-matching series:\n%s", out)
+	}
+	// A filter matching nothing is an error, not silent empty output.
+	if err := runAnalyze([]string{"-series", "nosuchseries", reportPath}, &buf); err == nil {
+		t.Error("expected an error for a filter matching no series")
+	}
+}
+
+func TestAnalyzeDiffTwoReports(t *testing.T) {
+	reportPath := analyzeReport(t)
+	var buf bytes.Buffer
+	if err := runAnalyze([]string{reportPath, reportPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"baseline:", "delta: +0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runAnalyze(nil, &buf); err == nil {
+		t.Error("expected a usage error with no arguments")
+	}
+	if err := runAnalyze([]string{"does-not-exist.json"}, &buf); err == nil {
+		t.Error("expected an error for a missing report file")
+	}
+	// A pre-series (v1/v2) report parses but has no trajectories to plot.
+	old := filepath.Join(t.TempDir(), "v1.json")
+	v1 := `{"schema_version":1,"n":4,"cost":2,"wall_ns":10,"counters":{"x":1}}`
+	if err := os.WriteFile(old, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runAnalyze([]string{old}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "no series") {
+		t.Errorf("v1 report: got %v, want a no-series error", err)
+	}
+}

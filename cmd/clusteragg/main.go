@@ -6,8 +6,13 @@
 // Usage:
 //
 //	clusteragg [flags] <file.csv>
+//	clusteragg analyze [flags] <report.json> [baseline.json]
 //
 // Reading from standard input: pass "-" as the file name.
+//
+// The analyze subcommand renders the convergence series recorded in a JSON
+// run report (-report) as ASCII plots; with a second report it also diffs
+// the two trajectories. See analyze.go for its flags.
 //
 // Flags:
 //
@@ -92,6 +97,13 @@ type cliConfig struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		if err := runAnalyze(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "clusteragg analyze: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var cfg cliConfig
 	flag.StringVar(&cfg.method, "method", "agglomerative", "aggregation method: best|balls|agglomerative|furthest|localsearch|pivot|anneal|bestof")
 	flag.Float64Var(&cfg.alpha, "alpha", corrclust.RecommendedBallsAlpha, "BALLS alpha: the paper's experimental value 0.4 (Section 4); Theorem 1's 3-approximation bound holds at 0.25")
@@ -238,6 +250,9 @@ func run(path string, cfg cliConfig) error {
 	evalSpan := rec.Start("evaluate")
 	disagreement := problem.Disagreement(labels)
 	lowerBound := problem.LowerBound()
+	if lowerBound > 0 {
+		rec.Series("cost_over_lower_bound").Append(0, disagreement/lowerBound)
+	}
 	evalSpan.End()
 	fmt.Printf("# n=%d attributes=%d clusters=%d disagreement=%.0f lower-bound=%.0f\n",
 		tab.N(), problem.M(), labels.K(), disagreement, lowerBound)
@@ -263,7 +278,10 @@ func run(path string, cfg cliConfig) error {
 		}
 	}
 	if cfg.tracefile != "" {
-		if err := obs.WriteTraceFile(cfg.tracefile, "clusteragg "+methodName, rec.Spans()); err != nil {
+		procs := []obs.TraceProcess{{
+			Name: "clusteragg " + methodName, Spans: rec.Spans(), Series: rec.AllSeries(),
+		}}
+		if err := obs.WriteTraceFileProcesses(cfg.tracefile, procs); err != nil {
 			return fmt.Errorf("tracefile: %w", err)
 		}
 	}

@@ -100,8 +100,8 @@ func TestRunReportSchema(t *testing.T) {
 	sort.Strings(got)
 	want := []string{
 		"clusters", "cost", "counters", "gauges", "histograms",
-		"lower_bound", "m", "method", "n", "schema_version", "spans",
-		"wall_ns", "workers",
+		"lower_bound", "m", "method", "n", "schema_version", "series",
+		"spans", "wall_ns", "workers",
 	}
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Errorf("report keys = %v, want %v", got, want)
@@ -154,6 +154,23 @@ func TestRunReportSchema(t *testing.T) {
 	}
 	if _, ok := rep.Gauges["localsearch.clusters"]; !ok {
 		t.Error("gauge localsearch.clusters missing from report")
+	}
+	// Schema v3 additions: convergence series. bestof races LOCALSEARCH, so
+	// its cost trajectory must be present, along with the race series and
+	// the derived quality ratio.
+	for _, key := range []string{
+		"localsearch.cost", "localsearch.moves", "bestof.cost",
+		"bestof.method.seconds", "cost_over_lower_bound",
+	} {
+		ss, ok := rep.Series[key]
+		if !ok || len(ss.Points) == 0 {
+			t.Errorf("series %s missing or empty in report", key)
+		}
+	}
+	if ss := rep.Series["cost_over_lower_bound"]; len(ss.Points) > 0 {
+		if v := ss.Points[len(ss.Points)-1].Value; v < 1 {
+			t.Errorf("cost_over_lower_bound = %g, want >= 1", v)
+		}
 	}
 }
 
@@ -260,6 +277,12 @@ func TestRunTraceFile(t *testing.T) {
 	for _, span := range []string{"load", "bestof", "evaluate"} {
 		if !names["X:"+span] {
 			t.Errorf("tracefile missing span %q", span)
+		}
+	}
+	// Convergence series ride along as counter events.
+	for _, series := range []string{"localsearch.cost", "bestof.cost"} {
+		if !names["C:"+series] {
+			t.Errorf("tracefile missing counter events for series %q", series)
 		}
 	}
 }

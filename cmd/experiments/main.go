@@ -153,7 +153,9 @@ func (r *reporter) begin(artifact string, cfg experiments.Config) (experiments.C
 	start := time.Now()
 	return cfg, func(metrics map[string]float64) {
 		if r.collectTrace {
-			r.traces = append(r.traces, obs.TraceProcess{Name: artifact, Spans: rec.Spans()})
+			r.traces = append(r.traces, obs.TraceProcess{
+				Name: artifact, Spans: rec.Spans(), Series: rec.AllSeries(),
+			})
 		}
 		if !r.enabled {
 			return

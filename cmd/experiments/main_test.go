@@ -62,6 +62,9 @@ func TestRunCollectsTraces(t *testing.T) {
 	if len(rep.traces[0].Spans) == 0 {
 		t.Error("fig4 trace process has no spans")
 	}
+	if len(rep.traces[0].Series) == 0 {
+		t.Error("fig4 trace process has no series for counter events")
+	}
 	if len(rep.reports) != 0 {
 		t.Errorf("reports accumulated without -report: %d", len(rep.reports))
 	}
@@ -107,6 +110,17 @@ func TestRunWithReporter(t *testing.T) {
 		}
 		if len(r.Counters) == 0 {
 			t.Errorf("%s: no counters collected", r.Name)
+		}
+		if len(r.Series) == 0 {
+			t.Errorf("%s: no convergence series collected", r.Name)
+		}
+	}
+	// The Section-5 table protocol runs LOCALSEARCH and rates every row
+	// against the lower bound, so its report carries both headline series.
+	table2 := rep.reports[0]
+	for _, key := range []string{"localsearch.cost", "cost_over_lower_bound", "agglomerative.merge_loss", "limbo.merge_loss"} {
+		if len(table2.Series[key].Points) == 0 {
+			t.Errorf("table2: series %s missing or empty", key)
 		}
 	}
 }

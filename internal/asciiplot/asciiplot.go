@@ -1,9 +1,13 @@
 // Package asciiplot renders labeled two-dimensional point sets as text
-// scatter plots, used by the example programs and the experiment CLI to
-// show the Figure 3 / Figure 4 cluster structure in a terminal.
+// scatter plots (used by the example programs and the experiment CLI to
+// show the Figure 3 / Figure 4 cluster structure in a terminal) and
+// numeric series as line charts (used by `clusteragg analyze` to show
+// convergence trajectories).
 package asciiplot
 
 import (
+	"fmt"
+	"math"
 	"strings"
 
 	"clusteragg/internal/partition"
@@ -50,6 +54,110 @@ func Scatter(pts []points.Point, labels partition.Labels, width, height int) str
 		grid[row][col] = ch
 	}
 	return render(grid)
+}
+
+// XY is one sample of a line chart: an x position (typically a step or
+// iteration index) and the value observed there.
+type XY struct {
+	X, Y float64
+}
+
+// lineGlyphs assigns one character per series in a Lines chart; series
+// beyond the set wrap around.
+const lineGlyphs = "*+o#x%@&"
+
+// LineGlyph reports the glyph Lines uses for the i-th series, so callers
+// can print a matching legend.
+func LineGlyph(i int) byte {
+	if i < 0 {
+		i = 0
+	}
+	return lineGlyphs[i%len(lineGlyphs)]
+}
+
+// Lines renders one or more series as a width×height ASCII line chart
+// framed by axes, with the y range labeled on the first and last rows and
+// the x range below the frame. Consecutive points of a series are joined
+// by linear interpolation across columns; where series overlap, the
+// later-indexed series wins the cell.
+func Lines(series [][]XY, width, height int) string {
+	if width < 1 {
+		width = 64
+	}
+	if height < 1 {
+		height = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range series {
+		for _, p := range s {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+			n++
+		}
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	if n > 0 {
+		spanX, spanY := maxX-minX, maxY-minY
+		if spanX == 0 {
+			spanX = 1
+		}
+		if spanY == 0 {
+			spanY = 1
+		}
+		col := func(x float64) int { return int((x - minX) / spanX * float64(width-1)) }
+		rowOf := func(y float64) int { return int((maxY - y) / spanY * float64(height-1)) }
+		for si, s := range series {
+			g := LineGlyph(si)
+			for i, p := range s {
+				grid[rowOf(p.Y)][col(p.X)] = g
+				if i == 0 {
+					continue
+				}
+				q := s[i-1]
+				c0, c1 := col(q.X), col(p.X)
+				for c := c0 + 1; c < c1; c++ {
+					t := float64(c-c0) / float64(c1-c0)
+					grid[rowOf(q.Y+t*(p.Y-q.Y))][c] = g
+				}
+			}
+		}
+	}
+	yTop, yBot := "", ""
+	if n > 0 {
+		yTop, yBot = fmt.Sprintf("%.4g", maxY), fmt.Sprintf("%.4g", minY)
+	}
+	gutter := len(yTop)
+	if len(yBot) > gutter {
+		gutter = len(yBot)
+	}
+	var b strings.Builder
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = yTop
+		case height - 1:
+			label = yBot
+		}
+		fmt.Fprintf(&b, "%*s |", gutter, label)
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", gutter, "", strings.Repeat("-", width))
+	if n > 0 {
+		xl, xr := fmt.Sprintf("%.4g", minX), fmt.Sprintf("%.4g", maxX)
+		pad := width - len(xl) - len(xr)
+		if pad < 1 {
+			pad = 1
+		}
+		fmt.Fprintf(&b, "%*s  %s%s%s\n", gutter, "", xl, strings.Repeat(" ", pad), xr)
+	}
+	return b.String()
 }
 
 func render(grid [][]byte) string {

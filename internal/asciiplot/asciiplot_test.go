@@ -57,3 +57,62 @@ func TestScatterDefaultsAndShortLabels(t *testing.T) {
 		t.Error("unlabeled point not rendered as '.'")
 	}
 }
+
+func TestLinesEndpointsAndAxes(t *testing.T) {
+	series := [][]XY{{{X: 0, Y: 1}, {X: 9, Y: 10}}}
+	out := Lines(series, 10, 5)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 5 grid rows + axis rule + x labels.
+	if len(lines) != 7 {
+		t.Fatalf("%d lines, want 7:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "10 |") {
+		t.Errorf("top row %q missing y-max label", lines[0])
+	}
+	if !strings.HasPrefix(lines[4], " 1 |") {
+		t.Errorf("bottom row %q missing y-min label", lines[4])
+	}
+	// (0,1) is bottom-left of the grid, (9,10) top-right.
+	if lines[4][4] != '*' {
+		t.Errorf("bottom-left cell = %q, want '*'", lines[4][4])
+	}
+	if lines[0][13] != '*' {
+		t.Errorf("top-right cell = %q, want '*'", lines[0][13])
+	}
+	// Interpolation fills the columns between the two endpoints.
+	if strings.Count(out, "*") < 10 {
+		t.Errorf("expected an interpolated line, got:\n%s", out)
+	}
+	if !strings.Contains(lines[6], "0") || !strings.Contains(lines[6], "9") {
+		t.Errorf("x labels missing from %q", lines[6])
+	}
+}
+
+func TestLinesMultiSeriesGlyphs(t *testing.T) {
+	series := [][]XY{
+		{{X: 0, Y: 0}, {X: 1, Y: 0}},
+		{{X: 0, Y: 1}, {X: 1, Y: 1}},
+	}
+	out := Lines(series, 12, 4)
+	if !strings.Contains(out, string(LineGlyph(0))) {
+		t.Error("series 0 glyph missing")
+	}
+	if !strings.Contains(out, string(LineGlyph(1))) {
+		t.Error("series 1 glyph missing")
+	}
+	if LineGlyph(0) != LineGlyph(len(lineGlyphs)) {
+		t.Error("glyphs do not wrap")
+	}
+}
+
+func TestLinesEmptyAndConstant(t *testing.T) {
+	out := Lines(nil, 8, 3)
+	if !strings.Contains(out, "+--------") {
+		t.Errorf("empty chart missing frame:\n%s", out)
+	}
+	// A constant series must not divide by a zero span.
+	out = Lines([][]XY{{{X: 0, Y: 5}, {X: 3, Y: 5}}, {}}, 8, 3)
+	if !strings.Contains(out, "5 |") {
+		t.Errorf("constant series missing y label:\n%s", out)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"clusteragg/internal/corrclust"
 	"clusteragg/internal/obs"
@@ -277,14 +278,16 @@ func (p *Problem) BestOf(methods []Method, opts AggregateOptions) (partition.Lab
 	}
 
 	type raced struct {
-		labels partition.Labels
-		cost   float64
-		err    error
+		labels  partition.Labels
+		cost    float64
+		elapsed time.Duration
+		err     error
 	}
 	results := make([]raced, len(methods))
 	run := func(i int, method Method) {
 		mopts := opts
 		mopts.Rand = rngs[i] // nil for the deterministic methods, which ignore it
+		start := time.Now()
 		msp := span.StartChild("method:" + method.Slug())
 		defer msp.End()
 		labels, err := p.aggregateOn(inst, method, mopts, msp)
@@ -295,7 +298,7 @@ func (p *Problem) BestOf(methods []Method, opts AggregateOptions) (partition.Lab
 		// The per-candidate cost evaluation is part of racing this method,
 		// so its probes are charged to the method's dist_probes counter.
 		cost := corrclust.Cost(counting(inst, rec, method.Slug()+".dist_probes"), labels)
-		results[i] = raced{labels: labels, cost: cost}
+		results[i] = raced{labels: labels, cost: cost, elapsed: time.Since(start)}
 	}
 
 	workers := effectiveWorkers(opts.Workers)
@@ -333,6 +336,18 @@ func (p *Problem) BestOf(methods []Method, opts AggregateOptions) (partition.Lab
 		}
 		if best == nil || r.cost < bestCost {
 			best, bestMethod, bestCost = r.labels, method, r.cost
+		}
+	}
+	if rec != nil {
+		// Race trajectory, appended in method order after the race so the
+		// points are deterministic regardless of scheduling: each method's
+		// candidate cost (step = method index) and its elapsed race time
+		// (timing-bearing; the ".seconds" suffix keeps benchdiff away).
+		costSeries := rec.Series("bestof.cost")
+		elapsedSeries := rec.Series("bestof.method.seconds")
+		for i := range methods {
+			costSeries.Append(int64(i), results[i].cost)
+			elapsedSeries.Append(int64(i), results[i].elapsed.Seconds())
 		}
 	}
 	return best, bestMethod, nil

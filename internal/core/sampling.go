@@ -169,9 +169,11 @@ func (p *Problem) assignReference(rec *obs.Recorder, progress *obs.Progress, lab
 	n, k := p.n, len(members)
 	var oracle corrclust.Instance = p
 	var batchHist *obs.Histogram
+	var tpSeries *obs.Series
 	if rec != nil {
 		oracle = obs.Count(p, rec.Counter("sample.assign.dist_probes"))
 		batchHist = rec.Histogram("sample.assign.batch.seconds", nil)
+		tpSeries = rec.Series("sample.assign.throughput")
 	}
 	var done atomic.Int64
 	counts := make([][2]int64, workers) // assigned, fresh per stripe
@@ -186,12 +188,19 @@ func (p *Problem) assignReference(rec *obs.Recorder, progress *obs.Progress, lab
 			if inBatch == 0 {
 				return
 			}
+			d := done.Add(int64(inBatch))
 			if batchHist != nil {
-				batchHist.Observe(time.Since(batchStart).Seconds())
+				sec := time.Since(batchStart).Seconds()
+				batchHist.Observe(sec)
+				// Per-batch throughput (objects/s), stepped by the shared
+				// scan position. Timing-bearing, so benchdiff ignores it.
+				if sec > 0 {
+					tpSeries.Append(d, float64(inBatch)/sec)
+				}
 				batchStart = time.Now()
 			}
 			progress.Emit(obs.ProgressEvent{
-				Stage: "sample:assign", Done: done.Add(int64(inBatch)), Total: int64(n),
+				Stage: "sample:assign", Done: d, Total: int64(n),
 			})
 			inBatch = 0
 		}
@@ -292,8 +301,10 @@ func (p *Problem) assignKernel(rec *obs.Recorder, progress *obs.Progress, labels
 	}
 	rec.Add("sample.assign.dist_probes", int64(n-sampleSize)*int64(sampleSize))
 	var batchHist *obs.Histogram
+	var tpSeries *obs.Series
 	if rec != nil {
 		batchHist = rec.Histogram("sample.assign.batch.seconds", nil)
+		tpSeries = rec.Series("sample.assign.throughput")
 	}
 	var done atomic.Int64
 
@@ -350,11 +361,18 @@ func (p *Problem) assignKernel(rec *obs.Recorder, progress *obs.Progress, labels
 					counts[stripe][0]++
 				}
 			}
+			d := done.Add(int64(bHi - bLo))
 			if batchHist != nil {
-				batchHist.Observe(time.Since(batchStart).Seconds())
+				sec := time.Since(batchStart).Seconds()
+				batchHist.Observe(sec)
+				// Per-batch throughput (objects/s), stepped by the shared
+				// scan position. Timing-bearing, so benchdiff ignores it.
+				if sec > 0 {
+					tpSeries.Append(d, float64(bHi-bLo)/sec)
+				}
 			}
 			progress.Emit(obs.ProgressEvent{
-				Stage: "sample:assign", Done: done.Add(int64(bHi - bLo)), Total: int64(n),
+				Stage: "sample:assign", Done: d, Total: int64(n),
 			})
 		}
 	}
@@ -457,6 +475,13 @@ func (p *Problem) reclusterSingletons(labels partition.Labels, method Method, ag
 	}
 	if err != nil {
 		return err
+	}
+	if rec := aggOpts.Recorder; rec != nil && len(singles) <= reclusterCap {
+		// Post-recluster quality: the disagreement cost of the re-aggregated
+		// singleton subset on its own sub-problem. Instrumentation-only and
+		// capped at reclusterCap objects, so the O(|singles|²) scan never
+		// touches the near-linear main path.
+		rec.Series("sample.recluster.cost").Append(int64(len(singles)), sub.Disagreement(subLabels))
 	}
 
 	base := 0

@@ -14,8 +14,9 @@ type AgglomerativeOptions struct {
 	// parameter-free stopping rule.
 	K int
 	// Recorder, when non-nil, receives the agglomerative.* counters (heap
-	// pushes, pops, merges, stale pops). Nil records nothing and costs
-	// nothing.
+	// pushes, pops, merges, stale pops) and the agglomerative.merge_loss
+	// series (the accepted candidate's average distance, one point per
+	// merge). Nil records nothing and costs nothing.
 	Recorder *obs.Recorder
 	// Progress, when non-nil, receives throttled events as merges apply:
 	// Done is the merge count so far, Total the n−1 merges a run to a single
@@ -118,6 +119,11 @@ func AgglomerativeWithOptions(inst Instance, opts AgglomerativeOptions) partitio
 	}
 
 	var pops, stale, merges int64
+	// Merge-loss trajectory: the accepted candidate's average distance is
+	// exactly the per-pair cost the merge trades for, so the series is the
+	// greedy "loss per merge" curve rising toward the 0.5 stopping
+	// threshold. A nil recorder yields a nil series and the append no-ops.
+	lossSeries := opts.Recorder.Series("agglomerative.merge_loss")
 	labels := partition.Singletons(n)
 	clusters := n
 	for h.Len() > 0 && clusters > 1 {
@@ -136,6 +142,7 @@ func AgglomerativeWithOptions(inst Instance, opts AgglomerativeOptions) partitio
 		}
 		state.merge(cand.a, cand.b, h, k)
 		merges++
+		lossSeries.Append(merges, cand.avg)
 		for _, i := range members[cand.b] {
 			labels[i] = cand.a
 		}

@@ -38,9 +38,12 @@ type LocalSearchOptions struct {
 	// Recorder, when non-nil, receives the localsearch.* counters (sweeps,
 	// accepted moves, early convergence, delta updates, column refreshes,
 	// parallel proposals), the localsearch.sweep.seconds latency histogram
-	// (one observation per pass), and the localsearch.clusters /
-	// localsearch.improvement gauges updated at every sweep boundary. Nil
-	// records nothing and costs nothing.
+	// (one observation per pass), the localsearch.clusters /
+	// localsearch.improvement gauges updated at every sweep boundary, and
+	// the localsearch.{cost,moves,refreshes} convergence series with one
+	// point per sweep (cost additionally gets a step-0 point for the
+	// starting clustering, anchored by a one-time O(n²) scan). Nil records
+	// nothing and costs nothing.
 	Recorder *obs.Recorder
 	// Progress, when non-nil, receives one throttled event per sweep: Done
 	// is the sweep number, Total the pass cap, Moves the accepted moves so
@@ -142,8 +145,21 @@ func LocalSearch(inst Instance, opts LocalSearchOptions) partition.Labels {
 	// so an uninstrumented run pays only nil checks.
 	rec := opts.Recorder
 	var sweepHist *obs.Histogram
+	var costSeries, movesSeries, refreshSeries *obs.Series
+	var initialCost float64
 	if rec != nil {
 		sweepHist = rec.Histogram("localsearch.sweep.seconds", nil)
+		// Convergence series: the disagreement cost after every sweep, plus
+		// the accepted-move and delta-refresh cadence. The kernel maintains
+		// the cumulative improvement exactly, so one O(n²) scan of the
+		// starting clustering anchors the whole trajectory — instrumented
+		// runs pay it once, uninstrumented runs never do, and the scan reads
+		// nothing but distances, so labels stay bit-identical either way.
+		costSeries = rec.Series("localsearch.cost")
+		movesSeries = rec.Series("localsearch.moves")
+		refreshSeries = rec.Series("localsearch.refreshes")
+		initialCost = Cost(inst, ker.labels)
+		costSeries.Append(0, initialCost)
 	}
 
 	var sweeps int64
@@ -164,6 +180,9 @@ func LocalSearch(inst Instance, opts LocalSearchOptions) partition.Labels {
 			sweepHist.Observe(time.Since(sweepStart).Seconds())
 			rec.SetGauge("localsearch.clusters", float64(len(ker.live)))
 			rec.SetGauge("localsearch.improvement", ker.improvement)
+			costSeries.Append(sweeps, initialCost-ker.improvement)
+			movesSeries.Append(sweeps, float64(ker.moves))
+			refreshSeries.Append(sweeps, float64(ker.refreshes))
 		}
 		if !improved {
 			converged = true

@@ -76,7 +76,7 @@ func CensusSampling(cfg Config) (*CensusResult, error) {
 		return nil, err
 	}
 
-	limboLabels, err := limbo.Run(t, limbo.Options{K: 2, Phi: 1.0})
+	limboLabels, err := limbo.Run(t, limbo.Options{K: 2, Phi: 1.0, Recorder: cfg.Recorder})
 	if err != nil {
 		return nil, err
 	}

@@ -67,15 +67,27 @@ func catTable(t *dataset.Table, cfg Config, rockRuns []rock.Options, limboRuns [
 	matrix := problem.MatrixWorkers(cfg.Workers)
 	res := &CatTableResult{Dataset: t.Name, N: t.N(), M: problem.M()}
 
+	// Every row's E_D lands in the quality series as its ratio over the
+	// table's lower bound (step = row index), so a report shows at a glance
+	// how far each algorithm sits from optimal — the approximation-quality
+	// axis ROADMAP #4 asks for. The lower bound is computed below anyway;
+	// the series costs nothing extra.
+	lbED := float64(problem.M()) * corrclust.LowerBound(matrix)
+	qualitySeries := rec.Series("cost_over_lower_bound")
+
 	addLabeled := func(name string, labels partition.Labels) error {
 		ec, err := eval.ClassificationError(labels, t.Class)
 		if err != nil {
 			return fmt.Errorf("experiments: %s row %s: %w", t.Name, name, err)
 		}
+		ed := float64(problem.M()) * corrclust.Cost(matrix, labels)
 		res.Rows = append(res.Rows, TableRow{
 			Name: name, K: labels.K(), EC: ec, HasEC: true,
-			ED: float64(problem.M()) * corrclust.Cost(matrix, labels), Labels: labels,
+			ED: ed, Labels: labels,
 		})
+		if lbED > 0 {
+			qualitySeries.Append(int64(len(res.Rows)-1), ed/lbED)
+		}
 		return nil
 	}
 
@@ -84,10 +96,7 @@ func catTable(t *dataset.Table, cfg Config, rockRuns []rock.Options, limboRuns [
 		return nil, err
 	}
 	// Lower bound row.
-	res.Rows = append(res.Rows, TableRow{
-		Name: "Lower bound",
-		ED:   float64(problem.M()) * corrclust.LowerBound(matrix),
-	})
+	res.Rows = append(res.Rows, TableRow{Name: "Lower bound", ED: lbED})
 
 	type aggRun struct {
 		name   string
@@ -125,6 +134,7 @@ func catTable(t *dataset.Table, cfg Config, rockRuns []rock.Options, limboRuns [
 		}
 	}
 	for _, lo := range limboRuns {
+		lo.Recorder = rec
 		labels, err := limbo.Run(t, lo)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: limbo on %s: %w", t.Name, err)

@@ -31,6 +31,7 @@ import (
 	"sort"
 
 	"clusteragg/internal/dataset"
+	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 )
 
@@ -54,6 +55,11 @@ type Options struct {
 	// summary buffer using the same φ merge test — simpler and, for small
 	// summary budgets, nearly identical in output. The tree is the default.
 	FlatBuffer bool
+	// Recorder, when non-nil, receives the limbo.merge_loss series: the
+	// information loss δI of each accepted Phase-2 AIB merge, one point per
+	// merge. Purely observational — labels are identical with and without
+	// it; nil records nothing and costs nothing.
+	Recorder *obs.Recorder
 }
 
 // Run clusters the categorical columns of t with LIMBO. Missing values are
@@ -96,7 +102,7 @@ func Run(t *dataset.Table, opts Options) (partition.Labels, error) {
 	if k > len(summaries) {
 		k = len(summaries)
 	}
-	group := aib(summaries, float64(n), k)
+	group := aib(summaries, float64(n), k, opts.Recorder.Series("limbo.merge_loss"))
 
 	// Phase 3: assign every tuple to the cluster with minimal merge loss.
 	clusters := make([]*feature, k)
@@ -289,7 +295,8 @@ func closestPair(summaries []*feature, n float64) (int, int) {
 
 // aib runs agglomerative information-bottleneck merging over the summaries
 // until k groups remain; returns the group index of each summary.
-func aib(summaries []*feature, n float64, k int) []int {
+// lossSeries (nil when uninstrumented) receives each accepted merge's δI.
+func aib(summaries []*feature, n float64, k int, lossSeries *obs.Series) []int {
 	s := len(summaries)
 	group := make([]int, s)
 	for i := range group {
@@ -314,11 +321,14 @@ func aib(summaries []*feature, n float64, k int) []int {
 		}
 	}
 	remaining := s
+	var merges int64
 	for remaining > k && h.Len() > 0 {
 		c := heap.Pop(h).(lossCand)
 		if !alive[c.a] || !alive[c.b] || version[c.a] != c.verA || version[c.b] != c.verB {
 			continue
 		}
+		merges++
+		lossSeries.Append(merges, c.loss)
 		work[c.a].absorb(work[c.b])
 		alive[c.b] = false
 		version[c.a]++

@@ -6,6 +6,7 @@ import (
 
 	"clusteragg/internal/dataset"
 	"clusteragg/internal/eval"
+	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 )
 
@@ -188,8 +189,41 @@ func TestAIBGroupCount(t *testing.T) {
 		{weight: 1, dist: map[int]float64{5: 1}},
 		{weight: 1, dist: map[int]float64{5: 0.9, 6: 0.1}},
 	}
-	group := aib(summaries, 4, 2)
+	group := aib(summaries, 4, 2, nil)
 	if group[0] != group[1] || group[2] != group[3] || group[0] == group[2] {
 		t.Errorf("aib grouping = %v", group)
+	}
+}
+
+// TestRunRecordsMergeLoss checks the limbo.merge_loss series: one point per
+// accepted AIB merge, non-decreasing losses (greedy pops cheapest first),
+// and labels unchanged by instrumentation.
+func TestRunRecordsMergeLoss(t *testing.T) {
+	tab := dataset.SyntheticVotes(3)
+	plain, err := Run(tab, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	instrumented, err := Run(tab, Options{K: 2, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != instrumented[i] {
+			t.Fatalf("recorder changed labels at %d: %v vs %v", i, plain, instrumented)
+		}
+	}
+	snap := rec.AllSeries()["limbo.merge_loss"]
+	if snap.Count == 0 {
+		t.Fatal("limbo.merge_loss series is empty")
+	}
+	for i, p := range snap.Points {
+		if p.Step != int64(i+1) {
+			t.Errorf("point %d step = %d, want %d", i, p.Step, i+1)
+		}
+		if p.Value < 0 {
+			t.Errorf("merge loss %g < 0", p.Value)
+		}
 	}
 }

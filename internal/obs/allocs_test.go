@@ -23,6 +23,13 @@ func TestNilRecorderZeroAllocs(t *testing.T) {
 	pinAllocs(t, "nil Recorder.Gauge", func() { r.Gauge("g").Add(1) })
 	pinAllocs(t, "nil Recorder.Observe", func() { r.Observe("h", 1) })
 	pinAllocs(t, "nil Recorder.Histogram", func() { r.Histogram("h", nil).Observe(1) })
+	pinAllocs(t, "nil Recorder.Series", func() { r.Series("s").Append(1, 2) })
+}
+
+func TestNilSeriesZeroAllocs(t *testing.T) {
+	var s *Series
+	pinAllocs(t, "nil Series.Append", func() { s.Append(1, 2) })
+	pinAllocs(t, "nil Series.Last", func() { s.Last() })
 }
 
 func TestNilSpanZeroAllocs(t *testing.T) {

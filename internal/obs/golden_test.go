@@ -22,6 +22,10 @@ func populate(r *Recorder, order []string) {
 			h := r.Histogram("lat", []float64{1, 2})
 			h.Observe(1)
 			h.Observe(3)
+		case "cost":
+			s := r.Series("localsearch.cost")
+			s.Append(0, 9)
+			s.Append(1, 5)
 		}
 	}
 }
@@ -38,10 +42,12 @@ gauges:
   z              1.5
 histograms:
   lat count=2 sum=4 mean=2
+series:
+  localsearch.cost points=2 count=2 last=5
 `
 	a, b := New(), New()
-	populate(a, []string{"moves", "merges", "alpha", "z", "lat"})
-	populate(b, []string{"lat", "z", "alpha", "merges", "moves"})
+	populate(a, []string{"moves", "merges", "alpha", "z", "lat", "cost"})
+	populate(b, []string{"cost", "lat", "z", "alpha", "merges", "moves"})
 	var outA, outB strings.Builder
 	if err := a.WriteText(&outA); err != nil {
 		t.Fatal(err)
@@ -62,24 +68,57 @@ histograms:
 // metric values always produce the same bytes regardless of how the
 // recorder was populated.
 func TestRunReportJSONGolden(t *testing.T) {
-	const want = `{"schema_version":2,"n":4,"cost":9,"wall_ns":0,` +
+	const want = `{"schema_version":3,"n":4,"cost":9,"wall_ns":0,` +
 		`"counters":{"agglomerative.merges":3,"localsearch.moves":12},` +
 		`"gauges":{"alpha":-2,"z":1.5},` +
-		`"histograms":{"lat":{"bounds":[1,2],"counts":[1,0,1],"count":2,"sum":4}}}`
+		`"histograms":{"lat":{"bounds":[1,2],"counts":[1,0,1],"count":2,"sum":4}},` +
+		`"series":{"localsearch.cost":{"points":` +
+		`[{"step":0,"wall_ns":0,"value":9},{"step":1,"wall_ns":0,"value":5}],` +
+		`"count":2,"stride":1}}}`
 	for _, order := range [][]string{
-		{"moves", "merges", "alpha", "z", "lat"},
-		{"lat", "z", "alpha", "merges", "moves"},
+		{"moves", "merges", "alpha", "z", "lat", "cost"},
+		{"cost", "lat", "z", "alpha", "merges", "moves"},
 	} {
 		r := New()
 		populate(r, order)
 		rep := RunReport{N: 4, Cost: 9}
 		rep.FillFrom(r)
+		// Point wall offsets are wall clock and cannot be golden; zero them.
+		for k, ss := range rep.Series {
+			for i := range ss.Points {
+				ss.Points[i].WallNS = 0
+			}
+			rep.Series[k] = ss
+		}
 		data, err := json.Marshal(rep)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if string(data) != want {
 			t.Errorf("order %v:\n%s\nwant:\n%s", order, data, want)
+		}
+	}
+}
+
+// TestReportBackCompat pins that schema-1 and schema-2 report bytes still
+// decode: sections those versions predate come back as their zero values.
+func TestReportBackCompat(t *testing.T) {
+	const v1 = `{"schema_version":1,"n":4,"cost":9,"wall_ns":7,` +
+		`"counters":{"localsearch.moves":12},` +
+		`"spans":[{"name":"aggregate","duration_ns":5}]}`
+	const v2 = `{"schema_version":2,"n":4,"cost":9,"wall_ns":7,` +
+		`"counters":{"localsearch.moves":12},"gauges":{"alpha":-2},` +
+		`"histograms":{"lat":{"bounds":[1,2],"counts":[1,0,1],"count":2,"sum":4}}}`
+	for name, data := range map[string]string{"v1": v1, "v2": v2} {
+		var r RunReport
+		if err := json.Unmarshal([]byte(data), &r); err != nil {
+			t.Fatalf("%s report no longer parses: %v", name, err)
+		}
+		if r.N != 4 || r.Cost != 9 || r.Counters["localsearch.moves"] != 12 {
+			t.Errorf("%s report lost fields: %+v", name, r)
+		}
+		if r.Series != nil {
+			t.Errorf("%s report grew a series section from nowhere: %+v", name, r.Series)
 		}
 	}
 }

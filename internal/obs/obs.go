@@ -39,6 +39,7 @@ type Recorder struct {
 	names      []string // counter names in first-registration order
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	series     map[string]*Series
 }
 
 // New returns an empty Recorder. Its construction time is the epoch all span
@@ -50,6 +51,7 @@ func New() *Recorder {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		series:     make(map[string]*Series),
 	}
 }
 
@@ -248,8 +250,8 @@ func snapshotSpans(spans []*Span, epoch time.Time) []SpanSnapshot {
 }
 
 // WriteText writes a human-readable span tree (total and exclusive self
-// time per span) followed by the counters, gauges, and histograms, each
-// section sorted by name. Every section's iteration order is deterministic,
+// time per span) followed by the counters, gauges, histograms, and series,
+// each section sorted by name. Every section's iteration order is deterministic,
 // so two recorders holding the same metric values produce byte-identical
 // output (the golden test in text_golden_test.go pins this). It is what the
 // clusteragg -trace flag prints.
@@ -261,6 +263,7 @@ func (r *Recorder) WriteText(w io.Writer) error {
 	counters := r.Counters()
 	gauges := r.Gauges()
 	histograms := r.Histograms()
+	series := r.AllSeries()
 	if len(spans) > 0 {
 		if _, err := fmt.Fprintln(w, "spans (wall clock):"); err != nil {
 			return err
@@ -301,6 +304,22 @@ func (r *Recorder) WriteText(w io.Writer) error {
 			}
 			if _, err := fmt.Fprintf(w, "  %-*s count=%d sum=%g mean=%g\n",
 				keyWidth(histograms), name, h.Count, h.Sum, mean); err != nil {
+				return err
+			}
+		}
+	}
+	if len(series) > 0 {
+		if _, err := fmt.Fprintln(w, "series:"); err != nil {
+			return err
+		}
+		for _, name := range sortedKeys(series) {
+			ss := series[name]
+			last := 0.0
+			if len(ss.Points) > 0 {
+				last = ss.Points[len(ss.Points)-1].Value
+			}
+			if _, err := fmt.Fprintf(w, "  %-*s points=%d count=%d last=%g\n",
+				keyWidth(series), name, len(ss.Points), ss.Count, last); err != nil {
 				return err
 			}
 		}

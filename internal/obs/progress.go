@@ -25,6 +25,11 @@ type ProgressEvent struct {
 	Moves int64
 	// Improved is LOCALSEARCH's cumulative cost improvement (0 elsewhere).
 	Improved float64
+	// ETA estimates the stage's remaining wall time, derived by the
+	// delivering Progress from the completion rate it has observed since the
+	// stage's first delivered event (0 when unknown: Total unbounded, first
+	// event of a stage, or a completion event). Emitters never set it.
+	ETA time.Duration
 }
 
 // String formats the event as a single stderr-ticker line.
@@ -38,6 +43,9 @@ func (e ProgressEvent) String() string {
 	}
 	if e.Improved > 0 {
 		s += fmt.Sprintf(" improved=%.4g", e.Improved)
+	}
+	if eta := e.ETA.Round(100 * time.Millisecond); eta > 0 {
+		s += " eta=" + eta.String()
 	}
 	return s
 }
@@ -62,6 +70,15 @@ type Progress struct {
 	every int64 // ns between deliveries
 	last  atomic.Int64
 	mu    sync.Mutex
+
+	// Rate tracking for ETA, guarded by mu: the stage whose events we are
+	// timing, the delivery time of its first event, and the Done value then.
+	// Estimating from the first *delivered* event (not the stage's start,
+	// which Progress never sees) cancels any constant per-unit cost and
+	// resets cleanly when a new stage starts emitting.
+	stage      string
+	stageStart int64
+	stageFirst int64
 }
 
 // DefaultProgressInterval is the throttle interval used when NewProgress is
@@ -90,16 +107,28 @@ func (p *Progress) Emit(e ProgressEvent) {
 	if e.Total > 0 && e.Done >= e.Total {
 		// Completion events always deliver.
 		p.last.Store(now)
-		p.mu.Lock()
-		p.fn(e)
-		p.mu.Unlock()
+		p.deliver(e, now)
 		return
 	}
 	last := p.last.Load()
 	if now-last < p.every || !p.last.CompareAndSwap(last, now) {
 		return // inside the window, or another goroutine won this slot
 	}
+	p.deliver(e, now)
+}
+
+// deliver stamps the event's ETA from the observed per-stage rate and hands
+// it to the callback, both under mu.
+func (p *Progress) deliver(e ProgressEvent, now int64) {
 	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e.Stage != p.stage {
+		p.stage, p.stageStart, p.stageFirst = e.Stage, now, e.Done
+	} else if e.Total > 0 && e.Done > p.stageFirst && e.Done < e.Total {
+		if elapsed := now - p.stageStart; elapsed > 0 {
+			rate := float64(e.Done-p.stageFirst) / float64(elapsed) // units per ns
+			e.ETA = time.Duration(float64(e.Total-e.Done) / rate)
+		}
+	}
 	p.fn(e)
-	p.mu.Unlock()
 }

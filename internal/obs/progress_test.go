@@ -91,6 +91,60 @@ func TestProgressEventString(t *testing.T) {
 	}
 }
 
+func TestProgressEventStringETA(t *testing.T) {
+	e := ProgressEvent{Stage: "agglomerative", Done: 5, Total: 99, ETA: 2300 * time.Millisecond}
+	if got, want := e.String(), "agglomerative 5/99 eta=2.3s"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	// Sub-resolution ETAs round away rather than printing "eta=0s".
+	e.ETA = 20 * time.Millisecond
+	if got, want := e.String(), "agglomerative 5/99"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// TestProgressETA pins the ETA derivation: the first delivered event of a
+// stage anchors the rate, later events of the same stage carry an estimate
+// from it, completion events do not, and a stage change re-anchors.
+func TestProgressETA(t *testing.T) {
+	var events []ProgressEvent
+	p := NewProgress(func(e ProgressEvent) { events = append(events, e) }, time.Nanosecond)
+
+	p.Emit(ProgressEvent{Stage: "a", Done: 10, Total: 100})
+	if events[0].ETA != 0 {
+		t.Errorf("first event of a stage has ETA %v, want 0", events[0].ETA)
+	}
+	time.Sleep(20 * time.Millisecond)
+	p.Emit(ProgressEvent{Stage: "a", Done: 55, Total: 100})
+	mid := events[1]
+	if mid.ETA <= 0 {
+		t.Fatalf("mid-stage event has no ETA: %+v", mid)
+	}
+	// 45 units in ~20ms leaves 45 more: the estimate must be the elapsed
+	// time scaled by remaining/observed — loosely bounded here because the
+	// sleep itself is imprecise.
+	if mid.ETA > time.Second {
+		t.Errorf("ETA %v wildly over for 45 remaining at 45/20ms", mid.ETA)
+	}
+
+	p.Emit(ProgressEvent{Stage: "a", Done: 100, Total: 100})
+	if last := events[len(events)-1]; last.ETA != 0 {
+		t.Errorf("completion event has ETA %v, want 0", last.ETA)
+	}
+
+	// New stage: no estimate until it has two delivered events.
+	time.Sleep(time.Millisecond)
+	p.Emit(ProgressEvent{Stage: "b", Done: 1, Total: 10})
+	if last := events[len(events)-1]; last.ETA != 0 {
+		t.Errorf("stage change did not reset the rate anchor: %+v", last)
+	}
+	time.Sleep(time.Millisecond)
+	p.Emit(ProgressEvent{Stage: "b", Done: 5, Total: 10})
+	if last := events[len(events)-1]; last.ETA <= 0 {
+		t.Errorf("second event of new stage has no ETA: %+v", last)
+	}
+}
+
 func TestDefaultProgressInterval(t *testing.T) {
 	p := NewProgress(func(ProgressEvent) {}, 0)
 	if p.every != int64(DefaultProgressInterval) {

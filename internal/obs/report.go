@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 )
@@ -16,7 +17,11 @@ import (
 //	2 — adds the gauges and histograms sections, and start_ns/self_ns on
 //	    every span. Version-1 reports remain readable: the new fields
 //	    decode to their zero values, and cmd/benchdiff accepts both.
-const ReportSchemaVersion = 2
+//	3 — adds the series section (convergence time-series per run).
+//	    Version-1 and -2 reports remain readable the same way: series
+//	    decodes to nil and every consumer treats that as "no trajectory
+//	    recorded".
+const ReportSchemaVersion = 3
 
 // RunReport is the machine-readable record of one run: problem shape,
 // method, objective values, wall time, and everything the Recorder
@@ -46,21 +51,24 @@ type RunReport struct {
 	// Metrics holds run-specific headline numbers (classification error,
 	// time ratios, ...) keyed by a short name.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
-	// Counters, Gauges, Histograms, and Spans are the Recorder's snapshots
-	// (gauges and histograms since schema_version 2).
+	// Counters, Gauges, Histograms, Series, and Spans are the Recorder's
+	// snapshots (gauges and histograms since schema_version 2, series since
+	// schema_version 3).
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Series     map[string]SeriesSnapshot    `json:"series,omitempty"`
 	Spans      []SpanSnapshot               `json:"spans,omitempty"`
 }
 
-// FillFrom copies the recorder's counters, gauges, histograms, and spans
-// into the report.
+// FillFrom copies the recorder's counters, gauges, histograms, series, and
+// spans into the report.
 func (r *RunReport) FillFrom(rec *Recorder) {
 	r.SchemaVersion = ReportSchemaVersion
 	r.Counters = rec.Counters()
 	r.Gauges = rec.Gauges()
 	r.Histograms = rec.Histograms()
+	r.Series = rec.AllSeries()
 	r.Spans = rec.Spans()
 }
 
@@ -71,6 +79,37 @@ type BenchReport struct {
 	SchemaVersion int         `json:"schema_version"`
 	Config        string      `json:"config,omitempty"`
 	Artifacts     []RunReport `json:"artifacts"`
+}
+
+// ReadReportFile loads a report file, accepting either a BenchReport
+// (cmd/experiments -report) or a bare RunReport (clusteragg -report), which
+// is wrapped as a one-artifact BenchReport. Every schema version parses:
+// sections a version predates decode to their zero values. It is the shared
+// loader behind cmd/benchdiff and `clusteragg analyze`.
+func ReadReportFile(path string) (BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchReport{}, err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return BenchReport{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if _, isBench := probe["artifacts"]; isBench {
+		var b BenchReport
+		if err := json.Unmarshal(data, &b); err != nil {
+			return BenchReport{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return b, nil
+	}
+	var r RunReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return BenchReport{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Name == "" {
+		r.Name = "(run)"
+	}
+	return BenchReport{SchemaVersion: r.SchemaVersion, Artifacts: []RunReport{r}}, nil
 }
 
 // WriteJSON writes v as indented JSON to path ("-" means stdout).

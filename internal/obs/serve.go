@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -8,10 +9,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file is the opt-in HTTP exposition of a Recorder: Prometheus text on
@@ -46,6 +50,11 @@ var (
 // exposing rec. Endpoints:
 //
 //	/metrics      Prometheus text: counters (…_total), gauges, histograms
+//	/series       JSON convergence time-series of the bound recorder
+//	              ({"series": {name: {points, count, stride}}}); safe to
+//	              scrape while the run is appending
+//	/healthz      liveness: 200 with {"status", "uptime_seconds"}
+//	/buildinfo    Go version, module path, and VCS revision of the binary
 //	/debug/vars   expvar JSON (cmdline, memstats, and a "clusteragg" var
 //	              holding the recorder's counters and gauges)
 //	/debug/pprof/ the standard runtime profiling handlers
@@ -60,11 +69,31 @@ func Serve(addr string, rec *Recorder) (*MetricsServer, error) {
 	}
 	s := &MetricsServer{ln: ln}
 	s.rec.Store(rec)
+	start := time.Now()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WritePrometheus(w, s.Recorder())
+	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		all := s.Recorder().AllSeries()
+		if all == nil {
+			all = map[string]SeriesSnapshot{}
+		}
+		writeJSONBody(w, map[string]any{"series": all})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSONBody(w, map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(start).Seconds(),
+		})
+	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSONBody(w, buildInfo())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -124,6 +153,46 @@ func (s *MetricsServer) Close() error {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// writeJSONBody encodes v to w; encoding a marshalable value to an HTTP
+// response can only fail on a dropped connection, which has no useful
+// recovery.
+func writeJSONBody(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v) //nolint:errcheck
+}
+
+// buildInfo summarizes the running binary: Go version, main module path,
+// and the VCS stamp (revision/time/modified) when the binary was built from
+// a checkout. Fields absent from the build record are omitted.
+func buildInfo() map[string]any {
+	info := map[string]any{"go_version": runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.GoVersion != "" {
+		info["go_version"] = bi.GoVersion
+	}
+	if bi.Path != "" {
+		info["path"] = bi.Path
+	}
+	if bi.Main.Version != "" {
+		info["main_version"] = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info["vcs_revision"] = s.Value
+		case "vcs.time":
+			info["vcs_time"] = s.Value
+		case "vcs.modified":
+			info["vcs_modified"] = s.Value
+		}
+	}
+	return info
 }
 
 // promName maps a registry name to a valid Prometheus metric name:

@@ -100,6 +100,110 @@ func TestServePprofIndex(t *testing.T) {
 	}
 }
 
+func TestServeSeriesEndpoint(t *testing.T) {
+	rec := New()
+	s := rec.Series("localsearch.cost")
+	s.Append(0, 9)
+	s.Append(1, 5)
+	srv, err := Serve("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, srv, "/series")
+	if code != http.StatusOK {
+		t.Fatalf("/series status %d", code)
+	}
+	var payload struct {
+		Series map[string]SeriesSnapshot `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("/series is not JSON: %v\n%s", err, body)
+	}
+	got := payload.Series["localsearch.cost"]
+	if got.Count != 2 || len(got.Points) != 2 || got.Points[1].Value != 5 {
+		t.Errorf("/series payload = %+v", payload.Series)
+	}
+
+	// Scraping stays well-formed while a writer appends concurrently.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(2); i < 500; i++ {
+			s.Append(i, float64(i))
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		code, body := get(t, srv, "/series")
+		if code != http.StatusOK {
+			t.Fatalf("live scrape status %d", code)
+		}
+		if err := json.Unmarshal([]byte(body), &payload); err != nil {
+			t.Fatalf("live scrape not JSON: %v", err)
+		}
+	}
+	<-done
+
+	// A nil recorder yields an empty object, not an error.
+	srv.SetRecorder(nil)
+	code, body = get(t, srv, "/series")
+	if code != http.StatusOK {
+		t.Fatalf("nil recorder /series status %d", code)
+	}
+	payload.Series = nil
+	if err := json.Unmarshal([]byte(body), &payload); err != nil || len(payload.Series) != 0 {
+		t.Errorf("nil recorder /series = %q (err %v)", body, err)
+	}
+}
+
+func TestServeHealthz(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var h struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" || h.UptimeSeconds < 0 {
+		t.Errorf("/healthz = %+v", h)
+	}
+}
+
+func TestServeBuildinfo(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, srv, "/buildinfo")
+	if code != http.StatusOK {
+		t.Fatalf("/buildinfo status %d", code)
+	}
+	var info map[string]any
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatalf("/buildinfo not JSON: %v\n%s", err, body)
+	}
+	gv, ok := info["go_version"].(string)
+	if !ok || !strings.HasPrefix(gv, "go") {
+		t.Errorf("/buildinfo go_version = %v", info["go_version"])
+	}
+	// Test binaries carry a build record with the module path; VCS stamps
+	// are only present for real builds from a checkout, so not asserted.
+	if _, ok := info["path"]; !ok {
+		t.Errorf("/buildinfo missing module path: %v", info)
+	}
+}
+
 func TestServeSetRecorder(t *testing.T) {
 	first := New()
 	first.Add("runs", 1)

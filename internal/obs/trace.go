@@ -15,15 +15,20 @@ import (
 // StartChild — overlap without containment, which a single track cannot
 // draw; the exporter lays those out onto additional tracks (tids) greedily,
 // keeping every span on its parent's track unless it overlaps an earlier
-// sibling there.
+// sibling there. A process's series render as counter ("C") events after
+// its spans, so convergence trajectories plot as counter tracks alongside
+// the span lanes.
 
 // traceEvent is one trace_event entry. Ph "X" is a complete event with a
-// duration; Ph "M" is metadata (process/thread names).
+// duration; Ph "M" is metadata (process/thread names); Ph "C" is a counter
+// sample. Dur is a pointer so complete events always carry an explicit
+// "dur" — a zero-duration span must still say "dur":0, which viewers accept
+// and omission breaks — while metadata and counter events omit the field.
 type traceEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	TS   float64        `json:"ts"`            // microseconds from epoch
-	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"` // microseconds
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
@@ -48,11 +53,12 @@ type laneLayout struct {
 // greedy scan is the classic interval-partitioning argument: the lane count
 // equals the maximum sibling overlap.
 func (l *laneLayout) place(s SpanSnapshot, pid, lane int) {
+	dur := float64(s.DurationNS) / 1e3
 	l.events = append(l.events, traceEvent{
 		Name: s.Name,
 		Ph:   "X",
 		TS:   float64(s.StartNS) / 1e3,
-		Dur:  float64(s.DurationNS) / 1e3,
+		Dur:  &dur,
 		PID:  pid,
 		TID:  lane,
 		Args: map[string]any{"self_us": float64(s.SelfNS) / 1e3},
@@ -88,10 +94,12 @@ func WriteTrace(w io.Writer, name string, spans []SpanSnapshot) error {
 
 // TraceProcess is one named timeline in a multi-process trace export —
 // cmd/experiments exports each artifact as its own process so Perfetto
-// shows them stacked.
+// shows them stacked. Series (if any) render as counter tracks on the same
+// timeline.
 type TraceProcess struct {
-	Name  string
-	Spans []SpanSnapshot
+	Name   string
+	Spans  []SpanSnapshot
+	Series map[string]SeriesSnapshot
 }
 
 // WriteTraceProcesses writes several span forests as one trace, one process
@@ -117,6 +125,21 @@ func writeTraceProcesses(w io.Writer, procs []TraceProcess) error {
 			l.place(root, pid, 1)
 		}
 		events = append(events, l.events...)
+		// Counter events follow the process's spans, sorted by series name
+		// with points in append order, so output bytes are deterministic
+		// up to the recorded timestamps.
+		for _, name := range sortedKeys(p.Series) {
+			for _, pt := range p.Series[name].Points {
+				events = append(events, traceEvent{
+					Name: name,
+					Ph:   "C",
+					TS:   float64(pt.WallNS) / 1e3,
+					PID:  pid,
+					TID:  0,
+					Args: map[string]any{"value": pt.Value},
+				})
+			}
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")

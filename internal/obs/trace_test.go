@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -52,7 +53,7 @@ func TestWriteTraceStructure(t *testing.T) {
 	}
 	byName := eventsByName(events)
 	agg := byName["aggregate"]
-	if agg.TS != 1.0 || agg.Dur != 10.0 {
+	if agg.TS != 1.0 || agg.Dur == nil || *agg.Dur != 10.0 {
 		t.Errorf("aggregate ts/dur = %v/%v µs, want 1/10", agg.TS, agg.Dur)
 	}
 	if agg.Args["self_us"] != 2.0 {
@@ -127,6 +128,100 @@ func TestWriteTraceProcesses(t *testing.T) {
 	byName := eventsByName(events)
 	if byName["a"].PID != pids["fig3"] || byName["b"].PID != pids["fig4"] {
 		t.Errorf("spans not attached to their artifact's pid: %+v %+v", byName["a"], byName["b"])
+	}
+}
+
+// TestWriteTraceZeroDurationSpan pins two edge behaviors: a zero-duration
+// complete event still carries an explicit "dur":0 (omitting it breaks
+// viewers), and a zero-duration child occupies a lane slot degenerately —
+// a sibling starting at the same instant may share its lane because the
+// slot's end equals its start.
+func TestWriteTraceZeroDurationSpan(t *testing.T) {
+	spans := []SpanSnapshot{
+		{
+			Name: "parent", StartNS: 0, DurationNS: 100,
+			Children: []SpanSnapshot{
+				{Name: "instant", StartNS: 10, DurationNS: 0},
+				{Name: "after", StartNS: 10, DurationNS: 20},
+			},
+		},
+	}
+	var b bytes.Buffer
+	if err := WriteTrace(&b, "run", spans); err != nil {
+		t.Fatal(err)
+	}
+	raw := b.String()
+	if !strings.Contains(raw, `"dur": 0,`) {
+		t.Errorf("zero-duration span lost its explicit dur field:\n%s", raw)
+	}
+	byName := eventsByName(decodeTrace(t, b.Bytes()))
+	inst := byName["instant"]
+	if inst.Dur == nil || *inst.Dur != 0 {
+		t.Errorf("instant dur = %v, want explicit 0", inst.Dur)
+	}
+	if byName["after"].TID != inst.TID {
+		t.Errorf("sibling at the zero-duration span's end did not reuse its lane: %d vs %d",
+			byName["after"].TID, inst.TID)
+	}
+}
+
+// TestWriteTraceCounterEvents pins the series → counter-event export: one
+// "C" event per retained point, on the process's pid, interleaved after the
+// span lanes, in name-sorted point order — byte-for-byte, since every input
+// is constructed (no wall clock involved).
+func TestWriteTraceCounterEvents(t *testing.T) {
+	dur := func(v float64) *float64 { return &v }
+	procs := []TraceProcess{{
+		Name:  "run",
+		Spans: []SpanSnapshot{{Name: "solve", StartNS: 1_000, DurationNS: 4_000}},
+		Series: map[string]SeriesSnapshot{
+			"localsearch.cost": {Points: []SeriesPoint{
+				{Step: 0, WallNS: 2_000, Value: 9},
+				{Step: 1, WallNS: 3_000, Value: 5},
+			}, Count: 2, Stride: 1},
+			"agglomerative.merge_loss": {Points: []SeriesPoint{
+				{Step: 0, WallNS: 2_500, Value: 0.25},
+			}, Count: 1, Stride: 1},
+		},
+	}}
+	var b bytes.Buffer
+	if err := WriteTraceProcesses(&b, procs); err != nil {
+		t.Fatal(err)
+	}
+
+	events := decodeTrace(t, b.Bytes())
+	want := []traceEvent{
+		{Name: "process_name", Ph: "M", PID: 1, TID: 0, Args: map[string]any{"name": "run"}},
+		{Name: "solve", Ph: "X", TS: 1, Dur: dur(4), PID: 1, TID: 1, Args: map[string]any{"self_us": 0.0}},
+		{Name: "agglomerative.merge_loss", Ph: "C", TS: 2.5, PID: 1, TID: 0, Args: map[string]any{"value": 0.25}},
+		{Name: "localsearch.cost", Ph: "C", TS: 2, PID: 1, TID: 0, Args: map[string]any{"value": 9.0}},
+		{Name: "localsearch.cost", Ph: "C", TS: 3, PID: 1, TID: 0, Args: map[string]any{"value": 5.0}},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events, want %d:\n%s", len(events), len(want), b.String())
+	}
+	for i, w := range want {
+		e := events[i]
+		if e.Name != w.Name || e.Ph != w.Ph || e.TS != w.TS || e.PID != w.PID || e.TID != w.TID {
+			t.Errorf("event %d = %+v, want %+v", i, e, w)
+		}
+		if (e.Dur == nil) != (w.Dur == nil) || (w.Dur != nil && *e.Dur != *w.Dur) {
+			t.Errorf("event %d dur = %v, want %v", i, e.Dur, w.Dur)
+		}
+		for k, v := range w.Args {
+			if e.Args[k] != v {
+				t.Errorf("event %d args[%s] = %v, want %v", i, k, e.Args[k], v)
+			}
+		}
+	}
+	// The export is deterministic to the byte for fixed inputs: two writes
+	// must agree, pinning JSON field and event ordering.
+	var b2 bytes.Buffer
+	if err := WriteTraceProcesses(&b2, procs); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("trace export is not byte-deterministic for fixed inputs")
 	}
 }
 
