@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race test-race check cover bench bench-all bench-short benchdiff experiments experiments-full fuzz fuzz-localsearch fuzz-kernel clean
+.PHONY: all build test vet race test-race check cover bench bench-all bench-short bench-huge benchdiff experiments experiments-full fuzz fuzz-localsearch fuzz-kernel fuzz-widths clean
 
 all: build test
 
@@ -64,6 +64,18 @@ bench:
 bench-short:
 	$(GO) test -run xxx -bench 'BenchmarkMaterialize$$|BenchmarkLocalSearchMatrix$$|BenchmarkLocalSearchIncremental$$|BenchmarkBestOf$$|BenchmarkSampleAssign$$|BenchmarkSampleLarge$$' -benchtime 1x ./internal/core/
 
+# The n=10M artifact, opt-in (never part of bench, bench-short, or check —
+# the top rung runs for tens of seconds and allocates gigabytes): one pass of
+# BenchmarkSampleHuge, then the experiments "huge" scaling ladder diffed
+# against the committed BENCH_huge.json baseline (counters and cluster counts
+# exact, Rand index toleranced, wall time ratio-budgeted).
+bench-huge:
+	$(GO) test -run xxx -bench 'BenchmarkSampleHuge$$' -benchtime 1x -benchmem ./internal/core/
+	@tmp=$$(mktemp /tmp/benchhuge.XXXXXX.json); \
+	$(GO) run ./cmd/experiments -report $$tmp huge && \
+	$(GO) run ./cmd/benchdiff BENCH_huge.json $$tmp; \
+	st=$$?; rm -f $$tmp; exit $$st
+
 # Fuzz the incremental LOCALSEARCH kernel against the reference sweep.
 fuzz-localsearch:
 	$(GO) test -run FuzzLocalSearchIncremental -fuzz FuzzLocalSearchIncremental -fuzztime 30s ./internal/corrclust/
@@ -71,6 +83,11 @@ fuzz-localsearch:
 # Fuzz the columnar label kernel's DistRowTo against Problem.Dist.
 fuzz-kernel:
 	$(GO) test -run FuzzLabelKernelEquiv -fuzz FuzzLabelKernelEquiv -fuzztime 30s ./internal/core/
+
+# Fuzz the width-packed label blocks: uint8/uint16 must be bit-identical to
+# the forced-int32 kernel on the same instance.
+fuzz-widths:
+	$(GO) test -run FuzzLabelKernelWidths -fuzz FuzzLabelKernelWidths -fuzztime 30s ./internal/core/
 
 # Everything: one benchmark per table/figure plus the ablations.
 bench-all:

@@ -115,6 +115,11 @@ type CSVOptions struct {
 	// SampleSize, when positive, switches to the SAMPLING algorithm with
 	// this sample size.
 	SampleSize int
+	// Shards, when positive, switches to sharded hierarchical SAMPLING
+	// with this many shards (1 = classic single-level SAMPLING); see
+	// SamplingOptions.Shards. It implies SAMPLING even when SampleSize is
+	// zero (each level auto-sizes its sample).
+	Shards int
 }
 
 // CSVResult is the outcome of AggregateCSV.
@@ -152,9 +157,10 @@ func AggregateCSV(r io.Reader, opts CSVOptions) (*CSVResult, error) {
 		return nil, err
 	}
 	var labels Labels
-	if opts.SampleSize > 0 {
+	if opts.SampleSize > 0 || opts.Shards > 0 {
 		labels, err = problem.Sample(opts.Method, opts.Options, core.SamplingOptions{
 			SampleSize: opts.SampleSize,
+			Shards:     opts.Shards,
 		})
 	} else {
 		labels, err = problem.Aggregate(opts.Method, opts.Options)

@@ -27,6 +27,9 @@
 //	-header        treat the first CSV record as column names
 //	-class NAME    column holding class labels (reported, not clustered on)
 //	-sample N      use SAMPLING with a sample of N rows (0 = exact)
+//	-shards N      shard the objects and aggregate hierarchically (implies
+//	               SAMPLING; -1 = auto-size by n, 0 = off, N = explicit
+//	               shard count — see SamplingOptions.Shards)
 //	-seed N        random seed for sampling (default 1)
 //	-workers N     cap worker goroutines for the parallel stages
 //	               (0 = GOMAXPROCS, 1 = sequential; results are identical
@@ -74,6 +77,7 @@ type cliConfig struct {
 	header     bool
 	class      string
 	sample     int
+	shards     int
 	seed       int64
 	workers    int
 	summary    bool
@@ -112,6 +116,7 @@ func main() {
 	flag.BoolVar(&cfg.header, "header", false, "first CSV record is a header")
 	flag.StringVar(&cfg.class, "class", "", "class column name (requires -header)")
 	flag.IntVar(&cfg.sample, "sample", 0, "SAMPLING sample size (0 = exact algorithm)")
+	flag.IntVar(&cfg.shards, "shards", 0, "sharded hierarchical SAMPLING: shard count (-1 = auto-size by n, 0 = off)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for sampling and randomized methods")
 	flag.IntVar(&cfg.workers, "workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS, 1 = sequential)")
 	flag.BoolVar(&cfg.summary, "summary", false, "print cluster sizes instead of assignments")
@@ -218,7 +223,7 @@ func run(path string, cfg cliConfig) error {
 		BallsAlpha:  core.Alpha(cfg.alpha),
 		K:           cfg.k,
 		Refine:      cfg.refine,
-		Materialize: cfg.sample == 0 && tab.N() <= 4000,
+		Materialize: cfg.sample == 0 && cfg.shards == 0 && tab.N() <= 4000,
 		Workers:     cfg.workers,
 		Rand:        rand.New(rand.NewSource(cfg.seed)),
 		Recorder:    rec,
@@ -228,9 +233,14 @@ func run(path string, cfg cliConfig) error {
 	methodName := cfg.method
 	var labels partition.Labels
 	switch {
-	case cfg.sample > 0:
+	case cfg.sample > 0 || cfg.shards != 0:
+		shards := cfg.shards
+		if shards < 0 {
+			shards = 0 // -shards -1: auto-size by n
+		}
 		labels, err = problem.Sample(method, opts, core.SamplingOptions{
 			SampleSize: cfg.sample,
+			Shards:     shards,
 			Rand:       rand.New(rand.NewSource(cfg.seed)),
 		})
 	case bestOf:

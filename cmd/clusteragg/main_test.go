@@ -89,6 +89,33 @@ func TestRunWithSampling(t *testing.T) {
 	}
 }
 
+func TestRunWithShards(t *testing.T) {
+	rows := "a,b\n"
+	for i := 0; i < 80; i++ {
+		if i%2 == 0 {
+			rows += "x,p\n"
+		} else {
+			rows += "y,q\n"
+		}
+	}
+	path := writeCSV(t, rows)
+	// Explicit shard count implies SAMPLING even without -sample.
+	cfg := base()
+	cfg.method = "furthest"
+	cfg.header = true
+	cfg.shards = 3
+	cfg.summary = true
+	if err := run(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// -shards -1 auto-sizes (single-level at this n) and combines with -sample.
+	cfg.shards = -1
+	cfg.sample = 20
+	if err := run(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunDescribe(t *testing.T) {
 	path := writeCSV(t, "a,b\nx,p\nx,p\ny,q\ny,q\n")
 	cfg := base()

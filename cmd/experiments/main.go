@@ -6,17 +6,22 @@
 //	experiments [flags] <artifact>
 //
 // where <artifact> is one of: fig3, fig4, table1, table2, table3, census,
-// fig5left, fig5middle, fig5right, ensembles, missing, all. The fig5left
-// and fig5middle panels come from the same sweep and print together; the
-// "ensembles" (related-work consensus methods) and "missing" (missing-value
-// robustness) artifacts extend the paper's own evaluation — see
-// EXPERIMENTS.md.
+// fig5left, fig5middle, fig5right, ensembles, missing, huge, all. The
+// fig5left and fig5middle panels come from the same sweep and print
+// together; the "ensembles" (related-work consensus methods) and "missing"
+// (missing-value robustness) artifacts extend the paper's own evaluation —
+// see EXPERIMENTS.md. The "huge" artifact is the sharded-SAMPLING scaling
+// ladder (200k → 1M → 10M synthetic objects); it is deliberately NOT part
+// of "all" — run it explicitly or via `make bench-huge`, and diff its
+// report against BENCH_huge.json.
 //
 // Flags:
 //
 //	-seed N        random seed (default 1)
 //	-workers N     cap worker goroutines for the parallel stages
 //	               (0 = GOMAXPROCS, 1 = sequential; results are identical)
+//	-shards N      sharded hierarchical SAMPLING for the sampling-based
+//	               artifacts (0 = auto-size by n, 1 = force single-level)
 //	-full          run the paper's original sizes (slower)
 //	-mushrooms N   override the Mushrooms subsample size
 //	-census N      override the Census size
@@ -53,6 +58,7 @@ func main() {
 		mushrooms = flag.Int("mushrooms", 0, "Mushrooms subsample size (0 = default)")
 		census    = flag.Int("census", 0, "Census size (0 = default)")
 		workers   = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS, 1 = sequential)")
+		shards    = flag.Int("shards", 0, "shard count for sharded hierarchical SAMPLING (0 = auto-size by n, 1 = single-level)")
 		plot      = flag.Bool("plot", false, "render ASCII scatter plots for fig3/fig4")
 		asJSON    = flag.Bool("json", false, "emit results as JSON instead of text tables")
 		report    = flag.String("report", "", "write a JSON bench report to this file (\"-\" = stdout)")
@@ -61,7 +67,7 @@ func main() {
 		listen    = flag.String("listen", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <fig3|fig4|table1|table2|table3|census|fig5left|fig5middle|fig5right|ensembles|missing|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <fig3|fig4|table1|table2|table3|census|fig5left|fig5middle|fig5right|ensembles|missing|huge|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -76,6 +82,7 @@ func main() {
 		MushroomsRows: *mushrooms,
 		CensusRows:    *census,
 		Workers:       *workers,
+		Shards:        *shards,
 	}
 	rep := &reporter{
 		enabled:      *report != "",
@@ -103,8 +110,8 @@ func main() {
 	if rep.enabled {
 		bench := obs.BenchReport{
 			SchemaVersion: obs.ReportSchemaVersion,
-			Config: fmt.Sprintf("seed=%d full=%v mushrooms=%d census=%d workers=%d",
-				*seed, *full, *mushrooms, *census, *workers),
+			Config: fmt.Sprintf("seed=%d full=%v mushrooms=%d census=%d workers=%d shards=%d",
+				*seed, *full, *mushrooms, *census, *workers, *shards),
 			Artifacts: rep.reports,
 		}
 		if err := obs.WriteJSON(*report, bench); err != nil {
@@ -371,6 +378,33 @@ func run(artifact string, cfg experiments.Config, plot, asJSON bool, rep *report
 		for _, res := range results {
 			fmt.Print(res)
 			fmt.Println()
+		}
+	case "huge":
+		cfg, done := rep.begin(artifact, cfg)
+		res, err := experiments.HugeScaling(cfg)
+		if err != nil {
+			return err
+		}
+		m := map[string]float64{}
+		for _, p := range res.Points {
+			prefix := fmt.Sprintf("n%d:", p.N)
+			m[prefix+"seconds"] = p.Duration.Seconds()
+			m[prefix+"shards"] = float64(p.Shards)
+			m[prefix+"reps"] = float64(p.Reps)
+			m[prefix+"clusters"] = float64(p.KFound)
+			m[prefix+"rand_index"] = p.Rand
+		}
+		if len(res.Points) >= 2 {
+			first, last := res.Points[0], res.Points[len(res.Points)-1]
+			if first.Duration > 0 && first.N > 0 {
+				timeGrowth := last.Duration.Seconds() / first.Duration.Seconds()
+				sizeGrowth := float64(last.N) / float64(first.N)
+				m["linearity_ratio"] = timeGrowth / sizeGrowth
+			}
+		}
+		done(m)
+		if err := emit(res); err != nil {
+			return err
 		}
 	case "all":
 		artifacts := []string{"fig3", "fig4", "table1", "table2", "table3", "census", "fig5left", "fig5right", "ensembles", "missing"}

@@ -9,10 +9,22 @@
 //
 // Flags:
 //
-//	-dataset NAME   votes | mushrooms | census (default votes)
+//	-dataset NAME   votes | mushrooms | census | planted (default votes)
 //	-seed N         generator seed (default 1)
-//	-rows N         row count for census (0 = the real 32561)
+//	-rows N         row count for census (0 = the real 32561) and planted
+//	-attrs N        planted: number of categorical attributes (default 6)
+//	-k N            planted: number of planted groups (default 32)
+//	-noise F        planted: per-cell random-relabel probability (default 0.1)
+//	-missing F      planted: per-cell missing probability (default 0)
 //	-o FILE         output path (default standard output)
+//
+// The "planted" dataset is the streaming large-n generator: rows are
+// written as they are drawn, so a 10M-row fixture costs constant memory —
+// the UCI stand-ins materialize a full dataset.Table first, which is fine
+// at their sizes but not at millions of rows. It emits -attrs noisy copies
+// of a planted -k-group clustering (the same recipe as the core package's
+// scaling benchmarks) plus the planted group as the class column, ready
+// for `clusteragg -header -class class -shards -1`.
 package main
 
 import (
@@ -22,19 +34,34 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"os"
 	"strconv"
 
 	"clusteragg/internal/dataset"
 )
 
+// genConfig carries the parsed generator flags.
+type genConfig struct {
+	name    string
+	seed    int64
+	rows    int
+	attrs   int
+	k       int
+	noise   float64
+	missing float64
+}
+
 func main() {
-	var (
-		name = flag.String("dataset", "votes", "dataset to generate: votes|mushrooms|census")
-		seed = flag.Int64("seed", 1, "generator seed")
-		rows = flag.Int("rows", 0, "row count for census (0 = full size)")
-		out  = flag.String("o", "", "output file (default stdout)")
-	)
+	var cfg genConfig
+	flag.StringVar(&cfg.name, "dataset", "votes", "dataset to generate: votes|mushrooms|census|planted")
+	flag.Int64Var(&cfg.seed, "seed", 1, "generator seed")
+	flag.IntVar(&cfg.rows, "rows", 0, "row count for census (0 = full size) and planted")
+	flag.IntVar(&cfg.attrs, "attrs", 6, "planted: number of categorical attributes")
+	flag.IntVar(&cfg.k, "k", 32, "planted: number of planted groups")
+	flag.Float64Var(&cfg.noise, "noise", 0.1, "planted: per-cell random-relabel probability")
+	flag.Float64Var(&cfg.missing, "missing", 0, "planted: per-cell missing probability")
+	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
 	w := io.Writer(os.Stdout)
@@ -52,7 +79,7 @@ func main() {
 		defer bw.Flush()
 		w = bw
 	}
-	if err := run(w, *name, *seed, *rows); err != nil {
+	if err := run(w, cfg); err != nil {
 		fatal(err)
 	}
 }
@@ -62,19 +89,81 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(w io.Writer, name string, seed int64, rows int) error {
+func run(w io.Writer, cfg genConfig) error {
 	var t *dataset.Table
-	switch name {
+	switch cfg.name {
 	case "votes":
-		t = dataset.SyntheticVotes(seed)
+		t = dataset.SyntheticVotes(cfg.seed)
 	case "mushrooms":
-		t = dataset.SyntheticMushrooms(seed)
+		t = dataset.SyntheticMushrooms(cfg.seed)
 	case "census":
-		t = dataset.SyntheticCensus(seed, rows)
+		t = dataset.SyntheticCensus(cfg.seed, cfg.rows)
+	case "planted":
+		return StreamPlanted(w, cfg)
 	default:
-		return fmt.Errorf("unknown dataset %q (want votes|mushrooms|census)", name)
+		return fmt.Errorf("unknown dataset %q (want votes|mushrooms|census|planted)", cfg.name)
 	}
 	return WriteCSV(w, t)
+}
+
+// StreamPlanted writes the planted large-n dataset row by row in constant
+// memory: cfg.attrs noisy copies of a planted cfg.k-group clustering over
+// cfg.rows objects, plus the planted group as the trailing class column.
+// Each cell independently goes missing ("?") with probability cfg.missing,
+// otherwise is relabeled uniformly at random with probability cfg.noise
+// (over k+2 values, so noise can also introduce spurious groups — the same
+// recipe as the core scaling benchmarks). Rows stream straight through the
+// csv writer; nothing is retained across rows, so memory stays flat at any
+// row count. Output is deterministic in (seed, rows, attrs, k, noise,
+// missing).
+func StreamPlanted(w io.Writer, cfg genConfig) error {
+	if cfg.rows <= 0 {
+		return fmt.Errorf("planted: -rows must be positive (got %d)", cfg.rows)
+	}
+	if cfg.attrs <= 0 || cfg.k <= 0 {
+		return fmt.Errorf("planted: -attrs and -k must be positive (got %d, %d)", cfg.attrs, cfg.k)
+	}
+	if cfg.noise < 0 || cfg.noise > 1 || cfg.missing < 0 || cfg.missing > 1 {
+		return fmt.Errorf("planted: -noise and -missing must be in [0,1]")
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	cw := csv.NewWriter(w)
+	record := make([]string, cfg.attrs+1)
+	for a := 0; a < cfg.attrs; a++ {
+		record[a] = fmt.Sprintf("attr%02d", a+1)
+	}
+	record[cfg.attrs] = "class"
+	if err := cw.Write(record); err != nil {
+		return err
+	}
+	// Value names are interned once; row cells only index into them.
+	values := make([]string, cfg.k+2)
+	for v := range values {
+		values[v] = fmt.Sprintf("v%03d", v)
+	}
+	classes := make([]string, cfg.k)
+	for c := range classes {
+		classes[c] = fmt.Sprintf("c%03d", c)
+	}
+	for row := 0; row < cfg.rows; row++ {
+		truth := row % cfg.k
+		for a := 0; a < cfg.attrs; a++ {
+			switch {
+			case cfg.missing > 0 && rng.Float64() < cfg.missing:
+				record[a] = "?"
+			case rng.Float64() < cfg.noise:
+				record[a] = values[rng.Intn(cfg.k+2)]
+			default:
+				record[a] = values[truth]
+			}
+		}
+		record[cfg.attrs] = classes[truth]
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // WriteCSV emits a table as CSV with a header row, the UCI "?" convention

@@ -9,14 +9,14 @@ import (
 )
 
 func TestRunUnknownDataset(t *testing.T) {
-	if err := run(&bytes.Buffer{}, "nope", 1, 0); err == nil {
+	if err := run(&bytes.Buffer{}, genConfig{name: "nope", seed: 1}); err == nil {
 		t.Error("unknown dataset accepted")
 	}
 }
 
 func TestRoundTripVotes(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "votes", 1, 0); err != nil {
+	if err := run(&buf, genConfig{name: "votes", seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	tab, err := dataset.ReadCSV(&buf, dataset.CSVOptions{
@@ -42,7 +42,7 @@ func TestRoundTripVotes(t *testing.T) {
 
 func TestRoundTripCensusNumericColumns(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "census", 1, 200); err != nil {
+	if err := run(&buf, genConfig{name: "census", seed: 1, rows: 200}); err != nil {
 		t.Fatal(err)
 	}
 	tab, err := dataset.ReadCSV(&buf, dataset.CSVOptions{
@@ -60,6 +60,86 @@ func TestRoundTripCensusNumericColumns(t *testing.T) {
 	}
 	if got := len(tab.CategoricalColumns()); got != 8 {
 		t.Errorf("categorical columns = %d, want 8", got)
+	}
+}
+
+func TestStreamPlantedRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := genConfig{name: "planted", seed: 3, rows: 2000, attrs: 5, k: 4, noise: 0.1, missing: 0.05}
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := dataset.ReadCSV(bytes.NewReader(buf.Bytes()), dataset.CSVOptions{
+		HasHeader:   true,
+		ClassColumn: "class",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.N() != 2000 {
+		t.Errorf("N = %d, want 2000", tab.N())
+	}
+	if got := len(tab.CategoricalColumns()); got != 5 {
+		t.Errorf("categorical columns = %d, want 5", got)
+	}
+	if len(tab.ClassNames) != 4 {
+		t.Errorf("classes = %v, want 4 planted groups", tab.ClassNames)
+	}
+	if tab.MissingTotal() == 0 {
+		t.Error("missing probability 0.05 produced no ? cells")
+	}
+	// The planted structure must be recoverable: rows i and i+k sit in the
+	// same planted group, so their attribute values agree except where
+	// noise or missingness hit (clean² ≈ 0.85² ≈ 0.72 expected here).
+	cs, err := tab.Clusterings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, total := 0, 0
+	for _, c := range cs {
+		for i := 0; i+4 < len(c); i++ {
+			if c[i] < 0 || c[i+4] < 0 {
+				continue
+			}
+			total++
+			if c[i] == c[i+4] {
+				agree++
+			}
+		}
+	}
+	if total == 0 || float64(agree)/float64(total) < 0.6 {
+		t.Errorf("planted structure too weak: %d/%d same-group cell pairs agree", agree, total)
+	}
+}
+
+func TestStreamPlantedDeterministicAndValidated(t *testing.T) {
+	gen := func() string {
+		var buf bytes.Buffer
+		if err := run(&buf, genConfig{name: "planted", seed: 9, rows: 500, attrs: 3, k: 5, noise: 0.2}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if gen() != gen() {
+		t.Error("same seed produced different planted streams")
+	}
+	lines := strings.Split(strings.TrimSpace(gen()), "\n")
+	if len(lines) != 501 {
+		t.Errorf("planted stream has %d lines, want 501 (header + 500 rows)", len(lines))
+	}
+	if lines[0] != "attr01,attr02,attr03,class" {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, bad := range []genConfig{
+		{name: "planted", rows: 0, attrs: 3, k: 5},
+		{name: "planted", rows: 10, attrs: 0, k: 5},
+		{name: "planted", rows: 10, attrs: 3, k: 0},
+		{name: "planted", rows: 10, attrs: 3, k: 5, noise: 1.5},
+		{name: "planted", rows: 10, attrs: 3, k: 5, missing: -0.1},
+	} {
+		if err := run(&bytes.Buffer{}, bad); err == nil {
+			t.Errorf("invalid planted config %+v accepted", bad)
+		}
 	}
 }
 

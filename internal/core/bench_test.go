@@ -187,3 +187,21 @@ func BenchmarkSampleLarge(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSampleHuge is the opt-in n=10M run behind `make bench-huge`: the
+// sharded hierarchical pipeline (auto-sized to ten 2^20-object shards) over
+// uint8-packed labels. It is deliberately excluded from the bench/bench-short
+// regexes — one iteration runs for tens of seconds and the inputs alone are
+// ~480 MB — and exists so the top of the scaling ladder has a `go test
+// -bench`-shaped entry point next to the experiments "huge" artifact.
+func BenchmarkSampleHuge(b *testing.B) {
+	p := benchProblem(b, 10_000_000, 6, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Sample(MethodFurthest, AggregateOptions{}, SamplingOptions{
+			Rand: rand.New(rand.NewSource(7)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,23 +5,37 @@ import (
 )
 
 // This file is the columnar label kernel: the m input clusterings packed
-// into one row-major per-object block of int32 labels, so that distance
+// into one row-major per-object block of labels, so that distance
 // evaluation becomes a tight contiguous label-compare loop instead of a
 // per-pair interface probe through a slice of slices.
 //
 // Problem.Dist walks p.clusterings — m separate []int slices — with a
 // branchy switch per clustering, behind a corrclust.Instance interface call
-// per pair. The kernel stores object v's labels as lab[v*m : v*m+m]
-// (partition.Missing mapped to -1), per-clustering weights and the
-// coin-model missing contribution premultiplied, and a per-object
-// has-missing flag. One-against-many evaluation (DistRowTo) then streams
-// two contiguous int32 blocks per pair; pairs where neither side has a
-// missing label and the weights are uniform collapse to an integer
-// label-mismatch count. Every loop performs the same float operations in
-// the same order as Problem.Dist (premultiplied products round identically
-// to the inline ones), so kernel distances are bit-identical to Dist's —
-// not merely close — which the equivalence tests and FuzzLabelKernelEquiv
-// pin exactly.
+// per pair. The kernel stores object v's labels as lab[v*m : v*m+m],
+// per-clustering weights and the coin-model missing contribution
+// premultiplied, and a per-object has-missing flag. One-against-many
+// evaluation (DistRowTo) then streams two contiguous label blocks per pair;
+// pairs where neither side has a missing label and the weights are uniform
+// collapse to an integer label-mismatch count. Every loop performs the same
+// float operations in the same order as Problem.Dist (premultiplied
+// products round identically to the inline ones), so kernel distances are
+// bit-identical to Dist's — not merely close — which the equivalence tests
+// and FuzzLabelKernelEquiv pin exactly.
+//
+// Width packing: labels are stored at the minimum width that fits the
+// kernel's label bound — uint8, uint16, or int32 — selected once at build
+// time from the same bound scan that sizes the co-label histograms. The
+// working assumption (and the common case by far) is k ≤ 256 clusters per
+// input clustering: then every label block packs to one byte per
+// clustering, quartering the memory traffic of the O(n·m) assignment scan
+// relative to the int32 layout and keeping the per-clustering co-label
+// histograms cache-resident. Missing labels take the width's all-ones
+// sentinel (0xFF / 0xFFFF / −1), one past the largest storable label, so
+// uint8 holds labels 0..254, uint16 labels 0..65534, and int32 everything
+// else. Every inner loop (pairDist, DistRowTo, histogram build and
+// evaluation) is a generic function instantiated per width; the float
+// arithmetic is width-independent, so all three widths produce bit-identical
+// distances (TestLabelKernelWidthsBitIdentical, FuzzLabelKernelWidths).
 //
 // On top of the kernel, SAMPLING's assignment phase (sampling.go) replaces
 // its O(m·s) per-object probing with O(m·k) co-label histograms: for each
@@ -30,15 +44,60 @@ import (
 // one pass over v's label block. See colabelHist below and
 // docs/PERFORMANCE.md for the arithmetic and the equivalence contract.
 
+// labelWord is a storage width for packed labels. The missing sentinel is
+// the type's all-ones value (see missingWord), so the usable label range is
+// [0, maxOf(W)−1] for the unsigned widths and all non-negative ints for
+// int32 (whose sentinel −1 matches the historical encoding).
+type labelWord interface {
+	uint8 | uint16 | int32
+}
+
+// missingWord returns the width's missing-label sentinel: all bits set
+// (255, 65535, or −1 for int32).
+func missingWord[W labelWord]() W {
+	var zero W
+	return zero - 1
+}
+
+// Storage widths in bytes per label.
+const (
+	width8  = 1
+	width16 = 2
+	width32 = 4
+)
+
+// widthFor selects the narrowest width whose sentinel does not collide with
+// a stored label: bound is the exclusive upper bound on present labels.
+func widthFor(bound int32) int {
+	switch {
+	case bound <= 0xFF: // labels ≤ 254, sentinel 255 free
+		return width8
+	case bound <= 0xFFFF: // labels ≤ 65534, sentinel 65535 free
+		return width16
+	default:
+		return width32
+	}
+}
+
 // labelKernel is the packed columnar view of a Problem's input clusterings.
 // It implements corrclust.Instance and corrclust.RowDistancer; distances
-// are bit-identical to Problem.Dist. The kernel is immutable after
-// construction and safe for concurrent use.
+// are bit-identical to Problem.Dist at every storage width. The kernel is
+// immutable after construction and safe for concurrent use.
 type labelKernel struct {
 	n, m int
-	// lab holds object v's labels across the m clusterings at
-	// lab[v*m : v*m+m]; partition.Missing is stored as -1.
-	lab []int32
+	// width is the storage width in bytes per label (width8/width16/width32);
+	// exactly one of lab8/lab16/lab32 is non-nil, holding object v's labels
+	// across the m clusterings at lab[v*m : v*m+m], missing mapped to the
+	// width's sentinel.
+	width int
+	lab8  []uint8
+	lab16 []uint16
+	lab32 []int32
+	// maxLab[i] is the exclusive upper bound on clustering i's present
+	// labels (0 when every label is missing), computed by the build's single
+	// bound scan and reused both for width selection and as the co-label
+	// histograms' default label bound (see buildColabelHist).
+	maxLab []int32
 	// w[i] is clustering i's weight (all 1 under uniform weights); missW[i]
 	// is the premultiplied coin-model missing contribution (1−missingP)·w[i].
 	w     []float64
@@ -54,13 +113,20 @@ type labelKernel struct {
 	totalWeight float64
 }
 
-// kernel packs the problem into a fresh labelKernel in O(n·m).
-func (p *Problem) kernel() *labelKernel {
+// kernel packs the problem into a fresh labelKernel at the minimum width in
+// O(n·m).
+func (p *Problem) kernel() *labelKernel { return p.kernelWidth(0) }
+
+// kernelWidth is kernel with an explicit width override in bytes (0 = auto
+// minimum). Forcing a width narrower than the label bound allows is
+// rejected by panic; tests use wider-than-minimum kernels to pin the widths
+// bit-identical against each other.
+func (p *Problem) kernelWidth(force int) *labelKernel {
 	n, m := p.n, len(p.clusterings)
 	lk := &labelKernel{
 		n:           n,
 		m:           m,
-		lab:         make([]int32, n*m),
+		maxLab:      make([]int32, m),
 		w:           make([]float64, m),
 		missW:       make([]float64, m),
 		hasMiss:     make([]bool, n),
@@ -68,42 +134,90 @@ func (p *Problem) kernel() *labelKernel {
 		average:     p.missingMode == MissingAverage,
 		totalWeight: p.totalWeight,
 	}
+	// Single bound scan: per-clustering label bounds (for width selection
+	// here and the co-label histograms later) and the missing flags, before
+	// any labels are packed.
+	var bound int32
 	for i, c := range p.clusterings {
 		wi := p.weight(i)
 		lk.w[i] = wi
 		lk.missW[i] = (1 - p.missingP) * wi
+		var bi int32
 		for v, l := range c {
-			lk.lab[v*m+i] = int32(l)
 			if l == partition.Missing {
 				lk.hasMiss[v] = true
 				lk.anyMiss = true
+			} else if l32 := int32(l); l32 >= bi {
+				bi = l32 + 1
 			}
 		}
+		lk.maxLab[i] = bi
+		if bi > bound {
+			bound = bi
+		}
+	}
+	lk.width = widthFor(bound)
+	if force != 0 {
+		if force < lk.width {
+			panic("core: forced kernel width below the label bound")
+		}
+		lk.width = force
+	}
+	switch lk.width {
+	case width8:
+		lk.lab8 = packLabels[uint8](p, n, m)
+	case width16:
+		lk.lab16 = packLabels[uint16](p, n, m)
+	default:
+		lk.lab32 = packLabels[int32](p, n, m)
 	}
 	return lk
 }
 
+// packLabels fills the row-major label block at width W, mapping missing
+// labels to the width's sentinel.
+func packLabels[W labelWord](p *Problem, n, m int) []W {
+	lab := make([]W, n*m)
+	miss := missingWord[W]()
+	for i, c := range p.clusterings {
+		for v, l := range c {
+			if l == partition.Missing {
+				lab[v*m+i] = miss
+			} else {
+				lab[v*m+i] = W(l)
+			}
+		}
+	}
+	return lab
+}
+
 // N returns the number of objects.
 func (lk *labelKernel) N() int { return lk.n }
-
-// block returns object v's contiguous label block.
-func (lk *labelKernel) block(v int) []int32 {
-	return lk.lab[v*lk.m : v*lk.m+lk.m]
-}
 
 // Dist returns the distance X_uv, bit-identical to Problem.Dist.
 func (lk *labelKernel) Dist(u, v int) float64 {
 	if u == v {
 		return 0
 	}
-	return lk.pairDist(lk.block(u), lk.block(v), lk.hasMiss[u] || lk.hasMiss[v])
+	miss := lk.hasMiss[u] || lk.hasMiss[v]
+	m := lk.m
+	switch lk.width {
+	case width8:
+		return pairDist(lk, lk.lab8[u*m:u*m+m], lk.lab8[v*m:v*m+m], miss)
+	case width16:
+		return pairDist(lk, lk.lab16[u*m:u*m+m], lk.lab16[v*m:v*m+m], miss)
+	default:
+		return pairDist(lk, lk.lab32[u*m:u*m+m], lk.lab32[v*m:v*m+m], miss)
+	}
 }
 
-// pairDist evaluates one pair from its label blocks. miss gates the
-// missing-label arithmetic: clean pairs take label-compare-only loops (an
-// integer count under uniform weights), and either loop performs exactly
-// the additions Problem.Dist would, in the same order.
-func (lk *labelKernel) pairDist(bu, bv []int32, miss bool) float64 {
+// pairDist evaluates one pair from its label blocks, generic over the
+// storage width. miss gates the missing-label arithmetic: clean pairs take
+// label-compare-only loops (an integer count under uniform weights), and
+// either loop performs exactly the additions Problem.Dist would, in the
+// same order — the width never touches a float, so all widths agree bit
+// for bit.
+func pairDist[W labelWord](lk *labelKernel, bu, bv []W, miss bool) float64 {
 	if !miss {
 		// No missing labels on either side: both modes reduce to the
 		// weighted separating fraction over the total weight (distAverage's
@@ -126,11 +240,12 @@ func (lk *labelKernel) pairDist(bu, bv []int32, miss bool) float64 {
 		}
 		return x / lk.totalWeight
 	}
+	sentinel := missingWord[W]()
 	if lk.average {
 		var x, votes float64
 		for i, lu := range bu {
 			lv := bv[i]
-			if lu < 0 || lv < 0 {
+			if lu == sentinel || lv == sentinel {
 				continue
 			}
 			w := lk.w[i]
@@ -148,7 +263,7 @@ func (lk *labelKernel) pairDist(bu, bv []int32, miss bool) float64 {
 	for i, lu := range bu {
 		lv := bv[i]
 		switch {
-		case lu < 0 || lv < 0:
+		case lu == sentinel || lv == sentinel:
 			x += lk.missW[i]
 		case lu != lv:
 			x += lk.w[i]
@@ -162,16 +277,40 @@ func (lk *labelKernel) pairDist(bu, bv []int32, miss bool) float64 {
 // satisfies corrclust.RowDistancer; dst must have len(targets) capacity.
 // Safe for concurrent use with distinct dst buffers.
 func (lk *labelKernel) DistRowTo(v int, targets []int, dst []float64) {
-	bv := lk.block(v)
+	switch lk.width {
+	case width8:
+		distRowTo(lk, lk.lab8, v, targets, dst)
+	case width16:
+		distRowTo(lk, lk.lab16, v, targets, dst)
+	default:
+		distRowTo(lk, lk.lab32, v, targets, dst)
+	}
+}
+
+// distRowTo is the width-specialized DistRowTo loop.
+func distRowTo[W labelWord](lk *labelKernel, lab []W, v int, targets []int, dst []float64) {
+	m := lk.m
+	bv := lab[v*m : v*m+m]
 	missV := lk.hasMiss[v]
 	for j, u := range targets {
 		if u == v {
 			dst[j] = 0
 			continue
 		}
-		dst[j] = lk.pairDist(lk.block(u), bv, missV || lk.hasMiss[u])
+		dst[j] = pairDist(lk, lab[u*m:u*m+m], bv, missV || lk.hasMiss[u])
 	}
 }
+
+// histBoundCap bounds the per-clustering label range the co-label
+// histograms size themselves by without rescanning the sample: when a
+// clustering's global label bound (from the kernel build's bound scan) is
+// at most this, the histogram reuses it directly — under the k ≤ 256
+// assumption that is every clustering, and the cnt rows stay
+// cache-resident. A wider clustering (e.g. an all-singletons input) falls
+// back to one row-major scan over the sample members for the tight
+// sample-observed bound, so histogram memory never scales with the global
+// label count.
+const histBoundCap = 1024
 
 // colabelHist holds the co-label histograms of one sample clustering over
 // the input clusterings: everything needed to evaluate M(v, C_c) for all k
@@ -201,9 +340,11 @@ func (lk *labelKernel) DistRowTo(v int, targets []int, dst []float64) {
 type colabelHist struct {
 	k     int
 	sizes []int // |C_c| for each sample cluster
-	// Per input clustering i: labBound[i] bounds the sample-observed labels
-	// (labels ≥ labBound[i] have all-zero counts and take the base row as
-	// is), cnt[i][ℓ*k+c] = w_i·(members of C_c labeled ℓ in clustering i),
+	// Per input clustering i: labBound[i] bounds the labels with histogram
+	// rows (labels ≥ labBound[i] have all-zero counts and take the base row
+	// as is — the kernel's global bound by default, the sample-observed
+	// bound for clusterings wider than histBoundCap),
+	// cnt[i][ℓ*k+c] = w_i·(members of C_c labeled ℓ in clustering i),
 	// base[i][c] and missAll[i][c] as derived above.
 	labBound []int32
 	cnt      [][]float64
@@ -213,54 +354,104 @@ type colabelHist struct {
 
 // buildColabelHist builds the histograms for the given sample clusters
 // (members holds original object indices per sample cluster) in
-// O(s·m + m·L·k) time and O(m·L·k) space, L the per-clustering
-// sample-observed label bound.
+// O(s·m + m·L·k) time and O(m·L·k) space, L the per-clustering label
+// bound. The bound comes for free from the kernel build's bound scan
+// (maxLab) for clusterings within histBoundCap; wider ones are tightened
+// to the sample-observed bound by one extra row-major pass over the
+// members. A label's absent histogram row is all zeros, so the larger
+// default bound changes no arithmetic — base − 0 and base are the same
+// float — and the paths stay bit-identical.
 func (lk *labelKernel) buildColabelHist(members [][]int) *colabelHist {
-	k := len(members)
+	switch lk.width {
+	case width8:
+		return buildColabelHistW(lk, lk.lab8, members)
+	case width16:
+		return buildColabelHistW(lk, lk.lab16, members)
+	default:
+		return buildColabelHistW(lk, lk.lab32, members)
+	}
+}
+
+// buildColabelHistW is the width-specialized histogram build.
+func buildColabelHistW[W labelWord](lk *labelKernel, lab []W, members [][]int) *colabelHist {
+	k, m := len(members), lk.m
 	h := &colabelHist{
 		k:        k,
 		sizes:    make([]int, k),
-		labBound: make([]int32, lk.m),
-		cnt:      make([][]float64, lk.m),
-		base:     make([][]float64, lk.m),
-		missAll:  make([][]float64, lk.m),
+		labBound: make([]int32, m),
+		cnt:      make([][]float64, m),
+		base:     make([][]float64, m),
+		missAll:  make([][]float64, m),
 	}
 	for c, mem := range members {
 		h.sizes[c] = len(mem)
 	}
-	for i := 0; i < lk.m; i++ {
-		var bound int32
+	// Label bounds: reuse the kernel's global per-clustering bound where it
+	// keeps the histogram cache-resident; rescan the sample (one row-major
+	// pass over the members for all remaining clusterings at once) only for
+	// wider clusterings.
+	sentinel := missingWord[W]()
+	needScan := false
+	for i, b := range lk.maxLab {
+		if b <= histBoundCap {
+			h.labBound[i] = b
+		} else {
+			h.labBound[i] = -1
+			needScan = true
+		}
+	}
+	if needScan {
 		for _, mem := range members {
 			for _, u := range mem {
-				if l := lk.lab[u*lk.m+i]; l >= bound {
-					bound = l + 1
+				bu := lab[u*m : u*m+m]
+				for i := range h.labBound {
+					if lk.maxLab[i] <= histBoundCap {
+						continue
+					}
+					if l := bu[i]; l != sentinel && int32(l) >= h.labBound[i] {
+						h.labBound[i] = int32(l) + 1
+					}
 				}
 			}
 		}
-		h.labBound[i] = bound
-		cnt := make([]float64, int(bound)*k)
-		miss := make([]int, k)
-		for c, mem := range members {
-			for _, u := range mem {
-				if l := lk.lab[u*lk.m+i]; l >= 0 {
-					cnt[int(l)*k+c]++
+		for i, b := range h.labBound {
+			if b < 0 { // wide clustering absent from the sample
+				h.labBound[i] = 0
+			}
+		}
+	}
+	// Counts: one row-major pass over the members fills every clustering's
+	// histogram (raw integer counts and per-cluster missing tallies;
+	// premultiplied below).
+	miss := make([]int, m*k)
+	for i := 0; i < m; i++ {
+		h.cnt[i] = make([]float64, int(h.labBound[i])*k)
+	}
+	for c, mem := range members {
+		for _, u := range mem {
+			bu := lab[u*m : u*m+m]
+			for i, l := range bu {
+				if l == sentinel {
+					miss[i*k+c]++
 				} else {
-					miss[c]++
+					h.cnt[i][int(l)*k+c]++
 				}
 			}
 		}
+	}
+	for i := 0; i < m; i++ {
 		w, missW := lk.w[i], lk.missW[i]
 		base := make([]float64, k)
 		missAll := make([]float64, k)
 		for c := range base {
-			pres := h.sizes[c] - miss[c]
-			base[c] = w*float64(pres) + missW*float64(miss[c])
+			pres := h.sizes[c] - miss[i*k+c]
+			base[c] = w*float64(pres) + missW*float64(miss[i*k+c])
 			missAll[c] = missW * float64(h.sizes[c])
 		}
+		cnt := h.cnt[i]
 		for idx := range cnt {
 			cnt[idx] *= w
 		}
-		h.cnt[i] = cnt
 		h.base[i] = base
 		h.missAll[i] = missAll
 	}
@@ -270,20 +461,34 @@ func (lk *labelKernel) buildColabelHist(members [][]int) *colabelHist {
 // affinities fills dst[c] = M(v, C_c) = Σ_{u∈C_c} X_vu for every sample
 // cluster in one O(m·k) pass over v's label block. dst must have length k.
 func (h *colabelHist) affinities(lk *labelKernel, v int, dst []float64) {
+	switch lk.width {
+	case width8:
+		affinitiesW(h, lk, lk.lab8, v, dst)
+	case width16:
+		affinitiesW(h, lk, lk.lab16, v, dst)
+	default:
+		affinitiesW(h, lk, lk.lab32, v, dst)
+	}
+}
+
+// affinitiesW is the width-specialized affinity evaluation.
+func affinitiesW[W labelWord](h *colabelHist, lk *labelKernel, lab []W, v int, dst []float64) {
 	for c := range dst {
 		dst[c] = 0
 	}
-	bv := lk.block(v)
+	m := lk.m
+	bv := lab[v*m : v*m+m]
+	sentinel := missingWord[W]()
 	k := h.k
 	for i, lv := range bv {
-		if lv < 0 {
+		if lv == sentinel {
 			for c, ma := range h.missAll[i] {
 				dst[c] += ma
 			}
 			continue
 		}
 		base := h.base[i]
-		if lv >= h.labBound[i] {
+		if int32(lv) >= h.labBound[i] {
 			for c, b := range base {
 				dst[c] += b
 			}

@@ -42,6 +42,15 @@ type Config struct {
 	SampleSizes []int
 	// ScalabilitySizes overrides the Figure 5 right dataset-size sweep.
 	ScalabilitySizes []int
+	// Shards is passed through to SamplingOptions.Shards by every
+	// sampling-based runner (census, fig5 sampling/scalability, huge):
+	// 0 auto-sizes the shard count by n (single-level below ~1M objects),
+	// 1 forces the classic single-level pass, larger values shard
+	// explicitly.
+	Shards int
+	// HugeSizes overrides the "huge" artifact's object-count sweep.
+	// Zero means 200k → 1M → 10M.
+	HugeSizes []int
 	// Workers caps the worker goroutines of the parallel stages (matrix
 	// materialization, BestOf racing, SAMPLING assignment). Zero means
 	// GOMAXPROCS; 1 forces sequential execution. Results are identical for

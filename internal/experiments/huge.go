@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"clusteragg/internal/core"
+	"clusteragg/internal/partition"
+)
+
+// This file is the "huge" artifact: the n=10M scaling sweep behind the
+// bit-packed label kernel + sharded hierarchical SAMPLING work (ROADMAP
+// #2). It is opt-in — `experiments huge`, `make bench-huge` — and excluded
+// from "all", because the top size runs for tens of seconds and allocates
+// gigabytes. The committed BENCH_huge.json baseline turns the sweep into a
+// benchdiff-gated regression artifact: counters (shard counts,
+// representative counts, assignment tallies) are exact, the Rand-index
+// quality metrics are toleranced, and total wall time is ratio-budgeted.
+//
+// Nothing in the sweep may touch an O(n²) path: quality is measured as the
+// Rand index against the planted truth (contingency-table based, O(n)),
+// never by Disagreement or LowerBound.
+
+// DefaultHugeSizes is the "huge" artifact's object-count ladder — the
+// measured n-scaling table in docs/PERFORMANCE.md comes from exactly this
+// sweep.
+var DefaultHugeSizes = []int{200_000, 1_000_000, 10_000_000}
+
+// hugeM and hugeK shape the synthetic workload: m input clusterings over k
+// planted groups with 10% noise — the same recipe as the core package's
+// benchProblem, sized so every label packs into the kernel's uint8 width.
+const (
+	hugeM = 6
+	hugeK = 32
+)
+
+// HugePoint is one dataset size of the huge sweep.
+type HugePoint struct {
+	N int
+	// Shards and Reps record the resolved tree shape: how many shards the
+	// auto-sizing (or cfg.Shards) chose, and how many shard-cluster
+	// representatives the final level aggregated.
+	Shards int
+	Reps   int
+	KFound int
+	// Rand is the Rand index against the planted truth — the O(n) quality
+	// proxy (Disagreement is O(n²) and must never run at these sizes).
+	Rand     float64
+	Duration time.Duration
+	// PerObject is the end-to-end time per object; flat values across the
+	// ladder are the linearity claim.
+	PerObject time.Duration
+}
+
+// HugeResult is the scaling sweep of the sharded SAMPLING pipeline.
+type HugeResult struct {
+	M      int
+	Points []HugePoint
+}
+
+// hugeProblem builds the synthetic workload for one ladder size: hugeM
+// noisy copies of a planted hugeK-group clustering. Generation is O(n·m)
+// time and memory (the inputs themselves; nothing quadratic).
+func hugeProblem(n int, seed int64) (*core.Problem, partition.Labels, error) {
+	rng := rand.New(rand.NewSource(seed))
+	truth := make(partition.Labels, n)
+	for i := range truth {
+		truth[i] = i % hugeK
+	}
+	inputs := make([]partition.Labels, hugeM)
+	for ci := range inputs {
+		c := make(partition.Labels, n)
+		for i := range c {
+			if rng.Float64() < 0.1 {
+				c[i] = rng.Intn(hugeK + 2)
+			} else {
+				c[i] = i % hugeK
+			}
+		}
+		inputs[ci] = c
+	}
+	p, err := core.NewProblem(inputs, core.ProblemOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, truth, nil
+}
+
+// HugeScaling runs sharded SAMPLING over FURTHEST across the size ladder
+// (cfg.HugeSizes or DefaultHugeSizes) and reports the tree shape, quality,
+// and per-object time at each n. cfg.Shards passes through to
+// SamplingOptions.Shards — the default 0 auto-sizes, so the 200k and 1M
+// rows run single-level (their telemetry has no shard counters) and the
+// 10M row gets a 10-shard tree.
+func HugeScaling(cfg Config) (*HugeResult, error) {
+	sizes := cfg.HugeSizes
+	if len(sizes) == 0 {
+		sizes = DefaultHugeSizes
+	}
+	res := &HugeResult{M: hugeM}
+	for _, n := range sizes {
+		problem, truth, err := hugeProblem(n, cfg.seed())
+		if err != nil {
+			return nil, err
+		}
+		rec := cfg.Recorder
+		var before map[string]int64
+		if rec != nil {
+			before = rec.Counters() // one recorder spans the ladder; diff per point
+		}
+		p := HugePoint{N: n}
+		p.Duration, err = timeIt(func() error {
+			labels, err := problem.Sample(core.MethodFurthest,
+				core.AggregateOptions{Workers: cfg.Workers, Recorder: rec, Progress: nil},
+				core.SamplingOptions{
+					Shards: cfg.Shards,
+					Rand:   rand.New(rand.NewSource(cfg.seed())),
+				})
+			if err != nil {
+				return err
+			}
+			p.KFound = labels.K()
+			p.Rand, err = partition.RandIndex(labels, truth)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.PerObject = p.Duration / time.Duration(n)
+		if rec != nil {
+			c := rec.Counters()
+			p.Shards = int(c["sample.shards"] - before["sample.shards"])
+			p.Reps = int(c["sample.shard.reps"] - before["sample.shard.reps"])
+		}
+		if p.Shards == 0 {
+			p.Shards = 1 // single-level: no shard counters recorded
+		}
+		res.Points = append(res.Points, p)
+		if !cfg.Quiet {
+			fmt.Printf("  huge: n=%d done in %.2fs (shards=%d k=%d rand=%.4f)\n",
+				n, p.Duration.Seconds(), p.Shards, p.KFound, p.Rand)
+		}
+	}
+	return res, nil
+}
+
+// String prints the scaling ladder.
+func (r *HugeResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Huge — sharded SAMPLING scaling, m=%d inputs, packed label kernel\n", r.M)
+	fmt.Fprintf(&b, "%12s %8s %6s %8s %10s %14s %8s\n",
+		"n", "shards", "reps", "k", "time(s)", "ns-per-object", "RI")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%12d %8d %6d %8d %10.2f %14d %8.4f\n",
+			p.N, p.Shards, p.Reps, p.KFound, p.Duration.Seconds(), p.PerObject.Nanoseconds(), p.Rand)
+	}
+	return b.String()
+}
