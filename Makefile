@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race test-race check cover bench bench-all bench-short bench-huge benchdiff experiments experiments-full fuzz fuzz-localsearch fuzz-kernel fuzz-widths clean
+.PHONY: all build test vet race test-race check cover bench bench-all bench-short bench-mem bench-huge benchdiff experiments experiments-full fuzz fuzz-localsearch fuzz-kernel fuzz-widths clean
 
 all: build test
 
@@ -22,10 +22,10 @@ test-race:
 	$(GO) test -race ./...
 
 # The full gate: compile, vet, tests, the race detector, the obs coverage
-# floor, one pass of the distance-kernel benchmarks (a smoke test that they
-# still run), and the bench-report regression diff against the committed
-# baseline.
-check: build vet test test-race cover bench-short benchdiff
+# floor, the allocation pins, one pass of the distance-kernel benchmarks (a
+# smoke test that they still run), and the bench-report regression diff
+# against the committed baseline.
+check: build vet test test-race cover bench-mem bench-short benchdiff
 
 # Regression gate: regenerate the bench report and diff it against the
 # committed BENCH_experiments.json (counters exact, cost to float tolerance,
@@ -62,7 +62,15 @@ bench:
 
 # One iteration of the kernel suite, as a fast correctness smoke test.
 bench-short:
-	$(GO) test -run xxx -bench 'BenchmarkMaterialize$$|BenchmarkLocalSearchMatrix$$|BenchmarkLocalSearchIncremental$$|BenchmarkBestOf$$|BenchmarkSampleAssign$$|BenchmarkSampleLarge$$' -benchtime 1x ./internal/core/
+	$(GO) test -run xxx -bench 'BenchmarkMaterialize$$|BenchmarkLocalSearchMatrix$$|BenchmarkLocalSearchIncremental$$|BenchmarkBestOf$$|BenchmarkSampleAssign$$|BenchmarkSampleLarge$$' -benchtime 1x -benchmem ./internal/core/
+
+# The allocation-pin suite: testing.AllocsPerRun assertions that the hot
+# paths (pooled assignment scratch, kernel distance rows, packed label
+# accessors, CSV interning) hold their zero-/constant-allocation steady
+# state. Part of `make check`; any new per-object allocation fails here
+# before it shows up as a benchdiff alloc regression.
+bench-mem:
+	$(GO) test -run 'Alloc' -count=1 ./internal/core/ ./internal/dataset/ ./internal/obs/
 
 # The n=10M artifact, opt-in (never part of bench, bench-short, or check —
 # the top rung runs for tens of seconds and allocates gigabytes): one pass of

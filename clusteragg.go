@@ -45,6 +45,33 @@ func NewProblem(clusterings []Labels, opts ProblemOptions) (*Problem, error) {
 	return core.NewProblem(clusterings, opts)
 }
 
+// PackedClusterings is the width-packed columnar label block: the same m
+// clusterings a []Labels slice would hold, stored row-major at the
+// narrowest integer width the label range needs (1, 2, or 4 bytes). Build
+// one with NewPackedBuilder or NewPackedColumns and hand it to
+// NewProblemPacked; results are bit-identical to the []Labels constructor.
+type PackedClusterings = core.PackedClusterings
+
+// PackedBuilder streams labels into a PackedClusterings, widening the
+// storage in place as larger labels arrive.
+type PackedBuilder = core.PackedBuilder
+
+// NewPackedBuilder returns a row-streaming builder over m clusterings:
+// append one object's m labels at a time with AppendRow.
+func NewPackedBuilder(m int) *PackedBuilder { return core.NewPackedBuilder(m) }
+
+// NewPackedColumns returns a column-streaming builder for n objects over m
+// clusterings: append one whole clustering at a time with AppendColumn, so
+// each input column can be released as soon as it is packed.
+func NewPackedColumns(n, m int) *PackedBuilder { return core.NewPackedColumns(n, m) }
+
+// NewProblemPacked builds an aggregation problem directly over a packed
+// label block — no []Labels inputs ever materialize. See PERFORMANCE.md's
+// memory-budget section for when this matters.
+func NewProblemPacked(pc *PackedClusterings, opts ProblemOptions) (*Problem, error) {
+	return core.NewProblemPacked(pc, opts)
+}
+
 // MissingMode selects the missing-value strategy of Section 2 of the paper.
 type MissingMode = core.MissingMode
 
@@ -148,11 +175,27 @@ func AggregateCSV(r io.Reader, opts CSVOptions) (*CSVResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	clusterings, err := t.Clusterings()
-	if err != nil {
-		return nil, fmt.Errorf("clusteragg: %w", err)
+	cats := t.CategoricalColumns()
+	if len(cats) == 0 {
+		return nil, fmt.Errorf("clusteragg: dataset: table %q has no categorical columns", t.Name)
 	}
-	problem, err := core.NewProblem(clusterings, core.ProblemOptions{})
+	// Stream each attribute's labels into the width-packed block so the
+	// per-attribute []int clusterings are transient, not resident.
+	b := core.NewPackedColumns(t.N(), len(cats))
+	for _, c := range cats {
+		labels, err := c.Clustering()
+		if err != nil {
+			return nil, err
+		}
+		if err := b.AppendColumn(labels); err != nil {
+			return nil, err
+		}
+	}
+	pc, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	problem, err := core.NewProblemPacked(pc, core.ProblemOptions{})
 	if err != nil {
 		return nil, err
 	}

@@ -10,8 +10,8 @@
 //
 // Both inputs may be a BenchReport (cmd/experiments -report: one RunReport
 // per artifact) or a single RunReport (clusteragg -report). Schema versions
-// 1 through 3 all parse; sections a version lacks (gauges, histograms,
-// series) are diffed only when present on both sides.
+// 1 through 4 all parse; sections a version lacks (gauges, histograms,
+// series, alloc) are diffed only when present on both sides.
 //
 // What is compared, per artifact matched by name:
 //
@@ -30,6 +30,14 @@
 //   - wall time: current must stay under baseline × -wall-ratio (generous
 //     by default — wall clock is the one machine-dependent axis that cannot
 //     be pinned exactly; 0 disables).
+//   - allocated bytes (schema 4): the artifact's alloc.bytes — and any
+//     metric named *alloc_bytes, e.g. the huge ladder's per-size points —
+//     must stay under baseline × -alloc-ratio (0 disables). Allocation
+//     totals are deterministic at a fixed seed but shift with Go runtime
+//     versions and pool warm-up, so they get a ratio budget rather than
+//     the exact treatment counters receive; only growth regresses, and a
+//     drop is reported as a note so intentional diets refresh the
+//     baseline. Mallocs and peak_heap_bytes are informational only.
 //
 // Names matching -ignore are skipped entirely. The default pattern drops
 // the known machine-dependent series: *.workers counters (resolved
@@ -49,13 +57,16 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strings"
 
 	"clusteragg/internal/obs"
 )
 
 // defaultIgnore matches the counter/metric names whose values depend on the
-// machine (worker count, timing) rather than on the algorithms.
-const defaultIgnore = `\.workers$|^localsearch\.proposals$|seconds$|time_ratio$|linearity_ratio$|throughput$`
+// machine (worker count, timing, GC pacing) rather than on the algorithms.
+// The live peak-heap gauge is here because peak heap rides GC timing; the
+// alloc *section* (total bytes) is gated separately by -alloc-ratio.
+const defaultIgnore = `\.workers$|^localsearch\.proposals$|seconds$|time_ratio$|linearity_ratio$|throughput$|^alloc\.peak_heap_bytes$`
 
 // defaultWallRatio is deliberately generous: the baseline may come from a
 // different machine, and wall time is the one compared axis that legitimately
@@ -63,8 +74,17 @@ const defaultIgnore = `\.workers$|^localsearch\.proposals$|seconds$|time_ratio$|
 // complexity-class slip.
 const defaultWallRatio = 4.0
 
+// defaultAllocRatio bounds allocated-byte growth per artifact. Allocation
+// totals are much more stable than wall time (they do not depend on the
+// machine's speed) but not byte-exact across Go runtime versions or pool
+// warm-up states, so the budget is tighter than wall time's yet still a
+// ratio: 1.5× catches a copied-again label path or a dropped pool while
+// tolerating runtime drift.
+const defaultAllocRatio = 1.5
+
 type options struct {
 	wallRatio  float64
+	allocRatio float64
 	counterTol float64
 	metricTol  float64
 	ignore     *regexp.Regexp
@@ -83,6 +103,7 @@ func run(args []string, out, errw io.Writer) int {
 		ignoreStr string
 	)
 	fs.Float64Var(&o.wallRatio, "wall-ratio", defaultWallRatio, "fail when an artifact's wall time exceeds baseline×ratio (0 disables)")
+	fs.Float64Var(&o.allocRatio, "alloc-ratio", defaultAllocRatio, "fail when an artifact's allocated bytes exceed baseline×ratio (0 disables)")
 	fs.Float64Var(&o.counterTol, "counter-tol", 0, "relative tolerance for counter deltas (0 = exact match)")
 	fs.Float64Var(&o.metricTol, "metric-tol", 1e-9, "relative tolerance for cost/metric/gauge deltas")
 	fs.StringVar(&ignoreStr, "ignore", defaultIgnore, "regexp of counter/metric names to skip")
@@ -221,10 +242,47 @@ func (d *differ) diffArtifact(base, cur obs.RunReport) {
 		d.regress(name, "wall time %.3fs -> %.3fs (over %.1fx budget)",
 			float64(base.WallNS)/1e9, float64(cur.WallNS)/1e9, d.opts.wallRatio)
 	}
+
+	d.diffAlloc(name, base.Alloc, cur.Alloc)
+}
+
+// diffAlloc gates the artifact's allocated bytes under the alloc-ratio
+// budget. A section present on only one side is a note, not a regression —
+// schema upgrades and untracked runs should not fail the gate; once both
+// sides carry telemetry, growth past the budget does. Mallocs and peak
+// heap are informational, never gated.
+func (d *differ) diffAlloc(name string, base, cur *obs.AllocStats) {
+	switch {
+	case base == nil && cur == nil:
+		return
+	case base == nil:
+		d.note(name, "alloc telemetry added (%d bytes, %d mallocs)", cur.Bytes, cur.Mallocs)
+		return
+	case cur == nil:
+		d.note(name, "alloc telemetry removed (baseline had %d bytes)", base.Bytes)
+		return
+	}
+	if d.opts.allocRatio <= 0 {
+		return
+	}
+	ratio := obs.AllocRatio(cur.Bytes, base.Bytes)
+	switch {
+	case ratio > d.opts.allocRatio:
+		d.regress(name, "allocated bytes %d -> %d (%.2fx, over %.2fx budget)",
+			base.Bytes, cur.Bytes, ratio, d.opts.allocRatio)
+	case ratio < 1/d.opts.allocRatio:
+		d.note(name, "allocated bytes %d -> %d (%.2fx) — consider refreshing the baseline",
+			base.Bytes, cur.Bytes, ratio)
+	case d.opts.verbose:
+		fmt.Fprintf(d.out, "ok %s: allocated bytes %d -> %d (%.2fx)\n", name, base.Bytes, cur.Bytes, ratio)
+	}
 }
 
 // diffFloats compares a float-valued series (headline metrics, gauges) with
-// the relative metric tolerance.
+// the relative metric tolerance. Names ending in alloc_bytes carry
+// allocation totals (the huge ladder's per-size points, the peak-heap
+// gauge's byte scale) and get the alloc-ratio budget instead: growth past
+// it regresses, anything under it passes.
 func (d *differ) diffFloats(name, kind string, base, cur map[string]float64) {
 	for _, k := range sortedKeys(base) {
 		if d.ignored(k) {
@@ -234,6 +292,15 @@ func (d *differ) diffFloats(name, kind string, base, cur map[string]float64) {
 		cv, ok := cur[k]
 		if !ok {
 			d.regress(name, "%s %s removed (was %g)", kind, k, bv)
+			continue
+		}
+		if strings.HasSuffix(k, "alloc_bytes") {
+			if d.opts.allocRatio > 0 && bv > 0 && cv > bv*d.opts.allocRatio {
+				d.regress(name, "%s %s %g -> %g (%.2fx, over %.2fx budget)",
+					kind, k, bv, cv, cv/bv, d.opts.allocRatio)
+			} else if d.opts.verbose {
+				fmt.Fprintf(d.out, "ok %s: %s %s = %g\n", name, kind, k, cv)
+			}
 			continue
 		}
 		if relDelta(bv, cv) <= d.opts.metricTol {

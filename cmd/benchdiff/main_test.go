@@ -44,6 +44,7 @@ func baseReport() obs.BenchReport {
 				},
 				Metrics: map[string]float64{"ec": 0.125, "seconds": 2.0},
 				Gauges:  map[string]float64{"localsearch.clusters": 5},
+				Alloc:   &obs.AllocStats{Bytes: 1 << 20, Mallocs: 1000, PeakHeapBytes: 2 << 20},
 				Series: map[string]obs.SeriesSnapshot{
 					"localsearch.cost": {
 						Points: []obs.SeriesPoint{
@@ -195,6 +196,63 @@ func TestRemovedAndAddedSeries(t *testing.T) {
 	}
 	if !strings.Contains(out, "NOTE fig9: series agglomerative.merge_loss added") {
 		t.Fatalf("added series should be a note:\n%s", out)
+	}
+}
+
+// TestPerturbedAllocFails pins the memory gate: allocated bytes past the
+// ratio budget regress, -alloc-ratio 0 disables the gate, a big drop is a
+// refresh-the-baseline note, and mallocs/peak drift alone never fails.
+func TestPerturbedAllocFails(t *testing.T) {
+	cur := baseReport()
+	cur.Artifacts[0].Alloc = &obs.AllocStats{Bytes: 2 << 20, Mallocs: 1000, PeakHeapBytes: 2 << 20}
+	code, out := runDiff(t, nil, baseReport(), cur)
+	if code != 1 || !strings.Contains(out, "REGRESSION fig9: allocated bytes 1048576 -> 2097152") {
+		t.Fatalf("2x alloc growth: exit %d\n%s", code, out)
+	}
+	if code, out = runDiff(t, []string{"-alloc-ratio", "0"}, baseReport(), cur); code != 0 {
+		t.Fatalf("-alloc-ratio=0 still failed: exit %d\n%s", code, out)
+	}
+
+	cur.Artifacts[0].Alloc = &obs.AllocStats{Bytes: 1 << 18, Mallocs: 1000, PeakHeapBytes: 2 << 20}
+	if code, out = runDiff(t, nil, baseReport(), cur); code != 0 || !strings.Contains(out, "refreshing the baseline") {
+		t.Fatalf("alloc drop should be a note: exit %d\n%s", code, out)
+	}
+
+	cur.Artifacts[0].Alloc = &obs.AllocStats{Bytes: 1 << 20, Mallocs: 9999, PeakHeapBytes: 9 << 20}
+	if code, out = runDiff(t, nil, baseReport(), cur); code != 0 {
+		t.Fatalf("mallocs/peak drift alone failed: exit %d\n%s", code, out)
+	}
+}
+
+// TestAllocMetricRatioBudget pins that *alloc_bytes metrics (the huge
+// ladder's per-size points) ride the alloc-ratio budget, not the exact
+// metric tolerance: small drift passes, budget-breaking growth fails.
+func TestAllocMetricRatioBudget(t *testing.T) {
+	base := baseReport()
+	base.Artifacts[0].Metrics["n100:alloc_bytes"] = 1e6
+	cur := baseReport()
+	cur.Artifacts[0].Metrics["n100:alloc_bytes"] = 1.2e6 // within 1.5x
+	code, out := runDiff(t, nil, base, cur)
+	if code != 0 {
+		t.Fatalf("in-budget alloc metric drift flagged: exit %d\n%s", code, out)
+	}
+	cur.Artifacts[0].Metrics["n100:alloc_bytes"] = 2e6 // over 1.5x
+	if code, out = runDiff(t, nil, base, cur); code != 1 || !strings.Contains(out, "metric n100:alloc_bytes") {
+		t.Fatalf("over-budget alloc metric passed: exit %d\n%s", code, out)
+	}
+}
+
+// TestAllocSectionAsymmetryIsNote pins that a side without alloc telemetry
+// (older schema, untracked run) produces a note, never a failure.
+func TestAllocSectionAsymmetryIsNote(t *testing.T) {
+	noAlloc := baseReport()
+	noAlloc.Artifacts[0].Alloc = nil
+	code, out := runDiff(t, nil, noAlloc, baseReport())
+	if code != 0 || !strings.Contains(out, "NOTE fig9: alloc telemetry added") {
+		t.Fatalf("alloc added: exit %d\n%s", code, out)
+	}
+	if code, out = runDiff(t, nil, baseReport(), noAlloc); code != 0 || !strings.Contains(out, "alloc telemetry removed") {
+		t.Fatalf("alloc removed: exit %d\n%s", code, out)
 	}
 }
 

@@ -167,6 +167,11 @@ func run(path string, cfg cliConfig) error {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "# metrics: http://%s/metrics\n", srv.Addr())
 	}
+	// Allocation telemetry: TotalAlloc/Mallocs deltas over the whole run,
+	// with the peak heap sampled from the progress ticker (and exposed live
+	// on /metrics via the gauge when -listen is up). Costs two ReadMemStats
+	// when no progress events fire.
+	tracker := obs.StartAllocTracker(rec.Gauge("alloc.peak_heap_bytes"))
 	var progress *obs.Progress
 	if cfg.progress {
 		w := cfg.progressOut
@@ -174,6 +179,7 @@ func run(path string, cfg cliConfig) error {
 			w = os.Stderr
 		}
 		progress = obs.NewProgress(func(e obs.ProgressEvent) {
+			tracker.Sample()
 			fmt.Fprintf(w, "# %s\n", e)
 		}, 0)
 	}
@@ -200,11 +206,7 @@ func run(path string, cfg cliConfig) error {
 	if err != nil {
 		return err
 	}
-	clusterings, err := tab.Clusterings()
-	if err != nil {
-		return err
-	}
-	problem, err := core.NewProblem(clusterings, core.ProblemOptions{})
+	problem, err := packedProblem(tab)
 	loadSpan.End()
 	if err != nil {
 		return err
@@ -305,6 +307,7 @@ func run(path string, cfg cliConfig) error {
 			LowerBound: lowerBound,
 			Workers:    core.EffectiveWorkers(cfg.workers),
 			WallNS:     int64(time.Since(start)),
+			Alloc:      tracker.Finish(),
 		}
 		rep.FillFrom(rec)
 		if err := obs.WriteJSON(cfg.report, rep); err != nil {
@@ -344,6 +347,33 @@ func run(path string, cfg cliConfig) error {
 	}
 	fmt.Print(b.String())
 	return nil
+}
+
+// packedProblem builds the aggregation problem straight from the table's
+// categorical columns through the width-packed column builder: each
+// attribute's labels stream into the packed arena one column at a time, so
+// the per-attribute []int clusterings are garbage as soon as they are
+// appended instead of staying resident for the whole run.
+func packedProblem(tab *dataset.Table) (*core.Problem, error) {
+	cats := tab.CategoricalColumns()
+	if len(cats) == 0 {
+		return nil, fmt.Errorf("dataset: table %q has no categorical columns", tab.Name)
+	}
+	b := core.NewPackedColumns(tab.N(), len(cats))
+	for _, c := range cats {
+		labels, err := c.Clustering()
+		if err != nil {
+			return nil, err
+		}
+		if err := b.AppendColumn(labels); err != nil {
+			return nil, err
+		}
+	}
+	pc, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewProblemPacked(pc, core.ProblemOptions{})
 }
 
 func parseMethod(name string) (core.Method, error) {

@@ -99,7 +99,7 @@ func TestRunReportSchema(t *testing.T) {
 	}
 	sort.Strings(got)
 	want := []string{
-		"clusters", "cost", "counters", "gauges", "histograms",
+		"alloc", "clusters", "cost", "counters", "gauges", "histograms",
 		"lower_bound", "m", "method", "n", "schema_version", "series",
 		"spans", "wall_ns", "workers",
 	}
@@ -171,6 +171,16 @@ func TestRunReportSchema(t *testing.T) {
 		if v := ss.Points[len(ss.Points)-1].Value; v < 1 {
 			t.Errorf("cost_over_lower_bound = %g, want >= 1", v)
 		}
+	}
+	// Schema v4 additions: allocation telemetry with its live peak gauge.
+	if rep.Alloc == nil {
+		t.Fatal("alloc section missing from report")
+	}
+	if rep.Alloc.Bytes == 0 || rep.Alloc.Mallocs == 0 || rep.Alloc.PeakHeapBytes == 0 {
+		t.Errorf("alloc section not populated: %+v", rep.Alloc)
+	}
+	if g, ok := rep.Gauges["alloc.peak_heap_bytes"]; !ok || g <= 0 {
+		t.Errorf("gauge alloc.peak_heap_bytes = %v (present=%v), want > 0", g, ok)
 	}
 }
 

@@ -157,8 +157,16 @@ func (r *reporter) begin(artifact string, cfg experiments.Config) (experiments.C
 	rec := obs.New()
 	cfg.Recorder = rec
 	r.server.SetRecorder(rec)
+	// Per-artifact allocation telemetry: TotalAlloc/Mallocs deltas plus a
+	// background-sampled peak heap, reported in the alloc section and
+	// ratio-gated by benchdiff.
+	tracker := obs.StartAllocTracker(nil)
+	stopSampling := make(chan struct{})
+	tracker.SampleEvery(100*time.Millisecond, stopSampling)
 	start := time.Now()
 	return cfg, func(metrics map[string]float64) {
+		close(stopSampling)
+		alloc := tracker.Finish()
 		if r.collectTrace {
 			r.traces = append(r.traces, obs.TraceProcess{
 				Name: artifact, Spans: rec.Spans(), Series: rec.AllSeries(),
@@ -171,6 +179,7 @@ func (r *reporter) begin(artifact string, cfg experiments.Config) (experiments.C
 			Name:    artifact,
 			Workers: core.EffectiveWorkers(cfg.Workers),
 			WallNS:  int64(time.Since(start)),
+			Alloc:   alloc,
 			Metrics: metrics,
 		}
 		runRep.FillFrom(rec)
@@ -393,6 +402,9 @@ func run(artifact string, cfg experiments.Config, plot, asJSON bool, rep *report
 			m[prefix+"reps"] = float64(p.Reps)
 			m[prefix+"clusters"] = float64(p.KFound)
 			m[prefix+"rand_index"] = p.Rand
+			// Ratio-gated by benchdiff (the *alloc_bytes suffix), not
+			// exact-compared: allocation totals drift run to run.
+			m[prefix+"alloc_bytes"] = float64(p.AllocBytes)
 		}
 		if len(res.Points) >= 2 {
 			first, last := res.Points[0], res.Points[len(res.Points)-1]

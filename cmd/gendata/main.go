@@ -25,6 +25,12 @@
 // of a planted -k-group clustering (the same recipe as the core package's
 // scaling benchmarks) plus the planted group as the class column, ready
 // for `clusteragg -header -class class -shards -1`.
+//
+// The consuming side is symmetric: clusteragg streams the CSV through
+// dataset.ReadCSV's interning reader and packs each attribute straight
+// into the width-packed label arena (core.NewPackedColumns), so a
+// gendata-produced 10M-row file is clustered without the []int label
+// slices ever materializing — see docs/PERFORMANCE.md's memory budget.
 package main
 
 import (

@@ -34,6 +34,39 @@ func benchProblem(b *testing.B, n, m, k int) *Problem {
 	return p
 }
 
+// benchProblemPacked is benchProblem through the width-packed ingest path:
+// identical labels (the rng draw order per clustering per object is the
+// same), but streamed column-by-column into a PackedClusterings block so
+// the []int inputs never persist. At n=10M, m=6 that is the difference
+// between ~480 MB of resident label slices and a 60 MB uint8 arena.
+func benchProblemPacked(b *testing.B, n, m, k int) *Problem {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	pb := NewPackedColumns(n, m)
+	col := make([]int, n)
+	for ci := 0; ci < m; ci++ {
+		for i := range col {
+			if rng.Float64() < 0.1 {
+				col[i] = rng.Intn(k + 2)
+			} else {
+				col[i] = i % k
+			}
+		}
+		if err := pb.AppendColumn(col); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pc, err := pb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := NewProblemPacked(pc, ProblemOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
 // BenchmarkMaterialize measures the cluster-block kernel; the Naive variant
 // is the old build (one Dist probe per pair), kept as the baseline the
 // ISSUE's ≥3× criterion is judged against.
@@ -190,18 +223,27 @@ func BenchmarkSampleLarge(b *testing.B) {
 
 // BenchmarkSampleHuge is the opt-in n=10M run behind `make bench-huge`: the
 // sharded hierarchical pipeline (auto-sized to ten 2^20-object shards) over
-// uint8-packed labels. It is deliberately excluded from the bench/bench-short
-// regexes — one iteration runs for tens of seconds and the inputs alone are
-// ~480 MB — and exists so the top of the scaling ladder has a `go test
-// -bench`-shaped entry point next to the experiments "huge" artifact.
+// uint8-packed labels, ingested through the packed column builder so the
+// only label storage alive during the run is the 60 MB uint8 arena — []int
+// inputs never materialize. It is deliberately excluded from the
+// bench/bench-short regexes — one iteration runs for tens of seconds — and
+// exists so the top of the scaling ladder has a `go test -bench`-shaped
+// entry point next to the experiments "huge" artifact. The workers sweep
+// pins that the parallel shard pool neither changes labels (the pipeline is
+// worker-count-deterministic) nor multiplies allocations (scratch comes
+// from the shared pool, shard subproblems are zero-copy views).
 func BenchmarkSampleHuge(b *testing.B) {
-	p := benchProblem(b, 10_000_000, 6, 32)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := p.Sample(MethodFurthest, AggregateOptions{}, SamplingOptions{
-			Rand: rand.New(rand.NewSource(7)),
-		}); err != nil {
-			b.Fatal(err)
-		}
+	p := benchProblemPacked(b, 10_000_000, 6, 32)
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Sample(MethodFurthest, AggregateOptions{Workers: workers}, SamplingOptions{
+					Rand: rand.New(rand.NewSource(7)),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

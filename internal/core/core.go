@@ -59,6 +59,20 @@ type Problem struct {
 	missingMode MissingMode
 	weights     []float64 // nil means uniform
 	totalWeight float64
+
+	// packed, when non-nil, holds the inputs as a width-packed label block
+	// instead of clusterings (exactly one of the two is set — see
+	// NewProblemPacked). The kernel path aliases it zero-copy; []int views
+	// are unpacked lazily into unpacked for the few paths that need them.
+	packed     *PackedClusterings
+	unpackOnce sync.Once
+	unpacked   []partition.Labels
+
+	// kernelOnce caches the auto-width label kernel: every Problem builds it
+	// at most once, so repeated Disagreement/LowerBound/Sample calls (and
+	// the Dist delegation of packed problems) stop re-packing O(n·m) labels.
+	kernelOnce   sync.Once
+	kernelCached *labelKernel
 }
 
 // ProblemOptions configures NewProblem.
@@ -96,6 +110,21 @@ func NewProblem(clusterings []partition.Labels, opts ProblemOptions) (*Problem, 
 			return nil, fmt.Errorf("core: clustering %d: %w", i, err)
 		}
 	}
+	prob, err := problemOptionsOf(len(clusterings), opts)
+	if err != nil {
+		return nil, err
+	}
+	prob.n = n
+	prob.clusterings = clusterings
+	return prob, nil
+}
+
+// problemOptionsOf validates the options against m input clusterings and
+// returns a Problem with the option-derived fields (missing model, weights,
+// total weight) set; the caller fills in the inputs themselves. Shared by
+// NewProblem and NewProblemPacked so both constructors enforce identical
+// rules.
+func problemOptionsOf(m int, opts ProblemOptions) (*Problem, error) {
 	p := opts.MissingTogether
 	if p == 0 {
 		p = DefaultMissingTogether
@@ -107,15 +136,13 @@ func NewProblem(clusterings []partition.Labels, opts ProblemOptions) (*Problem, 
 		return nil, fmt.Errorf("core: unknown MissingMode %d", opts.MissingMode)
 	}
 	prob := &Problem{
-		n:           n,
-		clusterings: clusterings,
 		missingP:    p,
 		missingMode: opts.MissingMode,
-		totalWeight: float64(len(clusterings)),
+		totalWeight: float64(m),
 	}
 	if opts.Weights != nil {
-		if len(opts.Weights) != len(clusterings) {
-			return nil, fmt.Errorf("core: %d weights for %d clusterings", len(opts.Weights), len(clusterings))
+		if len(opts.Weights) != m {
+			return nil, fmt.Errorf("core: %d weights for %d clusterings", len(opts.Weights), m)
 		}
 		prob.totalWeight = 0
 		for i, w := range opts.Weights {
@@ -141,11 +168,30 @@ func (p *Problem) weight(i int) float64 {
 func (p *Problem) N() int { return p.n }
 
 // M returns the number of input clusterings.
-func (p *Problem) M() int { return len(p.clusterings) }
+func (p *Problem) M() int {
+	if p.packed != nil {
+		return p.packed.m
+	}
+	return len(p.clusterings)
+}
+
+// labelViews returns per-clustering []int label views of the inputs: the
+// clusterings themselves when the problem holds them unpacked, or a
+// lazily-unpacked (once, cached) materialization of the packed block. The
+// kernel path never calls this; only the contingency-table BestClustering,
+// matrix materialization of small subproblems, and Clusterings() do.
+func (p *Problem) labelViews() []partition.Labels {
+	if p.packed == nil {
+		return p.clusterings
+	}
+	p.unpackOnce.Do(func() { p.unpacked = p.packed.unpackAll() })
+	return p.unpacked
+}
 
 // Clusterings returns the input clusterings (not a copy; callers must not
-// modify them).
-func (p *Problem) Clusterings() []partition.Labels { return p.clusterings }
+// modify them). On a packed problem this materializes []int views of the
+// label block, allocated once per Problem.
+func (p *Problem) Clusterings() []partition.Labels { return p.labelViews() }
 
 // Dist returns X_uv: the (expected) fraction of input clusterings that place
 // u and v in different clusters. Dist satisfies corrclust.Instance and obeys
@@ -153,6 +199,11 @@ func (p *Problem) Clusterings() []partition.Labels { return p.clusterings }
 func (p *Problem) Dist(u, v int) float64 {
 	if u == v {
 		return 0
+	}
+	if p.packed != nil {
+		// The kernel's pair evaluation is bit-identical to the loops below
+		// and reads the packed labels in place.
+		return p.kernel().Dist(u, v)
 	}
 	if p.missingMode == MissingAverage {
 		return p.distAverage(u, v)
@@ -261,7 +312,7 @@ func (p *Problem) BestClustering() (labels partition.Labels, index int, disagree
 // bestclustering.fast_path, and — on the pairwise-scan path —
 // bestclustering.dist_probes.
 func (p *Problem) bestClustering(rec *obs.Recorder, workers int) (labels partition.Labels, index int, disagreement float64) {
-	rec.Add("bestclustering.candidates", int64(len(p.clusterings)))
+	rec.Add("bestclustering.candidates", int64(p.M()))
 	if p.fastBestApplicable() {
 		rec.Add("bestclustering.fast_path", 1)
 		return p.bestClusteringFast(workers)
@@ -272,7 +323,7 @@ func (p *Problem) bestClustering(rec *obs.Recorder, workers int) (labels partiti
 	}
 	bestIdx, bestD := -1, 0.0
 	var best partition.Labels
-	for i, c := range p.clusterings {
+	for i, c := range p.labelViews() {
 		cand := completeMissing(c)
 		d := p.totalWeight * corrclust.Cost(inst, cand)
 		if bestIdx == -1 || d < bestD {
@@ -287,6 +338,10 @@ func (p *Problem) bestClustering(rec *obs.Recorder, workers int) (labels partiti
 // coin model's expected disagreements have no contingency analogue).
 // Weights are fine — they scale each pairwise distance.
 func (p *Problem) fastBestApplicable() bool {
+	if p.packed != nil {
+		// The builder tracked missing labels exactly; no scan needed.
+		return !p.packed.anyMiss
+	}
 	for _, c := range p.clusterings {
 		for _, l := range c {
 			if l == partition.Missing {
@@ -306,11 +361,12 @@ func (p *Problem) fastBestApplicable() bool {
 // as a fully sequential run, so every worker count returns the same
 // (labels, index, disagreement).
 func (p *Problem) bestClusteringFast(workers int) (partition.Labels, int, float64) {
-	m := len(p.clusterings)
+	cs := p.labelViews()
+	m := len(cs)
 	np := m * (m - 1) / 2
 	dist := make([]int, m*m)
 	fillPair := func(i, j int) {
-		dij, err := partition.Distance(p.clusterings[i], p.clusterings[j])
+		dij, err := partition.Distance(cs[i], cs[j])
 		if err != nil {
 			// Unreachable: lengths were validated at construction.
 			panic(err)
@@ -360,5 +416,5 @@ func (p *Problem) bestClusteringFast(workers int) (partition.Labels, int, float6
 			bestIdx, bestD = i, d
 		}
 	}
-	return p.clusterings[bestIdx].Normalize(), bestIdx, bestD
+	return cs[bestIdx].Normalize(), bestIdx, bestD
 }

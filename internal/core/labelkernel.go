@@ -113,15 +113,34 @@ type labelKernel struct {
 	totalWeight float64
 }
 
-// kernel packs the problem into a fresh labelKernel at the minimum width in
-// O(n·m).
-func (p *Problem) kernel() *labelKernel { return p.kernelWidth(0) }
+// kernel returns the problem's labelKernel at the minimum width, built at
+// most once per Problem (cached under kernelOnce): evaluate + sample +
+// lower-bound sequences stop paying the O(n·m) pack repeatedly, and packed
+// problems alias their ingest block with no pack at all.
+func (p *Problem) kernel() *labelKernel {
+	p.kernelOnce.Do(func() { p.kernelCached = p.buildLabelKernel(0) })
+	return p.kernelCached
+}
 
 // kernelWidth is kernel with an explicit width override in bytes (0 = auto
-// minimum). Forcing a width narrower than the label bound allows is
-// rejected by panic; tests use wider-than-minimum kernels to pin the widths
-// bit-identical against each other.
+// minimum, served from the cache). Forcing a width narrower than the label
+// bound allows is rejected by panic; tests use wider-than-minimum kernels
+// to pin the widths bit-identical against each other, and forced builds
+// bypass the cache so they never leak into the auto path.
 func (p *Problem) kernelWidth(force int) *labelKernel {
+	if force == 0 {
+		return p.kernel()
+	}
+	return p.buildLabelKernel(force)
+}
+
+// buildLabelKernel constructs the kernel: zero-copy from the packed ingest
+// block when the problem is packed, otherwise a fresh O(n·m) pack of the
+// []int clusterings.
+func (p *Problem) buildLabelKernel(force int) *labelKernel {
+	if p.packed != nil {
+		return p.packed.kernelFrom(p, force)
+	}
 	n, m := p.n, len(p.clusterings)
 	lk := &labelKernel{
 		n:           n,

@@ -52,10 +52,13 @@ type clusteringBlocks struct {
 }
 
 // blocksOf reshapes the input clusterings into per-cluster member lists and
-// missing sets.
+// missing sets. Packed problems unpack []int views first (cached on the
+// Problem) — materialization is only ever applied to small subproblems on
+// the sampling path, so the views stay proportional to the sample, not n.
 func (p *Problem) blocksOf() []clusteringBlocks {
-	blocks := make([]clusteringBlocks, len(p.clusterings))
-	for i, c := range p.clusterings {
+	cs := p.labelViews()
+	blocks := make([]clusteringBlocks, len(cs))
+	for i, c := range cs {
 		b := clusteringBlocks{weight: p.weight(i)}
 		k := 0
 		for _, l := range c {
@@ -270,7 +273,7 @@ func (p *Problem) materializeStripe(mx *corrclust.Matrix, blocks []clusteringBlo
 	// Normalize: coin divides by the total weight; average divides by the
 	// per-pair vote weight, with the paper's maximally-uncertain 1/2 for
 	// pairs missing from every clustering.
-	m32 := int32(len(p.clusterings))
+	m32 := int32(p.M())
 	for u := stripe; u < n; u += workers {
 		row := mx.Row(u)
 		if !average {

@@ -1,0 +1,26 @@
+package core
+
+import "sync"
+
+// f64Pool recycles the per-worker float64 scratch of the hot assignment and
+// recluster loops (affinity vectors sized k, row buffers sized by the
+// sample). Each worker checks one buffer out for its whole stripe, so the
+// steady state allocates nothing per object — TestAssignScratchAllocs pins
+// this with testing.AllocsPerRun. Buffers come back unzeroed; every
+// consumer fully overwrites its slice before reading (affinities zeroes
+// dst, DistRowTo writes each element), so no clearing is needed.
+var f64Pool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getF64 checks a float64 buffer of length n out of the pool, growing the
+// pooled allocation when it is too small. The returned pointer goes back
+// via putF64; the slice is only valid until then.
+func getF64(n int) (*[]float64, []float64) {
+	bp := f64Pool.Get().(*[]float64)
+	if cap(*bp) < n {
+		*bp = make([]float64, n)
+	}
+	return bp, (*bp)[:n]
+}
+
+// putF64 returns a buffer obtained from getF64 to the pool.
+func putF64(bp *[]float64) { f64Pool.Put(bp) }

@@ -162,11 +162,11 @@ func (p *Problem) finishSample(rec *obs.Recorder, method Method, aggOpts Aggrega
 	// — O(m·k) per object with O(n·m + m·L·k) total memory, no O(n²)
 	// anything (see labelkernel.go); sOpts.ReferenceAssign keeps the
 	// original probing pass, O(m·s) interface calls per object.
+	// Sample membership needs no side table: labels was initialized to
+	// Missing everywhere and then set exactly on the sample positions, so
+	// labels[v] != Missing identifies the sample — one fewer O(n)
+	// allocation, and each assignment stripe only reads positions it owns.
 	assignSpan := rec.Start("sample:assign")
-	inSample := make([]bool, n)
-	for _, i := range sample {
-		inSample[i] = true
-	}
 	workers := effectiveWorkers(aggOpts.Workers)
 	if workers > n {
 		workers = n
@@ -176,9 +176,9 @@ func (p *Problem) finishSample(rec *obs.Recorder, method Method, aggOpts Aggrega
 	}
 	var assigned, fresh int64
 	if sOpts.ReferenceAssign {
-		assigned, fresh = p.assignReference(rec, aggOpts.Progress, labels, members, inSample, workers)
+		assigned, fresh = p.assignReference(rec, aggOpts.Progress, labels, members, workers)
 	} else {
-		assigned, fresh = p.assignKernel(rec, aggOpts.Progress, labels, members, inSample, workers)
+		assigned, fresh = p.assignKernel(rec, aggOpts.Progress, labels, members, workers)
 	}
 	rec.Add("sample.assigned", assigned)
 	rec.Add("sample.fresh_singletons", fresh)
@@ -204,7 +204,7 @@ func (p *Problem) finishSample(rec *obs.Recorder, method Method, aggOpts Aggrega
 // sample.assign.dist_probes. Each stripe observes its batch latencies in the
 // sample.assign.batch.seconds histogram and advances the shared progress
 // counter (Done = objects scanned so far across all stripes, Total = n).
-func (p *Problem) assignReference(rec *obs.Recorder, progress *obs.Progress, labels partition.Labels, members [][]int, inSample []bool, workers int) (assigned, fresh int64) {
+func (p *Problem) assignReference(rec *obs.Recorder, progress *obs.Progress, labels partition.Labels, members [][]int, workers int) (assigned, fresh int64) {
 	n, k := p.n, len(members)
 	var oracle corrclust.Instance = p
 	var batchHist *obs.Histogram
@@ -217,7 +217,8 @@ func (p *Problem) assignReference(rec *obs.Recorder, progress *obs.Progress, lab
 	var done atomic.Int64
 	counts := make([][2]int64, workers) // assigned, fresh per stripe
 	assignStripe := func(stripe int) {
-		m := make([]float64, k)
+		mPtr, m := getF64(k)
+		defer putF64(mPtr)
 		inBatch := 0
 		var batchStart time.Time
 		if batchHist != nil {
@@ -244,7 +245,7 @@ func (p *Problem) assignReference(rec *obs.Recorder, progress *obs.Progress, lab
 			inBatch = 0
 		}
 		for v := stripe; v < n; v += workers {
-			if !inSample[v] {
+			if labels[v] == partition.Missing {
 				var totalAway float64
 				for ci := range members {
 					m[ci] = 0
@@ -314,7 +315,7 @@ func (p *Problem) assignReference(rec *obs.Recorder, progress *obs.Progress, lab
 // row route). Batch latencies land in sample.assign.batch.seconds and the
 // shared progress counter ticks once per batch (Done = objects scanned so
 // far across all chunks, Total = n).
-func (p *Problem) assignKernel(rec *obs.Recorder, progress *obs.Progress, labels partition.Labels, members [][]int, inSample []bool, workers int) (assigned, fresh int64) {
+func (p *Problem) assignKernel(rec *obs.Recorder, progress *obs.Progress, labels partition.Labels, members [][]int, workers int) (assigned, fresh int64) {
 	n, k := p.n, len(members)
 	lk := p.kernel()
 	rec.Add("sample.assign.kernel_cols", int64(n))
@@ -349,10 +350,13 @@ func (p *Problem) assignKernel(rec *obs.Recorder, progress *obs.Progress, labels
 
 	counts := make([][2]int64, workers) // assigned, fresh per stripe
 	assignChunk := func(stripe, lo, hi int) {
-		m := make([]float64, k)
+		mPtr, m := getF64(k)
+		defer putF64(mPtr)
 		var buf []float64
 		if hist == nil {
-			buf = make([]float64, len(flat))
+			bufPtr, b := getF64(len(flat))
+			defer putF64(bufPtr)
+			buf = b
 		}
 		for bLo := lo; bLo < hi; bLo += assignBatchSize {
 			bHi := bLo + assignBatchSize
@@ -364,7 +368,7 @@ func (p *Problem) assignKernel(rec *obs.Recorder, progress *obs.Progress, labels
 				batchStart = time.Now()
 			}
 			for v := bLo; v < bHi; v++ {
-				if inSample[v] {
+				if labels[v] != partition.Missing {
 					continue
 				}
 				if hist != nil {
@@ -522,15 +526,14 @@ func (p *Problem) sampleSharded(method Method, aggOpts AggregateOptions, sOpts S
 	var done atomic.Int64
 	runShard := func(i int) {
 		lo, hi := i*n/shards, (i+1)*n/shards
-		idx := make([]int, hi-lo)
-		for j := range idx {
-			idx[j] = lo + j
-		}
 		inner := aggOpts
 		inner.Workers = 1 // parallelism lives across shards
 		inner.Recorder = nil
 		inner.Progress = nil
-		labels, err := p.subProblem(idx).Sample(method, inner, SamplingOptions{
+		// Contiguous ranges alias the parent's labels (subProblemRange) —
+		// a shard subproblem costs a Problem header, not a copy of its
+		// share of the inputs.
+		labels, err := p.subProblemRange(lo, hi).Sample(method, inner, SamplingOptions{
 			SampleSize:      sOpts.SampleSize,
 			Rand:            rand.New(rand.NewSource(seeds[i])),
 			ReferenceAssign: sOpts.ReferenceAssign,
@@ -647,8 +650,28 @@ func withMaterialize(o AggregateOptions) AggregateOptions {
 	return o
 }
 
-// subProblem restricts the inputs to the given (sorted) object indices.
+// subHeader returns a Problem sharing p's option-derived fields, with the
+// inputs left for the caller to fill.
+func (p *Problem) subHeader(n int) *Problem {
+	return &Problem{
+		n:           n,
+		missingP:    p.missingP,
+		missingMode: p.missingMode,
+		weights:     p.weights,
+		totalWeight: p.totalWeight,
+	}
+}
+
+// subProblem restricts the inputs to the given (sorted) object indices:
+// packed problems gather the selected label rows into one fresh arena at
+// the parent's width (m·width bytes per object instead of 8·m), unpacked
+// ones copy the selected labels per clustering.
 func (p *Problem) subProblem(idx []int) *Problem {
+	s := p.subHeader(len(idx))
+	if p.packed != nil {
+		s.packed = p.packed.gather(idx)
+		return s
+	}
 	sub := make([]partition.Labels, len(p.clusterings))
 	for ci, c := range p.clusterings {
 		sc := make(partition.Labels, len(idx))
@@ -657,14 +680,30 @@ func (p *Problem) subProblem(idx []int) *Problem {
 		}
 		sub[ci] = sc
 	}
-	return &Problem{
-		n:           len(idx),
-		clusterings: sub,
-		missingP:    p.missingP,
-		missingMode: p.missingMode,
-		weights:     p.weights,
-		totalWeight: p.totalWeight,
+	s.clusterings = sub
+	return s
+}
+
+// subProblemRange restricts the inputs to the contiguous object range
+// [lo, hi) without copying any labels: packed problems alias a view of the
+// label block, unpacked ones reslice each clustering in place. Sub-kernels
+// built from a packed view share the parent's per-clustering label bounds;
+// a looser bound only adds all-zero co-label histogram rows, which change
+// no float arithmetic, so results are bit-identical to the copying
+// subProblem over the same range (TestSubProblemRangeAliases pins both the
+// aliasing and the equivalence).
+func (p *Problem) subProblemRange(lo, hi int) *Problem {
+	s := p.subHeader(hi - lo)
+	if p.packed != nil {
+		s.packed = p.packed.view(lo, hi)
+		return s
 	}
+	sub := make([]partition.Labels, len(p.clusterings))
+	for ci, c := range p.clusterings {
+		sub[ci] = c[lo:hi]
+	}
+	s.clusterings = sub
+	return s
 }
 
 // reclusterSingletons gathers every object currently in a singleton cluster
@@ -672,18 +711,35 @@ func (p *Problem) subProblem(idx []int) *Problem {
 // Very large singleton sets are handled by a recursive Sample call so the
 // post-processing stays near-linear.
 func (p *Problem) reclusterSingletons(labels partition.Labels, method Method, aggOpts AggregateOptions, rng *rand.Rand) error {
-	counts := make(map[int]int)
+	// Every object carries a label here (provisional singletons got k+v), so
+	// cluster sizes fit a flat array indexed by label — one bound scan plus
+	// 4 bytes per provisional label, instead of the map[int]int whose
+	// buckets dominated this pass's allocations at large n. The bound
+	// doubles as the splice base below.
+	base := 0
+	for _, c := range labels {
+		if c >= base {
+			base = c + 1
+		}
+	}
+	counts := make([]int32, base)
 	for _, c := range labels {
 		counts[c]++
 	}
-	var singles []int
+	nSingle := 0
+	for _, c := range counts {
+		if c == 1 {
+			nSingle++
+		}
+	}
+	if nSingle < 2 {
+		return nil
+	}
+	singles := make([]int, 0, nSingle)
 	for i, c := range labels {
 		if counts[c] == 1 {
 			singles = append(singles, i)
 		}
-	}
-	if len(singles) < 2 {
-		return nil
 	}
 	aggOpts.Recorder.Add("sample.recluster.objects", int64(len(singles)))
 
@@ -706,12 +762,6 @@ func (p *Problem) reclusterSingletons(labels partition.Labels, method Method, ag
 		rec.Series("sample.recluster.cost").Append(int64(len(singles)), sub.Disagreement(subLabels))
 	}
 
-	base := 0
-	for _, c := range labels {
-		if c >= base {
-			base = c + 1
-		}
-	}
 	for i, obj := range singles {
 		labels[obj] = base + subLabels[i]
 	}

@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// benchCSV builds an in-memory CSV in the shape the loader actually meets:
+// mostly low-cardinality categorical columns with heavily repeated values
+// (the regime the bounded intern table and ReuseRecord target), one numeric
+// column, one class column, and a sprinkle of missing tokens.
+func benchCSV(rows int) string {
+	var sb strings.Builder
+	sb.WriteString("a,b,c,d,e,f,num,class\n")
+	for r := 0; r < rows; r++ {
+		for c := 0; c < 6; c++ {
+			if (r+c)%97 == 0 {
+				sb.WriteString("?,")
+				continue
+			}
+			fmt.Fprintf(&sb, "val%d,", (r*7+c*3)%(8+c))
+		}
+		fmt.Fprintf(&sb, "%d.5,c%d\n", r%13, r%3)
+	}
+	return sb.String()
+}
+
+// BenchmarkReadCSV pins the loader's speed and allocation profile (run with
+// -benchmem): one streamed pass with a reused record buffer and bounded
+// interning should allocate O(columns · distinct values) strings, not
+// O(cells). docs/PERFORMANCE.md records the before/after numbers.
+func BenchmarkReadCSV(b *testing.B) {
+	data := benchCSV(20_000)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := ReadCSV(strings.NewReader(data), CSVOptions{
+			Name: "bench", HasHeader: true, ClassColumn: "class",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.N() != 20_000 {
+			b.Fatalf("rows = %d", t.N())
+		}
+	}
+}
+
+// TestReadCSVInternAllocs pins the interning reader's allocation shape: on
+// a repeated-value table the per-parse allocation count must scale with
+// distinct values and rows (slice growth), not with cells — the pre-intern
+// reader allocated one string per cell (~2 allocs/cell end to end), so the
+// pin at well under one alloc per cell fails on any regression to that.
+func TestReadCSVInternAllocs(t *testing.T) {
+	const rows = 2000
+	data := benchCSV(rows)
+	cells := rows * 8
+	allocs := testing.AllocsPerRun(5, func() {
+		tab, err := ReadCSV(strings.NewReader(data), CSVOptions{
+			Name: "pin", HasHeader: true, ClassColumn: "class",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.N() != rows {
+			t.Fatalf("rows = %d", tab.N())
+		}
+	})
+	if perCell := allocs / float64(cells); perCell > 0.5 {
+		t.Errorf("ReadCSV allocates %.0f objects (%.2f per cell) on %d cells; interning should keep this well under one per cell", allocs, perCell, cells)
+	}
+}

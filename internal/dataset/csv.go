@@ -37,30 +37,74 @@ type CSVOptions struct {
 	TrimSpace bool
 }
 
-// ReadCSV loads a table from CSV data. All rows must have the same number
-// of fields; the csv reader enforces this and reports ragged input.
+// internCap bounds the per-column intern map during the streaming pass.
+// Columns under the cap (every real categorical attribute) intern each
+// distinct value exactly once; a column that blows past it — typically a
+// near-unique ID column mistakenly treated as categorical — falls back to
+// buffering the raw strings and interning them exactly at finalize, so the
+// value→id mapping (and hence the induced clustering) is always identical
+// to unbounded interning. The cap only protects the map itself from
+// quadratic-ish rehash churn on pathological columns.
+const internCap = 4096
+
+// internDeferred marks a cell whose value arrived after the intern cap was
+// hit; it is resolved to a real id at finalize.
+const internDeferred = -2
+
+// idClone is intern.id for strings that alias a transient read buffer: the
+// key is cloned before it is retained, so interning never pins a csv line.
+func (in *intern) idClone(s string) int {
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	s = strings.Clone(s)
+	id := len(in.names)
+	in.ids[s] = id
+	in.names = append(in.names, s)
+	return id
+}
+
+// colScan is the streaming per-column state of ReadCSV.
+type colScan struct {
+	name      string
+	forcedNum bool
+	forcedCat bool
+	tryNum    bool // numeric inference still viable
+	seenVal   bool // at least one non-missing value
+	floats    []float64
+	ids       []int
+	in        *intern
+	overflow  []string // post-cap values in occurrence order (duplicates included)
+	badRow    int      // first non-numeric cell of a forced-numeric column
+	badVal    string
+}
+
+// ReadCSV loads a table from CSV data in one streaming pass: records reuse
+// the reader's buffer, repeated string values intern to a single allocation,
+// and no [][]string copy of the file is ever built. All rows must have the
+// same number of fields; the csv reader enforces this and reports ragged
+// input.
 func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
 	cr := csv.NewReader(r)
 	if opts.Comma != 0 {
 		cr.Comma = opts.Comma
 	}
-	records, err := cr.ReadAll()
+	cr.ReuseRecord = true
+
+	first, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("dataset: empty csv input")
+	}
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading csv: %w", err)
 	}
-	if len(records) == 0 {
-		return nil, fmt.Errorf("dataset: empty csv input")
-	}
 
-	var header []string
+	header := make([]string, len(first))
 	if opts.HasHeader {
-		header = records[0]
-		records = records[1:]
-		if len(records) == 0 {
-			return nil, fmt.Errorf("dataset: csv has a header but no data rows")
+		for i, h := range first {
+			header[i] = strings.Clone(h)
 		}
 	} else {
-		header = make([]string, len(records[0]))
 		for i := range header {
 			header[i] = fmt.Sprintf("col%d", i)
 		}
@@ -78,15 +122,6 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
 		}
 		return false
 	}
-
-	if opts.TrimSpace {
-		for _, rec := range records {
-			for i := range rec {
-				rec[i] = strings.TrimSpace(rec[i])
-			}
-		}
-	}
-
 	forced := func(list []string, name string) bool {
 		for _, x := range list {
 			if x == name {
@@ -104,77 +139,131 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
 				break
 			}
 		}
-		if classIdx == -1 {
-			return nil, fmt.Errorf("dataset: class column %q not found in header %v", opts.ClassColumn, header)
+	}
+
+	cols := make([]*colScan, len(header))
+	for i, name := range header {
+		c := &colScan{name: name, badRow: -1, in: newIntern()}
+		if i == classIdx {
+			cols[i] = c
+			continue
 		}
+		c.forcedNum = forced(opts.NumericColumns, name)
+		c.forcedCat = !c.forcedNum && forced(opts.CategoricalColumns, name)
+		c.tryNum = !c.forcedNum && !c.forcedCat
+		cols[i] = c
+	}
+
+	rows := 0
+	scan := func(rec []string) {
+		row := rows
+		rows++
+		for i, v := range rec {
+			if opts.TrimSpace {
+				v = strings.TrimSpace(v)
+			}
+			c := cols[i]
+			if i == classIdx {
+				if isMissing(v) {
+					if c.badRow < 0 {
+						c.badRow = row
+					}
+					c.ids = append(c.ids, MissingValue)
+				} else {
+					c.ids = append(c.ids, c.in.idClone(v))
+				}
+				continue
+			}
+			if isMissing(v) {
+				if c.forcedNum || c.tryNum {
+					c.floats = append(c.floats, math.NaN())
+				}
+				if !c.forcedNum {
+					c.ids = append(c.ids, MissingValue)
+				}
+				continue
+			}
+			c.seenVal = true
+			if c.forcedNum || c.tryNum {
+				if f, err := strconv.ParseFloat(v, 64); err == nil {
+					c.floats = append(c.floats, f)
+				} else if c.forcedNum {
+					if c.badRow < 0 {
+						c.badRow = row
+						c.badVal = strings.Clone(v)
+					}
+				} else {
+					c.tryNum = false
+					c.floats = nil
+				}
+			}
+			if c.forcedNum {
+				continue
+			}
+			if id, ok := c.in.ids[v]; ok {
+				c.ids = append(c.ids, id)
+			} else if len(c.in.names) < internCap {
+				c.ids = append(c.ids, c.in.idClone(v))
+			} else {
+				c.ids = append(c.ids, internDeferred)
+				c.overflow = append(c.overflow, strings.Clone(v))
+			}
+		}
+	}
+
+	if !opts.HasHeader {
+		scan(first)
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading csv: %w", err)
+		}
+		scan(rec)
+	}
+	if opts.HasHeader && rows == 0 {
+		return nil, fmt.Errorf("dataset: csv has a header but no data rows")
+	}
+	if opts.ClassColumn != "" && classIdx == -1 {
+		return nil, fmt.Errorf("dataset: class column %q not found in header %v", opts.ClassColumn, header)
 	}
 
 	t := &Table{Name: opts.Name}
-	for col, name := range header {
-		values := make([]string, len(records))
-		for row, rec := range records {
-			values[row] = rec[col]
-		}
-		if col == classIdx {
-			in := newIntern()
-			t.Class = make([]int, len(values))
-			for row, v := range values {
-				if isMissing(v) {
-					return nil, fmt.Errorf("dataset: missing class label at row %d", row)
-				}
-				t.Class[row] = in.id(v)
+	for i, c := range cols {
+		if i == classIdx {
+			if c.badRow >= 0 {
+				return nil, fmt.Errorf("dataset: missing class label at row %d", c.badRow)
 			}
-			t.ClassNames = in.names
+			t.Class = c.ids
+			t.ClassNames = c.in.names
 			continue
 		}
-
-		numeric := forced(opts.NumericColumns, name)
-		if !numeric && !forced(opts.CategoricalColumns, name) {
-			numeric = inferNumeric(values, isMissing)
+		if c.forcedNum && c.badRow >= 0 {
+			return nil, fmt.Errorf("dataset: column %q row %d: %q is not numeric", c.name, c.badRow, c.badVal)
 		}
-		if numeric {
-			c := &Column{Name: name, Kind: Numeric, Floats: make([]float64, len(values))}
-			for row, v := range values {
-				if isMissing(v) {
-					c.Floats[row] = math.NaN()
-					continue
-				}
-				f, err := strconv.ParseFloat(v, 64)
-				if err != nil {
-					return nil, fmt.Errorf("dataset: column %q row %d: %q is not numeric", name, row, v)
-				}
-				c.Floats[row] = f
-			}
-			t.Cols = append(t.Cols, c)
+		if c.forcedNum || (c.tryNum && c.seenVal) {
+			t.Cols = append(t.Cols, &Column{Name: c.name, Kind: Numeric, Floats: c.floats})
 			continue
 		}
-		c := &Column{Name: name, Kind: Categorical, Values: make([]int, len(values))}
-		in := newIntern()
-		for row, v := range values {
-			if isMissing(v) {
-				c.Values[row] = MissingValue
-			} else {
-				c.Values[row] = in.id(v)
+		// Resolve post-cap cells: exact interning in occurrence order, so
+		// ids match what unbounded interning would have produced (a split
+		// mapping would split clusters downstream).
+		if len(c.overflow) > 0 {
+			oi := 0
+			for j, id := range c.ids {
+				if id == internDeferred {
+					c.ids[j] = c.in.id(c.overflow[oi])
+					oi++
+				}
 			}
 		}
-		c.Names = in.names
-		t.Cols = append(t.Cols, c)
+		if c.ids == nil {
+			c.ids = []int{}
+		}
+		t.Cols = append(t.Cols, &Column{Name: c.name, Kind: Categorical, Values: c.ids, Names: c.in.names})
 	}
 	return t, nil
-}
-
-// inferNumeric reports whether every non-missing value parses as a float
-// and at least one value is present.
-func inferNumeric(values []string, isMissing func(string) bool) bool {
-	seen := false
-	for _, v := range values {
-		if isMissing(v) {
-			continue
-		}
-		if _, err := strconv.ParseFloat(v, 64); err != nil {
-			return false
-		}
-		seen = true
-	}
-	return seen
 }

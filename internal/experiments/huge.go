@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -52,6 +53,11 @@ type HugePoint struct {
 	// PerObject is the end-to-end time per object; flat values across the
 	// ladder are the linearity claim.
 	PerObject time.Duration
+	// AllocBytes is the heap allocated across this point — ingest plus the
+	// full sampling run, measured as a runtime TotalAlloc delta. With the
+	// packed ingest path the budget is ~O(n·m) label-arena bytes, not the
+	// ~8×-larger []int inputs; benchdiff ratio-gates it (n<N>:alloc_bytes).
+	AllocBytes uint64
 }
 
 // HugeResult is the scaling sweep of the sharded SAMPLING pipeline.
@@ -61,27 +67,37 @@ type HugeResult struct {
 }
 
 // hugeProblem builds the synthetic workload for one ladder size: hugeM
-// noisy copies of a planted hugeK-group clustering. Generation is O(n·m)
-// time and memory (the inputs themselves; nothing quadratic).
+// noisy copies of a planted hugeK-group clustering, streamed column by
+// column into a width-packed block (one reused []int scratch column; no
+// []int inputs persist — at n=10M that is a 60 MB uint8 arena instead of
+// ~480 MB of label slices). The per-clustering, per-object rng draw order
+// is the historical one, so labels — and every counter and Rand index
+// downstream — are unchanged from the pre-packed generator.
 func hugeProblem(n int, seed int64) (*core.Problem, partition.Labels, error) {
 	rng := rand.New(rand.NewSource(seed))
 	truth := make(partition.Labels, n)
 	for i := range truth {
 		truth[i] = i % hugeK
 	}
-	inputs := make([]partition.Labels, hugeM)
-	for ci := range inputs {
-		c := make(partition.Labels, n)
-		for i := range c {
+	b := core.NewPackedColumns(n, hugeM)
+	col := make([]int, n)
+	for ci := 0; ci < hugeM; ci++ {
+		for i := range col {
 			if rng.Float64() < 0.1 {
-				c[i] = rng.Intn(hugeK + 2)
+				col[i] = rng.Intn(hugeK + 2)
 			} else {
-				c[i] = i % hugeK
+				col[i] = i % hugeK
 			}
 		}
-		inputs[ci] = c
+		if err := b.AppendColumn(col); err != nil {
+			return nil, nil, err
+		}
 	}
-	p, err := core.NewProblem(inputs, core.ProblemOptions{})
+	pc, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := core.NewProblemPacked(pc, core.ProblemOptions{})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -101,6 +117,9 @@ func HugeScaling(cfg Config) (*HugeResult, error) {
 	}
 	res := &HugeResult{M: hugeM}
 	for _, n := range sizes {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		allocStart := ms.TotalAlloc
 		problem, truth, err := hugeProblem(n, cfg.seed())
 		if err != nil {
 			return nil, err
@@ -129,6 +148,8 @@ func HugeScaling(cfg Config) (*HugeResult, error) {
 			return nil, err
 		}
 		p.PerObject = p.Duration / time.Duration(n)
+		runtime.ReadMemStats(&ms)
+		p.AllocBytes = ms.TotalAlloc - allocStart
 		if rec != nil {
 			c := rec.Counters()
 			p.Shards = int(c["sample.shards"] - before["sample.shards"])
@@ -139,8 +160,9 @@ func HugeScaling(cfg Config) (*HugeResult, error) {
 		}
 		res.Points = append(res.Points, p)
 		if !cfg.Quiet {
-			fmt.Printf("  huge: n=%d done in %.2fs (shards=%d k=%d rand=%.4f)\n",
-				n, p.Duration.Seconds(), p.Shards, p.KFound, p.Rand)
+			fmt.Printf("  huge: n=%d done in %.2fs (shards=%d k=%d rand=%.4f alloc=%.1fMB)\n",
+				n, p.Duration.Seconds(), p.Shards, p.KFound, p.Rand,
+				float64(p.AllocBytes)/(1<<20))
 		}
 	}
 	return res, nil
@@ -150,11 +172,12 @@ func HugeScaling(cfg Config) (*HugeResult, error) {
 func (r *HugeResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Huge — sharded SAMPLING scaling, m=%d inputs, packed label kernel\n", r.M)
-	fmt.Fprintf(&b, "%12s %8s %6s %8s %10s %14s %8s\n",
-		"n", "shards", "reps", "k", "time(s)", "ns-per-object", "RI")
+	fmt.Fprintf(&b, "%12s %8s %6s %8s %10s %14s %10s %8s\n",
+		"n", "shards", "reps", "k", "time(s)", "ns-per-object", "alloc(MB)", "RI")
 	for _, p := range r.Points {
-		fmt.Fprintf(&b, "%12d %8d %6d %8d %10.2f %14d %8.4f\n",
-			p.N, p.Shards, p.Reps, p.KFound, p.Duration.Seconds(), p.PerObject.Nanoseconds(), p.Rand)
+		fmt.Fprintf(&b, "%12d %8d %6d %8d %10.2f %14d %10.1f %8.4f\n",
+			p.N, p.Shards, p.Reps, p.KFound, p.Duration.Seconds(), p.PerObject.Nanoseconds(),
+			float64(p.AllocBytes)/(1<<20), p.Rand)
 	}
 	return b.String()
 }

@@ -68,7 +68,8 @@ series:
 // metric values always produce the same bytes regardless of how the
 // recorder was populated.
 func TestRunReportJSONGolden(t *testing.T) {
-	const want = `{"schema_version":3,"n":4,"cost":9,"wall_ns":0,` +
+	const want = `{"schema_version":4,"n":4,"cost":9,"wall_ns":0,` +
+		`"alloc":{"bytes":4096,"mallocs":17,"peak_heap_bytes":65536},` +
 		`"counters":{"agglomerative.merges":3,"localsearch.moves":12},` +
 		`"gauges":{"alpha":-2,"z":1.5},` +
 		`"histograms":{"lat":{"bounds":[1,2],"counts":[1,0,1],"count":2,"sum":4}},` +
@@ -81,7 +82,8 @@ func TestRunReportJSONGolden(t *testing.T) {
 	} {
 		r := New()
 		populate(r, order)
-		rep := RunReport{N: 4, Cost: 9}
+		rep := RunReport{N: 4, Cost: 9,
+			Alloc: &AllocStats{Bytes: 4096, Mallocs: 17, PeakHeapBytes: 65536}}
 		rep.FillFrom(r)
 		// Point wall offsets are wall clock and cannot be golden; zero them.
 		for k, ss := range rep.Series {
@@ -100,7 +102,7 @@ func TestRunReportJSONGolden(t *testing.T) {
 	}
 }
 
-// TestReportBackCompat pins that schema-1 and schema-2 report bytes still
+// TestReportBackCompat pins that schema-1, -2, and -3 report bytes still
 // decode: sections those versions predate come back as their zero values.
 func TestReportBackCompat(t *testing.T) {
 	const v1 = `{"schema_version":1,"n":4,"cost":9,"wall_ns":7,` +
@@ -109,7 +111,11 @@ func TestReportBackCompat(t *testing.T) {
 	const v2 = `{"schema_version":2,"n":4,"cost":9,"wall_ns":7,` +
 		`"counters":{"localsearch.moves":12},"gauges":{"alpha":-2},` +
 		`"histograms":{"lat":{"bounds":[1,2],"counts":[1,0,1],"count":2,"sum":4}}}`
-	for name, data := range map[string]string{"v1": v1, "v2": v2} {
+	const v3 = `{"schema_version":3,"n":4,"cost":9,"wall_ns":7,` +
+		`"counters":{"localsearch.moves":12},` +
+		`"series":{"localsearch.cost":{"points":` +
+		`[{"step":0,"wall_ns":0,"value":9}],"count":1,"stride":1}}}`
+	for name, data := range map[string]string{"v1": v1, "v2": v2, "v3": v3} {
 		var r RunReport
 		if err := json.Unmarshal([]byte(data), &r); err != nil {
 			t.Fatalf("%s report no longer parses: %v", name, err)
@@ -117,8 +123,11 @@ func TestReportBackCompat(t *testing.T) {
 		if r.N != 4 || r.Cost != 9 || r.Counters["localsearch.moves"] != 12 {
 			t.Errorf("%s report lost fields: %+v", name, r)
 		}
-		if r.Series != nil {
+		if name != "v3" && r.Series != nil {
 			t.Errorf("%s report grew a series section from nowhere: %+v", name, r.Series)
+		}
+		if r.Alloc != nil {
+			t.Errorf("%s report grew an alloc section from nowhere: %+v", name, r.Alloc)
 		}
 	}
 }

@@ -21,7 +21,10 @@ import (
 //	    Version-1 and -2 reports remain readable the same way: series
 //	    decodes to nil and every consumer treats that as "no trajectory
 //	    recorded".
-const ReportSchemaVersion = 3
+//	4 — adds the alloc section (heap-allocation deltas + peak live heap
+//	    per run, see AllocStats). Versions 1–3 remain readable: alloc
+//	    decodes to nil and consumers treat that as "no memory telemetry".
+const ReportSchemaVersion = 4
 
 // RunReport is the machine-readable record of one run: problem shape,
 // method, objective values, wall time, and everything the Recorder
@@ -51,6 +54,10 @@ type RunReport struct {
 	// Metrics holds run-specific headline numbers (classification error,
 	// time ratios, ...) keyed by a short name.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Alloc holds the run's heap-allocation deltas and peak live heap
+	// (schema_version ≥ 4; nil on older reports and untracked runs).
+	// cmd/benchdiff gates Alloc.Bytes under a ratio budget like wall time.
+	Alloc *AllocStats `json:"alloc,omitempty"`
 	// Counters, Gauges, Histograms, Series, and Spans are the Recorder's
 	// snapshots (gauges and histograms since schema_version 2, series since
 	// schema_version 3).
