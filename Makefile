@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race test-race check cover bench bench-all bench-short bench-mem bench-huge benchdiff experiments experiments-full fuzz fuzz-localsearch fuzz-kernel fuzz-widths clean
+.PHONY: all build test vet race test-race check cover bench bench-all bench-short bench-mem bench-ingest bench-huge benchdiff experiments experiments-full fuzz fuzz-localsearch fuzz-kernel fuzz-widths fuzz-ingest clean
 
 all: build test
 
@@ -23,9 +23,9 @@ test-race:
 
 # The full gate: compile, vet, tests, the race detector, the obs coverage
 # floor, the allocation pins, one pass of the distance-kernel benchmarks (a
-# smoke test that they still run), and the bench-report regression diff
-# against the committed baseline.
-check: build vet test test-race cover bench-mem bench-short benchdiff
+# smoke test that they still run), the ingest benchmark suite, and the
+# bench-report regression diff against the committed baseline.
+check: build vet test test-race cover bench-mem bench-short bench-ingest benchdiff
 
 # Regression gate: regenerate the bench report and diff it against the
 # committed BENCH_experiments.json (counters exact, cost to float tolerance,
@@ -72,6 +72,14 @@ bench-short:
 bench-mem:
 	$(GO) test -run 'Alloc' -count=1 ./internal/core/ ./internal/dataset/ ./internal/obs/
 
+# The ingest suite: sequential vs chunked-parallel CSV reader throughput
+# (internal/dataset, full benchtime with -benchmem) plus one smoke pass of
+# the end-to-end CSV→labels facade benchmarks (the "ingest" artifact and
+# the pipelined AggregateCSV path). Part of `make check`.
+bench-ingest:
+	$(GO) test -run xxx -bench 'BenchmarkReadCSV$$|BenchmarkReadCSVParallel$$' -benchmem ./internal/dataset/
+	$(GO) test -run xxx -bench 'BenchmarkIngestThroughput$$|BenchmarkAggregateCSV$$' -benchtime 1x -benchmem .
+
 # The n=10M artifact, opt-in (never part of bench, bench-short, or check —
 # the top rung runs for tens of seconds and allocates gigabytes): one pass of
 # BenchmarkSampleHuge, then the experiments "huge" scaling ladder diffed
@@ -96,6 +104,12 @@ fuzz-kernel:
 # the forced-int32 kernel on the same instance.
 fuzz-widths:
 	$(GO) test -run FuzzLabelKernelWidths -fuzz FuzzLabelKernelWidths -fuzztime 30s ./internal/core/
+
+# Fuzz the chunked parallel CSV reader against the sequential one: tables
+# (ids, order, missing cells) and errors must be identical at every worker
+# count.
+fuzz-ingest:
+	$(GO) test -run FuzzReadCSVParallelEquiv -fuzz FuzzReadCSVParallelEquiv -fuzztime 30s ./internal/dataset/
 
 # Everything: one benchmark per table/figure plus the ablations.
 bench-all:

@@ -10,8 +10,11 @@
 package clusteragg_test
 
 import (
+	"strings"
 	"testing"
 
+	"clusteragg"
+	"clusteragg/internal/core"
 	"clusteragg/internal/experiments"
 )
 
@@ -233,6 +236,67 @@ func BenchmarkMissingValueSweep(b *testing.B) {
 			b.ReportMetric(100*last.CoinErr, "coin-err-at-50pct")
 			b.ReportMetric(100*last.AvgErr, "avg-err-at-50pct")
 		}
+	}
+}
+
+// BenchmarkIngestThroughput runs the "ingest" artifact: CSV bytes →
+// aggregate labels in the three ingest modes (sequential one-pass reader,
+// chunked parallel reader, pipelined with the sharded sampling tree), with
+// the runner verifying the modes agree label for label. Metrics: per-mode
+// MB/s. On a single-core machine the parallel modes mostly measure
+// coordination overhead — see docs/PERFORMANCE.md's Ingest section.
+func BenchmarkIngestThroughput(b *testing.B) {
+	cfg := benchCfg()
+	cfg.IngestRows = 20_000
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.IngestThroughput(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			mb := float64(res.Bytes) / (1 << 20)
+			b.ReportMetric(mb/res.Seq.Seconds(), "seq-MB/s")
+			b.ReportMetric(mb/res.Parallel.Seconds(), "parallel-MB/s")
+			b.ReportMetric(mb/res.Pipelined.Seconds(), "pipelined-MB/s")
+		}
+	}
+}
+
+// BenchmarkAggregateCSV measures the public facade end to end — CSV bytes
+// in, labels plus objective out — sequential vs pipelined ingest. The shard
+// target is shrunk so the pipeline genuinely engages at benchmark scale;
+// labels are identical across modes (pinned by
+// TestAggregateCSVPipelinedEquiv), so the delta is pure ingest and overlap.
+func BenchmarkAggregateCSV(b *testing.B) {
+	defer core.SetShardTarget(2048)()
+	data := pipelineCSV(8000)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 0},
+		{"pipelined", 8},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := clusteragg.AggregateCSV(strings.NewReader(data), clusteragg.CSVOptions{
+					HasHeader:     true,
+					ClassColumn:   "class",
+					Method:        clusteragg.MethodFurthest,
+					SampleSize:    400,
+					IngestWorkers: bc.workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rows != 8000 {
+					b.Fatalf("rows = %d", res.Rows)
+				}
+			}
+		})
 	}
 }
 

@@ -34,6 +34,11 @@
 //	-workers N     cap worker goroutines for the parallel stages
 //	               (0 = GOMAXPROCS, 1 = sequential; results are identical
 //	               for every value)
+//	-ingest-workers N
+//	               parse the CSV with N concurrent chunk parsers
+//	               (0 = sequential reader); with -sample/-shards, ingest is
+//	               additionally pipelined with shard aggregation — results
+//	               are identical for every value
 //	-summary       print cluster sizes instead of per-row assignments
 //	-describe      print each cluster's dominant attribute values
 //	-trace         print a span tree and algorithm counters on stderr
@@ -60,6 +65,7 @@ import (
 	"strings"
 	"time"
 
+	"clusteragg"
 	"clusteragg/internal/core"
 	"clusteragg/internal/corrclust"
 	"clusteragg/internal/dataset"
@@ -78,9 +84,10 @@ type cliConfig struct {
 	class      string
 	sample     int
 	shards     int
-	seed       int64
-	workers    int
-	summary    bool
+	seed          int64
+	workers       int
+	ingestWorkers int
+	summary       bool
 	describe   bool
 	trace      bool
 	report     string
@@ -119,6 +126,7 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 0, "sharded hierarchical SAMPLING: shard count (-1 = auto-size by n, 0 = off)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for sampling and randomized methods")
 	flag.IntVar(&cfg.workers, "workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS, 1 = sequential)")
+	flag.IntVar(&cfg.ingestWorkers, "ingest-workers", 0, "concurrent CSV chunk parsers (0 = sequential reader); with -sample/-shards, pipelines ingest with shard aggregation")
 	flag.BoolVar(&cfg.summary, "summary", false, "print cluster sizes instead of assignments")
 	flag.BoolVar(&cfg.describe, "describe", false, "print each cluster's dominant attribute values")
 	flag.BoolVar(&cfg.trace, "trace", false, "print a span tree and algorithm counters on stderr")
@@ -197,23 +205,9 @@ func run(path string, cfg cliConfig) error {
 		in = f
 	}
 
-	loadSpan := rec.Start("load")
-	tab, err := dataset.ReadCSV(in, dataset.CSVOptions{
-		Name:        path,
-		HasHeader:   cfg.header,
-		ClassColumn: cfg.class,
-	})
-	if err != nil {
-		return err
-	}
-	problem, err := packedProblem(tab)
-	loadSpan.End()
-	if err != nil {
-		return err
-	}
-
 	bestOf := strings.EqualFold(cfg.method, "bestof")
 	var method core.Method
+	var err error
 	if !bestOf {
 		if method, err = parseMethod(cfg.method); err != nil {
 			return err
@@ -222,54 +216,105 @@ func run(path string, cfg cliConfig) error {
 		method = core.MethodAgglomerative // used under SAMPLING for bestof
 	}
 	opts := core.AggregateOptions{
-		BallsAlpha:  core.Alpha(cfg.alpha),
-		K:           cfg.k,
-		Refine:      cfg.refine,
-		Materialize: cfg.sample == 0 && cfg.shards == 0 && tab.N() <= 4000,
-		Workers:     cfg.workers,
-		Rand:        rand.New(rand.NewSource(cfg.seed)),
-		Recorder:    rec,
-		Progress:    progress,
+		BallsAlpha: core.Alpha(cfg.alpha),
+		K:          cfg.k,
+		Refine:     cfg.refine,
+		Workers:    cfg.workers,
+		Rand:       rand.New(rand.NewSource(cfg.seed)),
+		Recorder:   rec,
+		Progress:   progress,
+	}
+	shards := cfg.shards
+	if shards < 0 {
+		shards = 0 // -shards -1: auto-size by n
 	}
 
 	methodName := cfg.method
-	var labels partition.Labels
-	switch {
-	case cfg.sample > 0 || cfg.shards != 0:
-		shards := cfg.shards
-		if shards < 0 {
-			shards = 0 // -shards -1: auto-size by n
-		}
-		labels, err = problem.Sample(method, opts, core.SamplingOptions{
-			SampleSize: cfg.sample,
-			Shards:     shards,
-			Rand:       rand.New(rand.NewSource(cfg.seed)),
+	var labels, classLabels partition.Labels
+	var tab *dataset.Table
+	var n, mAttrs int
+	var disagreement, lowerBound float64
+	sampling := cfg.sample > 0 || cfg.shards != 0
+	if cfg.ingestWorkers > 0 && sampling && !cfg.describe {
+		// Pipelined ingest: the chunked parallel reader streams rows
+		// straight into the sharded sampling tree, so shard aggregation
+		// overlaps the parsing of later chunks. -describe is excluded — it
+		// needs the materialized table.
+		res, err := clusteragg.AggregateCSV(in, clusteragg.CSVOptions{
+			HasHeader:     cfg.header,
+			ClassColumn:   cfg.class,
+			Method:        method,
+			Options:       opts,
+			SampleSize:    cfg.sample,
+			Shards:        shards,
+			SampleSeed:    cfg.seed,
+			IngestWorkers: cfg.ingestWorkers,
 		})
-	case bestOf:
-		var winner core.Method
-		labels, winner, err = problem.BestOf(nil, opts)
-		if err == nil {
-			methodName = "bestof:" + winner.Slug()
-			fmt.Printf("# bestof winner=%s\n", winner)
+		if err != nil {
+			return err
 		}
-	default:
-		labels, err = problem.Aggregate(method, opts)
-	}
-	if err != nil {
-		return err
-	}
+		labels, classLabels = res.Labels, res.Class
+		n, mAttrs = res.Rows, res.Attributes
+		disagreement, lowerBound = res.Disagreement, res.LowerBound
+	} else {
+		loadSpan := rec.Start("load")
+		dopts := dataset.CSVOptions{
+			Name:        path,
+			HasHeader:   cfg.header,
+			ClassColumn: cfg.class,
+			Workers:     cfg.ingestWorkers,
+		}
+		if cfg.ingestWorkers > 0 {
+			tab, err = dataset.ReadCSVParallel(in, dopts)
+		} else {
+			tab, err = dataset.ReadCSV(in, dopts)
+		}
+		if err != nil {
+			return err
+		}
+		rec.Add("ingest.rows", int64(tab.N()))
+		rec.Add("ingest.bytes", tab.BytesRead)
+		problem, err := packedProblem(tab)
+		loadSpan.End()
+		if err != nil {
+			return err
+		}
+		opts.Materialize = !sampling && tab.N() <= 4000
 
-	evalSpan := rec.Start("evaluate")
-	disagreement := problem.Disagreement(labels)
-	lowerBound := problem.LowerBound()
+		switch {
+		case sampling:
+			labels, err = problem.Sample(method, opts, core.SamplingOptions{
+				SampleSize: cfg.sample,
+				Shards:     shards,
+				Rand:       rand.New(rand.NewSource(cfg.seed)),
+			})
+		case bestOf:
+			var winner core.Method
+			labels, winner, err = problem.BestOf(nil, opts)
+			if err == nil {
+				methodName = "bestof:" + winner.Slug()
+				fmt.Printf("# bestof winner=%s\n", winner)
+			}
+		default:
+			labels, err = problem.Aggregate(method, opts)
+		}
+		if err != nil {
+			return err
+		}
+
+		evalSpan := rec.Start("evaluate")
+		disagreement = problem.Disagreement(labels)
+		lowerBound = problem.LowerBound()
+		evalSpan.End()
+		n, mAttrs, classLabels = tab.N(), problem.M(), tab.Class
+	}
 	if lowerBound > 0 {
 		rec.Series("cost_over_lower_bound").Append(0, disagreement/lowerBound)
 	}
-	evalSpan.End()
 	fmt.Printf("# n=%d attributes=%d clusters=%d disagreement=%.0f lower-bound=%.0f\n",
-		tab.N(), problem.M(), labels.K(), disagreement, lowerBound)
-	if tab.Class != nil {
-		ec, err := eval.ClassificationError(labels, tab.Class)
+		n, mAttrs, labels.K(), disagreement, lowerBound)
+	if classLabels != nil {
+		ec, err := eval.ClassificationError(labels, classLabels)
 		if err != nil {
 			return err
 		}
@@ -299,8 +344,8 @@ func run(path string, cfg cliConfig) error {
 	}
 	if cfg.report != "" {
 		rep := obs.RunReport{
-			N:          tab.N(),
-			M:          problem.M(),
+			N:          n,
+			M:          mAttrs,
 			Method:     methodName,
 			Clusters:   labels.K(),
 			Cost:       disagreement,

@@ -6,14 +6,17 @@
 //	experiments [flags] <artifact>
 //
 // where <artifact> is one of: fig3, fig4, table1, table2, table3, census,
-// fig5left, fig5middle, fig5right, ensembles, missing, huge, all. The
-// fig5left and fig5middle panels come from the same sweep and print
+// fig5left, fig5middle, fig5right, ensembles, missing, ingest, huge, all.
+// The fig5left and fig5middle panels come from the same sweep and print
 // together; the "ensembles" (related-work consensus methods) and "missing"
 // (missing-value robustness) artifacts extend the paper's own evaluation —
-// see EXPERIMENTS.md. The "huge" artifact is the sharded-SAMPLING scaling
-// ladder (200k → 1M → 10M synthetic objects); it is deliberately NOT part
-// of "all" — run it explicitly or via `make bench-huge`, and diff its
-// report against BENCH_huge.json.
+// see EXPERIMENTS.md. The "ingest" artifact measures CSV → labels end to
+// end in three ingest modes (sequential, chunked parallel, pipelined with
+// the sharded sampling tree) and verifies they produce identical labels.
+// The "huge" artifact is the sharded-SAMPLING scaling ladder (200k → 1M →
+// 10M synthetic objects) plus a 1M-row CSV-on-disk end-to-end rung; it is
+// deliberately NOT part of "all" — run it explicitly or via
+// `make bench-huge`, and diff its report against BENCH_huge.json.
 //
 // Flags:
 //
@@ -67,7 +70,7 @@ func main() {
 		listen    = flag.String("listen", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <fig3|fig4|table1|table2|table3|census|fig5left|fig5middle|fig5right|ensembles|missing|huge|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <fig3|fig4|table1|table2|table3|census|fig5left|fig5middle|fig5right|ensembles|missing|ingest|huge|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -388,6 +391,33 @@ func run(artifact string, cfg experiments.Config, plot, asJSON bool, rep *report
 			fmt.Print(res)
 			fmt.Println()
 		}
+	case "ingest":
+		cfg, done := rep.begin(artifact, cfg)
+		res, err := experiments.IngestThroughput(cfg)
+		if err != nil {
+			return err
+		}
+		// Deterministic rows are gated (counts exact, rand_index toleranced);
+		// everything timing-bearing carries a benchdiff-ignored suffix.
+		m := map[string]float64{
+			"rows":              float64(res.Rows),
+			"bytes":             float64(res.Bytes),
+			"attrs":             float64(res.Attrs),
+			"shards":            float64(res.Shards),
+			"clusters":          float64(res.Clusters),
+			"rand_index":        res.Rand,
+			"seq_seconds":       res.Seq.Seconds(),
+			"parallel_seconds":  res.Parallel.Seconds(),
+			"pipelined_seconds": res.Pipelined.Seconds(),
+		}
+		if res.Pipelined > 0 {
+			m["pipeline_time_ratio"] = res.Seq.Seconds() / res.Pipelined.Seconds()
+			m["ingest_throughput"] = float64(res.Rows) / res.Pipelined.Seconds()
+		}
+		done(m)
+		if err := emit(res); err != nil {
+			return err
+		}
 	case "huge":
 		cfg, done := rep.begin(artifact, cfg)
 		res, err := experiments.HugeScaling(cfg)
@@ -414,12 +444,26 @@ func run(artifact string, cfg experiments.Config, plot, asJSON bool, rep *report
 				m["linearity_ratio"] = timeGrowth / sizeGrowth
 			}
 		}
+		if c := res.CSV; c != nil {
+			m["csv:rows"] = float64(c.N)
+			m["csv:bytes"] = float64(c.Bytes)
+			m["csv:shards"] = float64(c.Shards)
+			m["csv:clusters"] = float64(c.KFound)
+			m["csv:rand_index"] = c.Rand
+			m["csv:seq_seconds"] = c.SeqDuration.Seconds()
+			m["csv:pipelined_seconds"] = c.PipeDuration.Seconds()
+			if c.PipeDuration > 0 {
+				m["csv:pipeline_time_ratio"] = c.SeqDuration.Seconds() / c.PipeDuration.Seconds()
+			}
+			// Ratio-gated by benchdiff like the in-memory rungs.
+			m["csv:alloc_bytes"] = float64(c.AllocBytes)
+		}
 		done(m)
 		if err := emit(res); err != nil {
 			return err
 		}
 	case "all":
-		artifacts := []string{"fig3", "fig4", "table1", "table2", "table3", "census", "fig5left", "fig5right", "ensembles", "missing"}
+		artifacts := []string{"fig3", "fig4", "table1", "table2", "table3", "census", "fig5left", "fig5right", "ensembles", "missing", "ingest"}
 		for i, a := range artifacts {
 			fmt.Printf("==== %s ====\n", a)
 			if err := run(a, cfg, plot, asJSON, rep); err != nil {

@@ -15,6 +15,7 @@ func tinyCfg() experiments.Config {
 		Quiet:            true,
 		SampleSizes:      []int{50},
 		ScalabilitySizes: []int{1200},
+		IngestRows:       2000,
 	}
 }
 
@@ -25,7 +26,7 @@ func TestRunUnknownArtifact(t *testing.T) {
 }
 
 func TestRunArtifacts(t *testing.T) {
-	for _, artifact := range []string{"fig3", "fig4", "table1", "table2", "census", "fig5left", "fig5right"} {
+	for _, artifact := range []string{"fig3", "fig4", "table1", "table2", "census", "fig5left", "fig5right", "ingest"} {
 		artifact := artifact
 		t.Run(artifact, func(t *testing.T) {
 			if err := run(artifact, tinyCfg(), false, false, &reporter{}); err != nil {

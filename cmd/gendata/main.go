@@ -16,6 +16,7 @@
 //	-k N            planted: number of planted groups (default 32)
 //	-noise F        planted: per-cell random-relabel probability (default 0.1)
 //	-missing F      planted: per-cell missing probability (default 0)
+//	-workers N      planted: concurrent chunk generators (default 1)
 //	-o FILE         output path (default standard output)
 //
 // The "planted" dataset is the streaming large-n generator: rows are
@@ -35,6 +36,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -43,6 +45,7 @@ import (
 	"math/rand"
 	"os"
 	"strconv"
+	"sync"
 
 	"clusteragg/internal/dataset"
 )
@@ -56,6 +59,7 @@ type genConfig struct {
 	k       int
 	noise   float64
 	missing float64
+	workers int
 }
 
 func main() {
@@ -67,6 +71,7 @@ func main() {
 	flag.IntVar(&cfg.k, "k", 32, "planted: number of planted groups")
 	flag.Float64Var(&cfg.noise, "noise", 0.1, "planted: per-cell random-relabel probability")
 	flag.Float64Var(&cfg.missing, "missing", 0, "planted: per-cell missing probability")
+	flag.IntVar(&cfg.workers, "workers", 1, "planted: concurrent chunk generators (1 = sequential, the historical byte stream; >1 = chunk-seeded output identical at every worker count)")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -121,7 +126,9 @@ func run(w io.Writer, cfg genConfig) error {
 // recipe as the core scaling benchmarks). Rows stream straight through the
 // csv writer; nothing is retained across rows, so memory stays flat at any
 // row count. Output is deterministic in (seed, rows, attrs, k, noise,
-// missing).
+// missing). With cfg.workers > 1 generation fans out over fixed 65536-row
+// chunks, each drawn from a per-chunk-seeded rng — see streamPlantedChunked
+// for the determinism contract.
 func StreamPlanted(w io.Writer, cfg genConfig) error {
 	if cfg.rows <= 0 {
 		return fmt.Errorf("planted: -rows must be positive (got %d)", cfg.rows)
@@ -132,7 +139,7 @@ func StreamPlanted(w io.Writer, cfg genConfig) error {
 	if cfg.noise < 0 || cfg.noise > 1 || cfg.missing < 0 || cfg.missing > 1 {
 		return fmt.Errorf("planted: -noise and -missing must be in [0,1]")
 	}
-	rng := rand.New(rand.NewSource(cfg.seed))
+	names := makePlantedNames(cfg)
 	cw := csv.NewWriter(w)
 	record := make([]string, cfg.attrs+1)
 	for a := 0; a < cfg.attrs; a++ {
@@ -142,34 +149,153 @@ func StreamPlanted(w io.Writer, cfg genConfig) error {
 	if err := cw.Write(record); err != nil {
 		return err
 	}
-	// Value names are interned once; row cells only index into them.
-	values := make([]string, cfg.k+2)
-	for v := range values {
-		values[v] = fmt.Sprintf("v%03d", v)
-	}
-	classes := make([]string, cfg.k)
-	for c := range classes {
-		classes[c] = fmt.Sprintf("c%03d", c)
-	}
-	for row := 0; row < cfg.rows; row++ {
-		truth := row % cfg.k
-		for a := 0; a < cfg.attrs; a++ {
-			switch {
-			case cfg.missing > 0 && rng.Float64() < cfg.missing:
-				record[a] = "?"
-			case rng.Float64() < cfg.noise:
-				record[a] = values[rng.Intn(cfg.k+2)]
-			default:
-				record[a] = values[truth]
-			}
+	if cfg.workers > 1 {
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
 		}
-		record[cfg.attrs] = classes[truth]
+		return streamPlantedChunked(w, cfg, names)
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	for row := 0; row < cfg.rows; row++ {
+		plantedRow(cfg, rng, row, record, names)
 		if err := cw.Write(record); err != nil {
 			return err
 		}
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// plantedNames holds the interned value and class strings; row cells only
+// index into them.
+type plantedNames struct {
+	values  []string
+	classes []string
+}
+
+func makePlantedNames(cfg genConfig) plantedNames {
+	n := plantedNames{
+		values:  make([]string, cfg.k+2),
+		classes: make([]string, cfg.k),
+	}
+	for v := range n.values {
+		n.values[v] = fmt.Sprintf("v%03d", v)
+	}
+	for c := range n.classes {
+		n.classes[c] = fmt.Sprintf("c%03d", c)
+	}
+	return n
+}
+
+// plantedRow fills record with one planted row — the single cell recipe
+// both the sequential and the chunked generator run, so they differ only
+// in how the rng is seeded.
+func plantedRow(cfg genConfig, rng *rand.Rand, row int, record []string, names plantedNames) {
+	truth := row % cfg.k
+	for a := 0; a < cfg.attrs; a++ {
+		switch {
+		case cfg.missing > 0 && rng.Float64() < cfg.missing:
+			record[a] = "?"
+		case rng.Float64() < cfg.noise:
+			record[a] = names.values[rng.Intn(cfg.k+2)]
+		default:
+			record[a] = names.values[truth]
+		}
+	}
+	record[cfg.attrs] = names.classes[truth]
+}
+
+// plantedChunkRows is the row granularity of -workers > 1 generation. A
+// variable so tests can shrink it to exercise the chunked path cheaply.
+var plantedChunkRows = 1 << 16
+
+// plantedChunkSeed derives chunk i's rng seed from the user seed with a
+// golden-ratio stride: each chunk draws from its own deterministic stream,
+// so the output bytes depend only on the flags — never on the worker count
+// or scheduling.
+func plantedChunkSeed(seed int64, chunk int) int64 {
+	return seed + int64(chunk+1)*-0x61c8864680b583eb // 2^64 / golden ratio, as int64
+}
+
+// streamPlantedChunked is the -workers > 1 planted generator: the row range
+// splits into fixed plantedChunkRows chunks, each chunk is rendered to a
+// byte buffer by its own per-chunk-seeded rng (draw order inside a chunk
+// matches the sequential generator's), and buffers are written strictly in
+// chunk order. Output is deterministic in the flags and identical at every
+// worker count > 1; it differs from -workers 1 (one continuous rng stream)
+// by design — regenerate rather than mix the two regimes.
+func streamPlantedChunked(w io.Writer, cfg genConfig, names plantedNames) error {
+	chunks := (cfg.rows + plantedChunkRows - 1) / plantedChunkRows
+	workers := cfg.workers
+	if workers > chunks {
+		workers = chunks
+	}
+	type chunkOut struct {
+		idx  int
+		data []byte
+		err  error
+	}
+	jobs := make(chan int)
+	results := make(chan chunkOut, workers)
+	go func() {
+		for i := 0; i < chunks; i++ {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			record := make([]string, cfg.attrs+1)
+			for i := range jobs {
+				lo := i * plantedChunkRows
+				hi := min(lo+plantedChunkRows, cfg.rows)
+				var buf bytes.Buffer
+				cw := csv.NewWriter(&buf)
+				rng := rand.New(rand.NewSource(plantedChunkSeed(cfg.seed, i)))
+				var err error
+				for row := lo; row < hi; row++ {
+					plantedRow(cfg, rng, row, record, names)
+					if err = cw.Write(record); err != nil {
+						break
+					}
+				}
+				if err == nil {
+					cw.Flush()
+					err = cw.Error()
+				}
+				results <- chunkOut{i, buf.Bytes(), err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	pending := make(map[int][]byte)
+	next := 0
+	var firstErr error
+	for r := range results {
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		if firstErr != nil {
+			continue // drain without writing
+		}
+		pending[r.idx] = r.data
+		for data, ok := pending[next]; ok; data, ok = pending[next] {
+			if _, err := w.Write(data); err != nil {
+				firstErr = err
+				break
+			}
+			delete(pending, next)
+			next++
+		}
+	}
+	return firstErr
 }
 
 // WriteCSV emits a table as CSV with a header row, the UCI "?" convention

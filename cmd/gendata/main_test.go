@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"slices"
 	"strings"
 	"testing"
 
@@ -139,6 +140,92 @@ func TestStreamPlantedDeterministicAndValidated(t *testing.T) {
 	} {
 		if err := run(&bytes.Buffer{}, bad); err == nil {
 			t.Errorf("invalid planted config %+v accepted", bad)
+		}
+	}
+}
+
+// withChunkRows shrinks the chunked generator's granularity so small tests
+// cross many chunk boundaries.
+func withChunkRows(t *testing.T, rows int) {
+	t.Helper()
+	old := plantedChunkRows
+	plantedChunkRows = rows
+	t.Cleanup(func() { plantedChunkRows = old })
+}
+
+// TestStreamPlantedChunkedDeterministic: -workers > 1 output must depend
+// only on the flags — identical at every worker count, across runs, and at
+// exact chunk-boundary row counts.
+func TestStreamPlantedChunkedDeterministic(t *testing.T) {
+	withChunkRows(t, 128)
+	gen := func(rows, workers int) string {
+		var buf bytes.Buffer
+		cfg := genConfig{name: "planted", seed: 11, rows: rows, attrs: 4, k: 6, noise: 0.15, missing: 0.02, workers: workers}
+		if err := run(&buf, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	for _, rows := range []int{100, 256, 300, 1000} { // below one chunk, exact boundary, ragged, many chunks
+		want := gen(rows, 2)
+		for _, workers := range []int{3, 4, 8} {
+			if got := gen(rows, workers); got != want {
+				t.Errorf("rows=%d: workers=%d bytes diverge from workers=2", rows, workers)
+			}
+		}
+		if gen(rows, 3) != gen(rows, 3) {
+			t.Errorf("rows=%d: same flags produced different chunked streams", rows)
+		}
+		if lines := strings.Split(strings.TrimSpace(want), "\n"); len(lines) != rows+1 {
+			t.Errorf("rows=%d: chunked stream has %d lines, want %d", rows, len(lines), rows+1)
+		}
+	}
+}
+
+// TestStreamPlantedChunkedRoundTrip: the chunked stream must carry the same
+// schema and planted structure as the sequential one and survive both the
+// sequential and the parallel CSV reader identically.
+func TestStreamPlantedChunkedRoundTrip(t *testing.T) {
+	withChunkRows(t, 128)
+	cfg := genConfig{name: "planted", seed: 3, rows: 700, attrs: 5, k: 4, noise: 0.1, missing: 0.05, workers: 4}
+	var buf bytes.Buffer
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	opts := dataset.CSVOptions{HasHeader: true, ClassColumn: "class"}
+	tab, err := dataset.ReadCSV(bytes.NewReader(buf.Bytes()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	popts := opts
+	popts.Workers = 3
+	ptab, err := dataset.ReadCSVParallel(bytes.NewReader(buf.Bytes()), popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.N() != 700 || ptab.N() != 700 {
+		t.Errorf("N = %d (sequential) / %d (parallel), want 700", tab.N(), ptab.N())
+	}
+	if got := len(tab.CategoricalColumns()); got != 5 {
+		t.Errorf("categorical columns = %d, want 5", got)
+	}
+	if len(tab.ClassNames) != 4 {
+		t.Errorf("classes = %v, want 4 planted groups", tab.ClassNames)
+	}
+	if tab.MissingTotal() == 0 {
+		t.Error("missing probability 0.05 produced no ? cells")
+	}
+	cs, err := tab.Clusterings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcs, err := ptab.Clusterings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range cs {
+		if !slices.Equal(cs[ci], pcs[ci]) {
+			t.Errorf("column %d: parallel reader diverges from sequential on chunked stream", ci)
 		}
 	}
 }

@@ -269,6 +269,78 @@ func widenWords[S, D labelWord](src []S) []D {
 	return dst
 }
 
+// appendWidened appends src to dst re-encoded at dst's (wider) width, the
+// source sentinel mapped to the destination's.
+func appendWidened[S, D labelWord](dst []D, src []S) []D {
+	sm, dm := missingWord[S](), missingWord[D]()
+	for _, v := range src {
+		if v == sm {
+			dst = append(dst, dm)
+		} else {
+			dst = append(dst, D(v))
+		}
+	}
+	return dst
+}
+
+// stitchPacked concatenates sealed row segments into one contiguous block
+// at the widest segment width. The result is bit-identical — label words,
+// per-clustering bounds, missing flags — to the block a single row-mode
+// builder over the same rows would produce: widths and bounds are maxima
+// over segments of per-segment maxima, and widening maps sentinel to
+// sentinel exactly like the builder's in-place widen.
+func stitchPacked(segs []*PackedClusterings, m int) *PackedClusterings {
+	n, width := 0, width8
+	for _, s := range segs {
+		n += s.n
+		if s.width > width {
+			width = s.width
+		}
+	}
+	out := &PackedClusterings{
+		n: n, m: m, width: width,
+		maxLab:  make([]int32, m),
+		hasMiss: make([]bool, 0, n),
+	}
+	switch width {
+	case width8:
+		out.lab8 = make([]uint8, 0, n*m)
+	case width16:
+		out.lab16 = make([]uint16, 0, n*m)
+	default:
+		out.lab32 = make([]int32, 0, n*m)
+	}
+	for _, s := range segs {
+		for ci, b := range s.maxLab {
+			if b > out.maxLab[ci] {
+				out.maxLab[ci] = b
+			}
+		}
+		out.hasMiss = append(out.hasMiss, s.hasMiss...)
+		out.anyMiss = out.anyMiss || s.anyMiss
+		switch width {
+		case width8:
+			out.lab8 = append(out.lab8, s.lab8...)
+		case width16:
+			if s.width == width8 {
+				out.lab16 = appendWidened[uint8, uint16](out.lab16, s.lab8)
+			} else {
+				out.lab16 = append(out.lab16, s.lab16...)
+			}
+		default:
+			switch s.width {
+			case width8:
+				out.lab32 = appendWidened[uint8, int32](out.lab32, s.lab8)
+			case width16:
+				out.lab32 = appendWidened[uint16, int32](out.lab32, s.lab16)
+			default:
+				out.lab32 = append(out.lab32, s.lab32...)
+			}
+		}
+	}
+	return out
+}
+
 // view aliases the contiguous object range [lo, hi): the label rows,
 // missing flags, and label bounds are shared with the parent — no copies.
 // anyMiss is recomputed over the range so the MissingAverage row-route

@@ -43,12 +43,16 @@ type SamplingOptions struct {
 	//
 	// Zero selects an automatic shard count of ceil(n / 2^20) — so inputs
 	// up to ~1M objects keep the classic single-level pass, and larger ones
-	// get ~1M-object shards. One forces single-level sampling at any n.
-	// Explicit counts are clamped to n/2 so every shard holds at least two
-	// objects; negative values are an error. For a fixed shard count the
-	// result is bit-identical across Workers settings and kernel widths;
-	// different shard counts build different trees and generally produce
-	// (comparably good) different clusterings.
+	// get ~1M-object shards. Auto shards are fixed-size 2^20-row segments
+	// (remainder in the last shard), so shard i's boundaries are known
+	// before n is — the property that lets SampleFeed aggregate a shard
+	// while later rows are still being ingested. One forces single-level
+	// sampling at any n. Explicit counts keep the balanced i*n/shards split
+	// and are clamped to n/2 so every shard holds at least two objects;
+	// negative values are an error. For a fixed shard count the result is
+	// bit-identical across Workers settings and kernel widths; different
+	// shard counts build different trees and generally produce (comparably
+	// good) different clusterings.
 	Shards int
 	// Rand is the randomness source for drawing the sample. Nil means a
 	// deterministic source seeded with 1.
@@ -449,12 +453,86 @@ func (p *Problem) assignKernel(rec *obs.Recorder, progress *obs.Progress, labels
 }
 
 // shardTarget is the auto-sizing granularity for SamplingOptions.Shards:
-// with Shards == 0, the shard count is ceil(n / shardTarget), so sharding
-// engages only past ~1M objects and each shard stays near shardTarget. The
-// constant depends only on n — never on GOMAXPROCS or Workers — so auto
-// shard counts (and every counter derived from them) are machine- and
-// worker-count-independent.
-const shardTarget = 1 << 20
+// with Shards == 0, the shard count is ceil(n / shardTarget) and shard i is
+// the fixed row range [i·shardTarget, min((i+1)·shardTarget, n)), so
+// sharding engages only past ~1M objects and each shard's boundaries are
+// independent of n. The value depends only on n — never on GOMAXPROCS or
+// Workers — so auto shard counts (and every counter derived from them) are
+// machine- and worker-count-independent. It is a variable only so tests can
+// shrink it to exercise the sharded and pipelined paths at test-sized n;
+// keep it ≥ 4 so resolveShards' n/2 clamp can never disagree with the
+// fixed-size segmentation (for target T ≥ 4 and n > T, ceil(n/T) ≤ n/2).
+var shardTarget = 1 << 20
+
+// SetShardTarget overrides the auto-shard segment size and returns a
+// restore func. It exists so tests outside this package (facade, CLI) and
+// the experiments "ingest" artifact can exercise the sharded and pipelined
+// paths at reduced n; keep targets ≥ 8 per the shardTarget invariant, and
+// never call it on a production serving path.
+func SetShardTarget(target int) (restore func()) {
+	old := shardTarget
+	shardTarget = target
+	return func() { shardTarget = old }
+}
+
+// shardRange returns shard i's contiguous object range. Auto-sized shards
+// (requested count 0) are fixed shardTarget-row segments with the remainder
+// in the last shard; explicit counts keep the balanced i*n/shards split.
+func shardRange(i, n, shards int, auto bool) (lo, hi int) {
+	if auto {
+		lo = i * shardTarget
+		return lo, min(lo+shardTarget, n)
+	}
+	return i * n / shards, (i + 1) * n / shards
+}
+
+// shardSample aggregates one shard subproblem: a full single-level Sample,
+// single-threaded (parallelism lives across shards) and unrecorded (its
+// scheduling is nondeterministic), seeded from the shard's pre-drawn seed.
+// Both the drain-then-compute path (sampleSharded) and the pipelined one
+// (SampleFeed) go through here, so a shard's labels depend only on its rows
+// and seed — never on which driver ran it.
+func shardSample(sp *Problem, method Method, aggOpts AggregateOptions, sOpts SamplingOptions, seed int64) (partition.Labels, error) {
+	inner := aggOpts
+	inner.Workers = 1
+	inner.Recorder = nil
+	inner.Progress = nil
+	return sp.Sample(method, inner, SamplingOptions{
+		SampleSize:      sOpts.SampleSize,
+		Rand:            rand.New(rand.NewSource(seed)),
+		ReferenceAssign: sOpts.ReferenceAssign,
+		Shards:          1,
+	})
+}
+
+// shardReps extracts a shard's representatives from its normalized labels:
+// the first member of every non-singleton cluster, offset by the shard's
+// global base row lo (all firsts when every cluster is a singleton, so the
+// representative set never comes up empty). labels is normalized, so
+// cluster c's first occurrence appears before cluster c+1's and the
+// representatives come out ascending.
+func shardReps(labels partition.Labels, lo int) []int {
+	firsts := make([]int, 0, labels.K())
+	for j, c := range labels {
+		if c == len(firsts) {
+			firsts = append(firsts, lo+j)
+		}
+	}
+	sizes := make([]int, len(firsts))
+	for _, c := range labels {
+		sizes[c]++
+	}
+	reps := make([]int, 0, len(firsts))
+	for c, f := range firsts {
+		if sizes[c] > 1 {
+			reps = append(reps, f)
+		}
+	}
+	if len(reps) == 0 {
+		reps = firsts
+	}
+	return reps
+}
 
 // resolveShards maps the requested shard count to the effective one: 0
 // auto-sizes by n, explicit counts are clamped so every contiguous shard
@@ -524,56 +602,25 @@ func (p *Problem) sampleSharded(method Method, aggOpts AggregateOptions, sOpts S
 		workers = shards
 	}
 	var done atomic.Int64
+	auto := sOpts.Shards == 0
 	runShard := func(i int) {
-		lo, hi := i*n/shards, (i+1)*n/shards
-		inner := aggOpts
-		inner.Workers = 1 // parallelism lives across shards
-		inner.Recorder = nil
-		inner.Progress = nil
+		lo, hi := shardRange(i, n, shards, auto)
 		// Contiguous ranges alias the parent's labels (subProblemRange) —
 		// a shard subproblem costs a Problem header, not a copy of its
-		// share of the inputs.
-		labels, err := p.subProblemRange(lo, hi).Sample(method, inner, SamplingOptions{
-			SampleSize:      sOpts.SampleSize,
-			Rand:            rand.New(rand.NewSource(seeds[i])),
-			ReferenceAssign: sOpts.ReferenceAssign,
-			Shards:          1,
-		})
+		// share of the inputs. Only clusters with at least two members send
+		// a representative up — a shard-level singleton is an object the
+		// shard could not cluster, and promoting every one would grow the
+		// representative set (and the O(m·k)-per-object cost of the final
+		// assignment) with the noise rate instead of the cluster structure.
+		// Skipped objects are not lost: they re-enter at the final
+		// assignment like every other non-sample object and fall to the
+		// singleton recluster if they still fit nowhere.
+		labels, err := shardSample(p.subProblemRange(lo, hi), method, aggOpts, sOpts, seeds[i])
 		if err != nil {
 			outs[i].err = err
 			return
 		}
-		// labels is normalized, so cluster c's first occurrence appears
-		// before cluster c+1's: representatives come out ascending. Only
-		// clusters with at least two members send one up — a shard-level
-		// singleton is an object the shard could not cluster, and promoting
-		// every one would grow the representative set (and the O(m·k)-per-
-		// object cost of the final assignment) with the noise rate instead
-		// of the cluster structure. Skipped objects are not lost: they
-		// re-enter at the final assignment like every other non-sample
-		// object and fall to the singleton recluster if they still fit
-		// nowhere. A degenerate all-singleton shard keeps its firsts so the
-		// representative set never comes up empty.
-		firsts := make([]int, 0, labels.K())
-		for j, c := range labels {
-			if c == len(firsts) {
-				firsts = append(firsts, lo+j)
-			}
-		}
-		sizes := make([]int, len(firsts))
-		for _, c := range labels {
-			sizes[c]++
-		}
-		reps := make([]int, 0, len(firsts))
-		for c, f := range firsts {
-			if sizes[c] > 1 {
-				reps = append(reps, f)
-			}
-		}
-		if len(reps) == 0 {
-			reps = firsts
-		}
-		outs[i].reps = reps
+		outs[i].reps = shardReps(labels, lo)
 		aggOpts.Progress.Emit(obs.ProgressEvent{
 			Stage: "sample:shards", Done: done.Add(1), Total: int64(shards),
 		})

@@ -48,6 +48,33 @@ func BenchmarkReadCSV(b *testing.B) {
 	}
 }
 
+// BenchmarkReadCSVParallel pins the chunked parallel reader on the same
+// workload as BenchmarkReadCSV, across worker counts. On a single-core
+// machine workers>1 mostly measures the chunking/merge overhead; the
+// interesting comparison is against BenchmarkReadCSV's sequential pass
+// (docs/PERFORMANCE.md's Ingest table).
+func BenchmarkReadCSVParallel(b *testing.B) {
+	data := benchCSV(20_000)
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t, err := ReadCSVParallel(strings.NewReader(data), CSVOptions{
+					Name: "bench", HasHeader: true, ClassColumn: "class", Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if t.N() != 20_000 {
+					b.Fatalf("rows = %d", t.N())
+				}
+			}
+		})
+	}
+}
+
 // TestReadCSVInternAllocs pins the interning reader's allocation shape: on
 // a repeated-value table the per-parse allocation count must scale with
 // distinct values and rows (slice growth), not with cells — the pre-intern

@@ -9,7 +9,7 @@ import (
 	"strings"
 )
 
-// CSVOptions configures ReadCSV.
+// CSVOptions configures ReadCSV and ReadCSVParallel.
 type CSVOptions struct {
 	// Name names the resulting table.
 	Name string
@@ -35,6 +35,10 @@ type CSVOptions struct {
 	// TrimSpace trims surrounding whitespace from every cell (the UCI
 	// Census file uses ", " separators).
 	TrimSpace bool
+	// Workers is the number of concurrent chunk parsers ReadCSVParallel
+	// uses (0 = GOMAXPROCS, 1 = a single parser — still chunked). ReadCSV,
+	// the sequential reference reader, ignores it.
+	Workers int
 }
 
 // internCap bounds the per-column intern map during the streaming pass.
@@ -50,6 +54,60 @@ const internCap = 4096
 // internDeferred marks a cell whose value arrived after the intern cap was
 // hit; it is resolved to a real id at finalize.
 const internDeferred = -2
+
+// countingReader counts the bytes handed out by Read so ReadCSV can report
+// input size (Table.BytesRead) without an extra pass over the file.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// missingMatcher compiles the missing-token list once; both readers share the
+// exact same matcher so a cell is missing in one iff it is in the other.
+func missingMatcher(opts *CSVOptions) func(string) bool {
+	missing := opts.MissingTokens
+	if missing == nil {
+		missing = []string{"?", ""}
+	}
+	return func(s string) bool {
+		for _, tok := range missing {
+			if s == tok {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func nameForced(list []string, name string) bool {
+	for _, x := range list {
+		if x == name {
+			return true
+		}
+	}
+	return false
+}
+
+// classIndex resolves ClassColumn against the header, failing fast — before
+// any data row is parsed — when the name is unknown. (The reader used to
+// report this only after scanning the whole file.)
+func classIndex(opts *CSVOptions, header []string) (int, error) {
+	if opts.ClassColumn == "" {
+		return -1, nil
+	}
+	for i, h := range header {
+		if h == opts.ClassColumn {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("dataset: class column %q not found in header %v", opts.ClassColumn, header)
+}
 
 // idClone is intern.id for strings that alias a transient read buffer: the
 // key is cloned before it is retained, so interning never pins a csv line.
@@ -85,7 +143,8 @@ type colScan struct {
 // same number of fields; the csv reader enforces this and reports ragged
 // input.
 func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
-	cr := csv.NewReader(r)
+	count := &countingReader{r: r}
+	cr := csv.NewReader(count)
 	if opts.Comma != 0 {
 		cr.Comma = opts.Comma
 	}
@@ -110,35 +169,10 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
 		}
 	}
 
-	missing := opts.MissingTokens
-	if missing == nil {
-		missing = []string{"?", ""}
-	}
-	isMissing := func(s string) bool {
-		for _, tok := range missing {
-			if s == tok {
-				return true
-			}
-		}
-		return false
-	}
-	forced := func(list []string, name string) bool {
-		for _, x := range list {
-			if x == name {
-				return true
-			}
-		}
-		return false
-	}
-
-	classIdx := -1
-	if opts.ClassColumn != "" {
-		for i, h := range header {
-			if h == opts.ClassColumn {
-				classIdx = i
-				break
-			}
-		}
+	isMissing := missingMatcher(&opts)
+	classIdx, err := classIndex(&opts, header)
+	if err != nil {
+		return nil, err
 	}
 
 	cols := make([]*colScan, len(header))
@@ -148,8 +182,8 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
 			cols[i] = c
 			continue
 		}
-		c.forcedNum = forced(opts.NumericColumns, name)
-		c.forcedCat = !c.forcedNum && forced(opts.CategoricalColumns, name)
+		c.forcedNum = nameForced(opts.NumericColumns, name)
+		c.forcedCat = !c.forcedNum && nameForced(opts.CategoricalColumns, name)
 		c.tryNum = !c.forcedNum && !c.forcedCat
 		cols[i] = c
 	}
@@ -227,11 +261,8 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
 	if opts.HasHeader && rows == 0 {
 		return nil, fmt.Errorf("dataset: csv has a header but no data rows")
 	}
-	if opts.ClassColumn != "" && classIdx == -1 {
-		return nil, fmt.Errorf("dataset: class column %q not found in header %v", opts.ClassColumn, header)
-	}
 
-	t := &Table{Name: opts.Name}
+	t := &Table{Name: opts.Name, BytesRead: count.n}
 	for i, c := range cols {
 		if i == classIdx {
 			if c.badRow >= 0 {

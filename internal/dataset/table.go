@@ -97,6 +97,10 @@ type Table struct {
 	Class partition.Labels
 	// ClassNames maps class ids to names.
 	ClassNames []string
+	// BytesRead is the number of input bytes the CSV readers consumed to
+	// build the table (0 for synthetic tables). It feeds the ingest.bytes
+	// counter without a second pass over the file.
+	BytesRead int64
 }
 
 // N returns the number of rows.

@@ -51,6 +51,15 @@ type Config struct {
 	// HugeSizes overrides the "huge" artifact's object-count sweep.
 	// Zero means 200k → 1M → 10M.
 	HugeSizes []int
+	// HugeCSVRows sizes the "huge" artifact's CSV end-to-end row (planted
+	// CSV on disk → aggregate labels, sequential vs pipelined ingest).
+	// Zero runs the default 1M rows when the default ladder runs, and skips
+	// the row when HugeSizes is overridden (tests use small ladders);
+	// negative always skips.
+	HugeCSVRows int
+	// IngestRows sizes the "ingest" artifact's CSV workload. Zero means
+	// 40000 (200000 when Full is set).
+	IngestRows int
 	// Workers caps the worker goroutines of the parallel stages (matrix
 	// materialization, BestOf racing, SAMPLING assignment). Zero means
 	// GOMAXPROCS; 1 forces sequential execution. Results are identical for
@@ -78,6 +87,16 @@ func (c Config) mushroomsRows() int {
 		return 8124
 	}
 	return 1500
+}
+
+func (c Config) ingestRows() int {
+	if c.IngestRows > 0 {
+		return c.IngestRows
+	}
+	if c.Full {
+		return 200_000
+	}
+	return 40_000
 }
 
 func (c Config) censusRows() int {

@@ -299,6 +299,92 @@ func TestMissingValueSweep(t *testing.T) {
 	}
 }
 
+func TestIngestThroughput(t *testing.T) {
+	cfg := fastCfg()
+	cfg.IngestRows = 3000
+	res, err := IngestThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 3000 || res.Attrs != 6 {
+		t.Errorf("rows/attrs = %d/%d, want 3000/6", res.Rows, res.Attrs)
+	}
+	if res.Shards != 1 { // 3000 rows under one 8192-row shard target
+		t.Errorf("shards = %d, want 1", res.Shards)
+	}
+	if res.Bytes <= 0 {
+		t.Error("no bytes measured")
+	}
+	if res.Clusters < 2 {
+		t.Errorf("clusters = %d", res.Clusters)
+	}
+	// 10% noise over a strong planted structure: the aggregate should all
+	// but recover the truth.
+	if res.Rand < 0.9 {
+		t.Errorf("Rand index vs planted truth = %v", res.Rand)
+	}
+	if !strings.Contains(res.String(), "pipelined") {
+		t.Error("missing mode row in output")
+	}
+}
+
+// TestIngestThroughputSharded crosses the (shrunken) shard target so the
+// sequential, parallel, and pipelined modes all run the sharded tree — the
+// label-equality check inside IngestThroughput is the real assertion.
+func TestIngestThroughputSharded(t *testing.T) {
+	cfg := fastCfg()
+	cfg.IngestRows = 20_000 // 3 shards at the artifact's 8192-row target
+	res, err := IngestThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 3 {
+		t.Errorf("shards = %d, want 3", res.Shards)
+	}
+	if res.Rand < 0.9 {
+		t.Errorf("Rand index vs planted truth = %v", res.Rand)
+	}
+}
+
+func TestHugeCSVPoint(t *testing.T) {
+	cfg := fastCfg()
+	cfg.HugeSizes = []int{5000}
+	cfg.HugeCSVRows = 4000
+	res, err := HugeScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.CSV
+	if c == nil {
+		t.Fatal("CSV point missing")
+	}
+	if c.N != 4000 || c.Bytes <= 0 {
+		t.Errorf("csv point n/bytes = %d/%d", c.N, c.Bytes)
+	}
+	if c.Shards != 1 { // 4000 rows, production shard target: single-level
+		t.Errorf("csv shards = %d, want 1", c.Shards)
+	}
+	if c.Rand < 0.9 {
+		t.Errorf("csv Rand index = %v", c.Rand)
+	}
+	if c.AllocBytes == 0 {
+		t.Error("csv alloc not measured")
+	}
+	if !strings.Contains(res.String(), "CSV end-to-end") {
+		t.Error("String output missing the CSV row")
+	}
+	// Overridden ladder without an explicit CSV size skips the row (keeps
+	// small-test ladders from paying a 1M-row generation).
+	cfg.HugeCSVRows = 0
+	res, err = HugeScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CSV != nil {
+		t.Error("CSV point should be skipped when HugeSizes is overridden without HugeCSVRows")
+	}
+}
+
 func TestSubsample(t *testing.T) {
 	tab := subsampleTestTable()
 	if got := subsample(tab, 1000, 1); got != tab {

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
 	"runtime"
+	"slices"
 	"strings"
 	"time"
 
@@ -64,6 +68,36 @@ type HugePoint struct {
 type HugeResult struct {
 	M      int
 	Points []HugePoint
+	// CSV, when the CSV end-to-end row ran, holds the on-disk ingest rung.
+	CSV *HugeCSVPoint
+}
+
+// hugeCSVRows is the default size of the CSV end-to-end row: the ladder's
+// 1M rung, measured from bytes on disk instead of an in-memory problem.
+const hugeCSVRows = 1_000_000
+
+// HugeCSVPoint is the CSV end-to-end row of the huge artifact: a planted
+// CSV written to a temp file, then clustered twice — once through the
+// sequential one-pass reader (read everything, then sample) and once
+// through the pipelined chunked reader (8 parsers streaming rows into the
+// sampling tree). The two runs must produce identical labels; the gated
+// facts are the deterministic ones (rows, bytes, shard count, cluster
+// count, Rand index) plus the ratio-budgeted pipelined-run allocation.
+// Wall times carry benchdiff-ignored suffixes: on a single-core runner the
+// parallel modes cannot beat sequential, so timing is recorded, not gated.
+type HugeCSVPoint struct {
+	N      int
+	Bytes  int64
+	Shards int
+	KFound int
+	// Rand is the Rand index against the planted truth from the class
+	// column (O(n); Disagreement is O(n²) and must never run here).
+	Rand         float64
+	SeqDuration  time.Duration
+	PipeDuration time.Duration
+	// AllocBytes is the heap allocated across the pipelined run (TotalAlloc
+	// delta); benchdiff ratio-gates it as csv:alloc_bytes.
+	AllocBytes uint64
 }
 
 // hugeProblem builds the synthetic workload for one ladder size: hugeM
@@ -165,7 +199,119 @@ func HugeScaling(cfg Config) (*HugeResult, error) {
 				float64(p.AllocBytes)/(1<<20))
 		}
 	}
+	csvRows := cfg.HugeCSVRows
+	if csvRows == 0 && len(cfg.HugeSizes) == 0 {
+		csvRows = hugeCSVRows
+	}
+	if csvRows > 0 {
+		p, err := hugeCSV(cfg, csvRows)
+		if err != nil {
+			return nil, err
+		}
+		res.CSV = p
+		if !cfg.Quiet {
+			fmt.Printf("  huge: csv n=%d done in %.2fs sequential / %.2fs pipelined (shards=%d k=%d rand=%.4f alloc=%.1fMB)\n",
+				p.N, p.SeqDuration.Seconds(), p.PipeDuration.Seconds(), p.Shards, p.KFound, p.Rand,
+				float64(p.AllocBytes)/(1<<20))
+		}
+	}
 	return res, nil
+}
+
+// hugeCSV runs the CSV end-to-end row: stream a planted CSV to a temp file,
+// cluster it through the sequential and the pipelined ingest paths, verify
+// the labels agree, and measure the pipelined run's allocation. Only the
+// pipelined run records into cfg.Recorder, so the artifact's ingest and
+// shard counters describe one pipelined pass.
+func hugeCSV(cfg Config, rows int) (*HugeCSVPoint, error) {
+	f, err := os.CreateTemp("", "clusteragg-huge-*.csv")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(f.Name())
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := plantedCSVTo(bw, rows, cfg.seed()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	p := &HugeCSVPoint{N: rows, Bytes: fi.Size()}
+	sOpts := func() core.SamplingOptions {
+		return core.SamplingOptions{Shards: cfg.Shards, Rand: rand.New(rand.NewSource(cfg.seed()))}
+	}
+	runFrom := func(fn func(io.Reader) error) error {
+		in, err := os.Open(f.Name())
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		return fn(bufio.NewReaderSize(in, 1<<20))
+	}
+
+	var seqLabels partition.Labels
+	p.SeqDuration, err = timeIt(func() error {
+		return runFrom(func(r io.Reader) (e error) {
+			seqLabels, _, e = ingestDrain(r, 0, core.AggregateOptions{Workers: cfg.Workers}, sOpts())
+			return e
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rec := cfg.Recorder
+	var before map[string]int64
+	if rec != nil {
+		before = rec.Counters()
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	allocStart := ms.TotalAlloc
+	var pipeLabels, class partition.Labels
+	var pipeBytes int64
+	p.PipeDuration, err = timeIt(func() error {
+		return runFrom(func(r io.Reader) (e error) {
+			pipeLabels, class, pipeBytes, e = ingestPipeline(r, ingestWorkersN,
+				core.AggregateOptions{Workers: cfg.Workers, Recorder: rec}, sOpts())
+			return e
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	runtime.ReadMemStats(&ms)
+	p.AllocBytes = ms.TotalAlloc - allocStart
+	rec.Add("ingest.rows", int64(rows))
+	rec.Add("ingest.bytes", pipeBytes)
+	if rec != nil {
+		c := rec.Counters()
+		p.Shards = int(c["sample.shards"] - before["sample.shards"])
+	}
+	if p.Shards == 0 {
+		p.Shards = 1 // single-level: no shard counters recorded
+	}
+	if !slices.Equal(seqLabels, pipeLabels) {
+		return nil, fmt.Errorf("huge: csv labels diverge between sequential and pipelined ingest")
+	}
+	if pipeBytes != p.Bytes {
+		return nil, fmt.Errorf("huge: pipelined ingest consumed %d bytes, want %d", pipeBytes, p.Bytes)
+	}
+	p.KFound = pipeLabels.K()
+	if p.Rand, err = partition.RandIndex(pipeLabels, class); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // String prints the scaling ladder.
@@ -178,6 +324,11 @@ func (r *HugeResult) String() string {
 		fmt.Fprintf(&b, "%12d %8d %6d %8d %10.2f %14d %10.1f %8.4f\n",
 			p.N, p.Shards, p.Reps, p.KFound, p.Duration.Seconds(), p.PerObject.Nanoseconds(),
 			float64(p.AllocBytes)/(1<<20), p.Rand)
+	}
+	if c := r.CSV; c != nil {
+		fmt.Fprintf(&b, "CSV end-to-end n=%d (%.1f MB): sequential %.2fs, pipelined×%d %.2fs, shards=%d, k=%d, alloc=%.1fMB, RI=%.4f\n",
+			c.N, float64(c.Bytes)/(1<<20), c.SeqDuration.Seconds(), ingestWorkersN,
+			c.PipeDuration.Seconds(), c.Shards, c.KFound, float64(c.AllocBytes)/(1<<20), c.Rand)
 	}
 	return b.String()
 }
