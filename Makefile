@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race test-race check cover bench bench-all bench-short bench-mem bench-ingest bench-huge benchdiff experiments experiments-full fuzz fuzz-localsearch fuzz-kernel fuzz-widths fuzz-ingest clean
+.PHONY: all build test vet lint race test-race check cover bench bench-all bench-short bench-mem bench-ingest bench-obs bench-huge benchdiff experiments experiments-full fuzz fuzz-localsearch fuzz-kernel fuzz-widths fuzz-ingest clean
 
 all: build test
 
@@ -16,16 +16,26 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Static hygiene: go vet plus a repo-wide gofmt check (fails listing any
+# file that gofmt would rewrite).
+lint: vet
+	@fmt=$$(gofmt -l .); \
+	if [ -n "$$fmt" ]; then \
+		echo "lint: gofmt needed on:"; echo "$$fmt"; exit 1; \
+	fi; \
+	echo "lint: gofmt clean"
+
 race: test-race
 
 test-race:
 	$(GO) test -race ./...
 
-# The full gate: compile, vet, tests, the race detector, the obs coverage
-# floor, the allocation pins, one pass of the distance-kernel benchmarks (a
-# smoke test that they still run), the ingest benchmark suite, and the
-# bench-report regression diff against the committed baseline.
-check: build vet test test-race cover bench-mem bench-short bench-ingest benchdiff
+# The full gate: compile, vet + gofmt, tests, the race detector, the obs
+# coverage floor, the allocation pins, one pass of the distance-kernel
+# benchmarks (a smoke test that they still run), the ingest benchmark suite,
+# the obs-overhead cost sheet, and the bench-report regression diff against
+# the committed baseline.
+check: build lint test test-race cover bench-mem bench-short bench-ingest bench-obs benchdiff
 
 # Regression gate: regenerate the bench report and diff it against the
 # committed BENCH_experiments.json (counters exact, cost to float tolerance,
@@ -79,6 +89,14 @@ bench-mem:
 bench-ingest:
 	$(GO) test -run xxx -bench 'BenchmarkReadCSV$$|BenchmarkReadCSVParallel$$' -benchmem ./internal/dataset/
 	$(GO) test -run xxx -bench 'BenchmarkIngestThroughput$$|BenchmarkAggregateCSV$$' -benchtime 1x -benchmem .
+
+# The observability cost sheet: the BenchmarkObsOverhead suite prices the
+# hooks compiled into the algorithms — Do/Event/Sample on their disabled
+# (nil/off) paths must stay a few ns and 0 B/op, with the live paths printed
+# alongside for comparison. The allocation *assertions* live in bench-mem
+# (TestDisabledObsZeroAllocs); this prints the numbers.
+bench-obs:
+	$(GO) test -run xxx -bench 'BenchmarkObsOverhead' -benchmem ./internal/obs/
 
 # The n=10M artifact, opt-in (never part of bench, bench-short, or check —
 # the top rung runs for tens of seconds and allocates gigabytes): one pass of

@@ -10,8 +10,8 @@
 //
 // Both inputs may be a BenchReport (cmd/experiments -report: one RunReport
 // per artifact) or a single RunReport (clusteragg -report). Schema versions
-// 1 through 4 all parse; sections a version lacks (gauges, histograms,
-// series, alloc) are diffed only when present on both sides.
+// 1 through 5 all parse; sections a version lacks (gauges, histograms,
+// series, alloc, events) are diffed only when present on both sides.
 //
 // What is compared, per artifact matched by name:
 //
@@ -30,6 +30,14 @@
 //   - wall time: current must stay under baseline × -wall-ratio (generous
 //     by default — wall clock is the one machine-dependent axis that cannot
 //     be pinned exactly; 0 disables).
+//   - events (schema 5): the structured event log, compared as a sorted
+//     multiset of (level, msg, attrs) projections. Events carry only
+//     deterministic attributes (sizes, counts, decisions), so an event that
+//     disappears is a regression and a new one is a note; seq and wall_ns
+//     are never compared (ordering races under parallel method racing, and
+//     timestamps are the machine's). A ring that overflowed (dropped > 0)
+//     on either side downgrades the whole comparison to a note — the
+//     retained window is no longer a complete multiset.
 //   - allocated bytes (schema 4): the artifact's alloc.bytes — and any
 //     metric named *alloc_bytes, e.g. the huge ladder's per-size points —
 //     must stay under baseline × -alloc-ratio (0 disables). Allocation
@@ -41,10 +49,12 @@
 //
 // Names matching -ignore are skipped entirely. The default pattern drops
 // the known machine-dependent series: *.workers counters (resolved
-// GOMAXPROCS), localsearch.proposals (scales with the worker count), and
+// GOMAXPROCS), localsearch.proposals (scales with the worker count),
 // every timing-derived metric (seconds, time_ratio, linearity_ratio,
 // throughput suffixes — including histogram-backed *.seconds series and
-// the timing-bearing convergence series).
+// the timing-bearing convergence series), and the runtime.* gauges from
+// the RuntimeSampler (heap, goroutines, GC — all runtime-state-dependent).
+// The same pattern is applied to event msg names.
 //
 // Exit status: 0 clean, 1 regression, 2 usage or unreadable input.
 package main
@@ -66,7 +76,7 @@ import (
 // machine (worker count, timing, GC pacing) rather than on the algorithms.
 // The live peak-heap gauge is here because peak heap rides GC timing; the
 // alloc *section* (total bytes) is gated separately by -alloc-ratio.
-const defaultIgnore = `\.workers$|^localsearch\.proposals$|seconds$|time_ratio$|linearity_ratio$|throughput$|^alloc\.peak_heap_bytes$`
+const defaultIgnore = `\.workers$|^localsearch\.proposals$|seconds$|time_ratio$|linearity_ratio$|throughput$|^alloc\.peak_heap_bytes$|^runtime\.`
 
 // defaultWallRatio is deliberately generous: the baseline may come from a
 // different machine, and wall time is the one compared axis that legitimately
@@ -244,6 +254,68 @@ func (d *differ) diffArtifact(base, cur obs.RunReport) {
 	}
 
 	d.diffAlloc(name, base.Alloc, cur.Alloc)
+	d.diffEvents(name, base.Events, cur.Events)
+}
+
+// diffEvents compares the structured event logs as multisets of
+// (level, msg, attrs) projections. seq and wall_ns are deliberately outside
+// the projection: emission order races under parallel method racing and
+// timestamps belong to the machine, while the projected attributes carry
+// only deterministic decisions (sizes, counts, chosen widths). A section on
+// one side only is a note — schema upgrades must not fail the gate — and an
+// overflowed ring on either side makes the retained window an incomplete
+// multiset, so the comparison downgrades to a note as well.
+func (d *differ) diffEvents(name string, base, cur *obs.EventsSnapshot) {
+	switch {
+	case base == nil && cur == nil:
+		return
+	case base == nil:
+		d.note(name, "event log added (%d events)", cur.Count)
+		return
+	case cur == nil:
+		d.note(name, "event log removed (baseline had %d events)", base.Count)
+		return
+	}
+	if base.Dropped > 0 || cur.Dropped > 0 {
+		d.note(name, "event ring overflowed (dropped %d baseline, %d current) — events not compared",
+			base.Dropped, cur.Dropped)
+		return
+	}
+	bk := d.eventCounts(base)
+	ck := d.eventCounts(cur)
+	clean := true
+	for _, k := range sortedKeys(bk) {
+		if n := bk[k] - ck[k]; n > 0 {
+			d.regress(name, "event %q ×%d removed", k, n)
+			clean = false
+		}
+	}
+	for _, k := range sortedKeys(ck) {
+		if n := ck[k] - bk[k]; n > 0 {
+			d.note(name, "event %q ×%d added", k, n)
+			clean = false
+		}
+	}
+	if clean && d.opts.verbose {
+		fmt.Fprintf(d.out, "ok %s: %d events match\n", name, cur.Count)
+	}
+}
+
+// eventCounts projects the retained entries onto deterministic keys and
+// counts multiplicities, skipping msg names matched by -ignore.
+func (d *differ) eventCounts(s *obs.EventsSnapshot) map[string]int {
+	m := make(map[string]int, len(s.Entries))
+	for _, e := range s.Entries {
+		if d.ignored(e.Msg) {
+			continue
+		}
+		parts := make([]string, 0, len(e.Attrs))
+		for _, k := range sortedKeys(e.Attrs) {
+			parts = append(parts, k+"="+e.Attrs[k])
+		}
+		m[e.Level+" "+e.Msg+" "+strings.Join(parts, " ")]++
+	}
+	return m
 }
 
 // diffAlloc gates the artifact's allocated bytes under the alloc-ratio

@@ -327,3 +327,89 @@ func TestUsageErrors(t *testing.T) {
 		t.Fatalf("unreadable input: exit %d, want 2", code)
 	}
 }
+
+// eventsReport is baseReport plus a schema-5 events section whose entries
+// carry deterministic attrs but machine-specific seq/wall_ns.
+func eventsReport(seqBase, wallBase int64, shuffle bool) obs.BenchReport {
+	r := baseReport()
+	entries := []obs.Event{
+		{Seq: seqBase, WallNS: wallBase, Level: "INFO", Msg: "sample.shards", Attrs: map[string]string{"shards": "4", "n": "100000"}},
+		{Seq: seqBase + 1, WallNS: wallBase + 50, Level: "INFO", Msg: "kernel.width", Attrs: map[string]string{"bytes": "1"}},
+		{Seq: seqBase + 2, WallNS: wallBase + 99, Level: "INFO", Msg: "kernel.width", Attrs: map[string]string{"bytes": "1"}},
+	}
+	if shuffle { // emission order races under parallel method racing
+		entries[0], entries[2] = entries[2], entries[0]
+	}
+	r.Artifacts[0].Events = &obs.EventsSnapshot{Count: 3, Entries: entries}
+	return r
+}
+
+// TestEventsMultisetComparison pins the schema-5 event gate: identical
+// multisets pass even when seq, wall_ns, and emission order all differ.
+func TestEventsMultisetComparison(t *testing.T) {
+	code, out := runDiff(t, nil, eventsReport(1, 100, false), eventsReport(900, 7e12, true))
+	if code != 0 {
+		t.Fatalf("reordered identical events: exit %d\n%s", code, out)
+	}
+}
+
+func TestEventRemovedFails(t *testing.T) {
+	cur := eventsReport(1, 100, false)
+	cur.Artifacts[0].Events.Entries = cur.Artifacts[0].Events.Entries[:2]
+	cur.Artifacts[0].Events.Count = 2
+	code, out := runDiff(t, nil, eventsReport(1, 100, false), cur)
+	if code != 1 || !strings.Contains(out, `event "INFO kernel.width bytes=1" ×1 removed`) {
+		t.Fatalf("removed event: exit %d\n%s", code, out)
+	}
+}
+
+func TestEventAddedIsNote(t *testing.T) {
+	cur := eventsReport(1, 100, false)
+	cur.Artifacts[0].Events.Entries = append(cur.Artifacts[0].Events.Entries,
+		obs.Event{Seq: 4, WallNS: 500, Level: "INFO", Msg: "bestof.winner", Attrs: map[string]string{"method": "localsearch"}})
+	cur.Artifacts[0].Events.Count = 4
+	code, out := runDiff(t, nil, eventsReport(1, 100, false), cur)
+	if code != 0 || !strings.Contains(out, `event "INFO bestof.winner method=localsearch" ×1 added`) {
+		t.Fatalf("added event: exit %d\n%s", code, out)
+	}
+}
+
+func TestEventOverflowDowngradesToNote(t *testing.T) {
+	cur := eventsReport(1, 100, false)
+	cur.Artifacts[0].Events.Entries = cur.Artifacts[0].Events.Entries[:1] // would regress...
+	cur.Artifacts[0].Events.Count = 300
+	cur.Artifacts[0].Events.Dropped = 299 // ...but the ring overflowed
+	code, out := runDiff(t, nil, eventsReport(1, 100, false), cur)
+	if code != 0 || !strings.Contains(out, "event ring overflowed") {
+		t.Fatalf("overflowed ring: exit %d\n%s", code, out)
+	}
+}
+
+func TestEventsOneSidedIsNote(t *testing.T) {
+	code, out := runDiff(t, nil, baseReport(), eventsReport(1, 100, false))
+	if code != 0 || !strings.Contains(out, "event log added") {
+		t.Fatalf("schema upgrade: exit %d\n%s", code, out)
+	}
+	code, out = runDiff(t, nil, eventsReport(1, 100, false), baseReport())
+	if code != 0 || !strings.Contains(out, "event log removed") {
+		t.Fatalf("schema downgrade: exit %d\n%s", code, out)
+	}
+}
+
+// TestRuntimeGaugesIgnored pins the default-ignore entry for the
+// RuntimeSampler's names: heap, goroutine, and GC numbers are runtime-state-
+// dependent and must never gate.
+func TestRuntimeGaugesIgnored(t *testing.T) {
+	base := baseReport()
+	base.Artifacts[0].Gauges["runtime.heap_bytes"] = 1e6
+	base.Artifacts[0].Gauges["runtime.goroutines"] = 4
+	cur := baseReport()
+	cur.Artifacts[0].Gauges["runtime.heap_bytes"] = 9e9 // wildly different machine state
+	cur.Artifacts[0].Series["runtime.goroutines"] = obs.SeriesSnapshot{
+		Points: []obs.SeriesPoint{{Step: 1, Value: 33}}, Count: 1, Stride: 1,
+	}
+	code, out := runDiff(t, nil, base, cur)
+	if code != 0 {
+		t.Fatalf("runtime.* drift flagged: exit %d\n%s", code, out)
+	}
+}

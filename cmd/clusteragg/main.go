@@ -47,10 +47,16 @@
 //	-tracefile F   write the span tree as Chrome trace_event JSON ("-" =
 //	               stdout); load in Perfetto or chrome://tracing
 //	-progress      print throttled progress events on stderr while running
-//	-listen ADDR   serve /metrics (Prometheus text), /debug/vars, and
-//	               /debug/pprof on ADDR (e.g. ":9090") for the duration of
-//	               the run
-//	-cpuprofile F  write a pprof CPU profile of the run
+//	-listen ADDR   serve /metrics (Prometheus text), /series, /runtime,
+//	               /logs, the live /dashboard HTML console, /debug/vars,
+//	               and /debug/pprof on ADDR (e.g. ":9090") for the duration
+//	               of the run
+//	-log FORMAT    stream the structured event log to stderr as "text" or
+//	               "json" lines (slog format); the retained tail also lands
+//	               in the -report events section and on /logs
+//	-cpuprofile F  write a pprof CPU profile of the run; spans and worker
+//	               goroutines carry phase/method/worker pprof labels, so
+//	               `go tool pprof -tagfocus phase=materialize` slices it
 //	-memprofile F  write a pprof heap profile taken after the run
 package main
 
@@ -58,6 +64,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"os"
 	"runtime"
@@ -76,31 +83,34 @@ import (
 
 // cliConfig carries the parsed flags.
 type cliConfig struct {
-	method     string
-	alpha      float64
-	k          int
-	refine     bool
-	header     bool
-	class      string
-	sample     int
-	shards     int
+	method        string
+	alpha         float64
+	k             int
+	refine        bool
+	header        bool
+	class         string
+	sample        int
+	shards        int
 	seed          int64
 	workers       int
 	ingestWorkers int
 	summary       bool
-	describe   bool
-	trace      bool
-	report     string
-	tracefile  string
-	progress   bool
-	listen     string
-	cpuprofile string
-	memprofile string
+	describe      bool
+	trace         bool
+	report        string
+	tracefile     string
+	progress      bool
+	listen        string
+	logFormat     string
+	cpuprofile    string
+	memprofile    string
 
-	// traceOut receives the -trace output and progressOut the -progress
-	// ticker; nil means os.Stderr. Tests substitute buffers.
+	// traceOut receives the -trace output, progressOut the -progress
+	// ticker, and logOut the -log stream; nil means os.Stderr. Tests
+	// substitute buffers.
 	traceOut    io.Writer
 	progressOut io.Writer
+	logOut      io.Writer
 	// onServe, when non-nil, is called with the -listen server's bound
 	// address after the aggregation finishes but while the server is still
 	// up, so tests can scrape /metrics from a live run.
@@ -133,7 +143,8 @@ func main() {
 	flag.StringVar(&cfg.report, "report", "", "write a JSON run report to this file (\"-\" = stdout)")
 	flag.StringVar(&cfg.tracefile, "tracefile", "", "write a Chrome trace_event JSON trace to this file (\"-\" = stdout)")
 	flag.BoolVar(&cfg.progress, "progress", false, "print throttled progress events on stderr")
-	flag.StringVar(&cfg.listen, "listen", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
+	flag.StringVar(&cfg.listen, "listen", "", "serve /metrics, /dashboard, /debug/vars, and /debug/pprof on this address during the run")
+	flag.StringVar(&cfg.logFormat, "log", "", "stream the structured event log to stderr as \"text\" or \"json\" lines")
 	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
@@ -162,8 +173,31 @@ func run(path string, cfg cliConfig) error {
 	}
 
 	var rec *obs.Recorder
-	if cfg.trace || cfg.report != "" || cfg.tracefile != "" || cfg.listen != "" {
+	if cfg.trace || cfg.report != "" || cfg.tracefile != "" || cfg.listen != "" || cfg.logFormat != "" {
 		rec = obs.New()
+	}
+	if cfg.logFormat != "" {
+		w := cfg.logOut
+		if w == nil {
+			w = os.Stderr
+		}
+		var h slog.Handler
+		switch cfg.logFormat {
+		case "text":
+			h = slog.NewTextHandler(w, nil)
+		case "json":
+			h = slog.NewJSONHandler(w, nil)
+		default:
+			return fmt.Errorf("-log: unknown format %q (want text or json)", cfg.logFormat)
+		}
+		rec.Events().Attach(h)
+	}
+	// CPU attribution: phase/method/worker pprof labels cost a few allocs
+	// per span, so they stay off unless something will consume them — a
+	// -cpuprofile, or the live /debug/pprof endpoints under -listen.
+	if cfg.cpuprofile != "" || cfg.listen != "" {
+		obs.EnableProfileLabels(true)
+		defer obs.EnableProfileLabels(false)
 	}
 	var srv *obs.MetricsServer
 	if cfg.listen != "" {
@@ -173,13 +207,24 @@ func run(path string, cfg cliConfig) error {
 			return fmt.Errorf("listen: %w", err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "# metrics: http://%s/metrics\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "# metrics: http://%s/metrics  dashboard: http://%s/dashboard\n", srv.Addr(), srv.Addr())
 	}
 	// Allocation telemetry: TotalAlloc/Mallocs deltas over the whole run,
 	// with the peak heap sampled from the progress ticker (and exposed live
 	// on /metrics via the gauge when -listen is up). Costs two ReadMemStats
 	// when no progress events fire.
 	tracker := obs.StartAllocTracker(rec.Gauge("alloc.peak_heap_bytes"))
+	// Runtime telemetry (nil and free when rec is): goroutines, heap, GC
+	// pauses, scheduler latency, total CPU, polled from runtime/metrics. It
+	// piggybacks on the progress tick like the alloc tracker; under -listen
+	// a background ticker keeps /runtime and the dashboard live between
+	// progress events.
+	sampler := obs.NewRuntimeSampler(rec)
+	if cfg.listen != "" {
+		stopSampler := make(chan struct{})
+		sampler.SampleEvery(250*time.Millisecond, stopSampler)
+		defer close(stopSampler)
+	}
 	var progress *obs.Progress
 	if cfg.progress {
 		w := cfg.progressOut
@@ -188,6 +233,7 @@ func run(path string, cfg cliConfig) error {
 		}
 		progress = obs.NewProgress(func(e obs.ProgressEvent) {
 			tracker.Sample()
+			sampler.Sample()
 			fmt.Fprintf(w, "# %s\n", e)
 		}, 0)
 	}
@@ -235,6 +281,7 @@ func run(path string, cfg cliConfig) error {
 	var n, mAttrs int
 	var disagreement, lowerBound float64
 	sampling := cfg.sample > 0 || cfg.shards != 0
+	rec.Event("run.start", "method", cfg.method, "sampling", sampling, "workers", cfg.workers)
 	if cfg.ingestWorkers > 0 && sampling && !cfg.describe {
 		// Pipelined ingest: the chunked parallel reader streams rows
 		// straight into the sharded sampling tree, so shard aggregation
@@ -311,6 +358,8 @@ func run(path string, cfg cliConfig) error {
 	if lowerBound > 0 {
 		rec.Series("cost_over_lower_bound").Append(0, disagreement/lowerBound)
 	}
+	rec.Event("run.done", "n", n, "m", mAttrs, "clusters", labels.K(), "cost", disagreement)
+	sampler.Sample() // final runtime poll so the report's runtime.* gauges are fresh
 	fmt.Printf("# n=%d attributes=%d clusters=%d disagreement=%.0f lower-bound=%.0f\n",
 		n, mAttrs, labels.K(), disagreement, lowerBound)
 	if classLabels != nil {
@@ -335,9 +384,7 @@ func run(path string, cfg cliConfig) error {
 		}
 	}
 	if cfg.tracefile != "" {
-		procs := []obs.TraceProcess{{
-			Name: "clusteragg " + methodName, Spans: rec.Spans(), Series: rec.AllSeries(),
-		}}
+		procs := []obs.TraceProcess{rec.TraceProcess("clusteragg " + methodName)}
 		if err := obs.WriteTraceFileProcesses(cfg.tracefile, procs); err != nil {
 			return fmt.Errorf("tracefile: %w", err)
 		}

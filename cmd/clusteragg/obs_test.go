@@ -99,9 +99,9 @@ func TestRunReportSchema(t *testing.T) {
 	}
 	sort.Strings(got)
 	want := []string{
-		"alloc", "clusters", "cost", "counters", "gauges", "histograms",
-		"lower_bound", "m", "method", "n", "schema_version", "series",
-		"spans", "wall_ns", "workers",
+		"alloc", "clusters", "cost", "counters", "events", "gauges",
+		"histograms", "lower_bound", "m", "method", "n", "schema_version",
+		"series", "spans", "wall_ns", "workers",
 	}
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Errorf("report keys = %v, want %v", got, want)
@@ -316,5 +316,50 @@ func TestRunProfiles(t *testing.T) {
 		if fi.Size() == 0 {
 			t.Errorf("profile %s is empty", p)
 		}
+	}
+}
+
+// TestRunLogStream pins the -log flag: lifecycle and decision events stream
+// to the writer as slog lines in the requested format while the run
+// proceeds normally.
+func TestRunLogStream(t *testing.T) {
+	path := bestofCSV(t)
+	var buf bytes.Buffer
+	cfg := base()
+	cfg.method = "bestof"
+	cfg.header = true
+	cfg.summary = true
+	cfg.logFormat = "json"
+	cfg.logOut = &buf
+	if err := run(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"msg":"run.start"`, `"msg":"run.done"`, `"msg":"bestof.winner"`,
+		`"method":"bestof"`, `"level":"INFO"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-log json output missing %s:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Errorf("-log json line is not valid JSON: %s", line)
+		}
+	}
+
+	buf.Reset()
+	cfg.logFormat = "text"
+	if err := run(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); !strings.Contains(out, "msg=run.done") {
+		t.Errorf("-log text output missing msg=run.done:\n%s", out)
+	}
+
+	cfg.logFormat = "yaml"
+	if err := run(path, cfg); err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Errorf("-log yaml error = %v, want unknown format", err)
 	}
 }

@@ -36,15 +36,20 @@
 //	-tracefile F   write every artifact's span tree as Chrome trace_event
 //	               JSON, one trace process per artifact ("-" = stdout)
 //	-progress      print throttled per-artifact progress on stderr
-//	-listen ADDR   serve /metrics (Prometheus text), /debug/vars, and
-//	               /debug/pprof on ADDR; the scrape follows the artifact
-//	               currently running
+//	-log FORMAT    mirror each artifact's structured events to stderr as
+//	               they happen ("text" or "json", via log/slog)
+//	-listen ADDR   serve /metrics (Prometheus text), /runtime, /logs,
+//	               /dashboard, /debug/vars, and /debug/pprof on ADDR; the
+//	               scrape follows the artifact currently running, and CPU
+//	               profiles taken from /debug/pprof carry phase/artifact/
+//	               worker labels (pprof -tagfocus)
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -67,7 +72,8 @@ func main() {
 		report    = flag.String("report", "", "write a JSON bench report to this file (\"-\" = stdout)")
 		tracefile = flag.String("tracefile", "", "write a Chrome trace_event JSON trace to this file, one process per artifact (\"-\" = stdout)")
 		progress  = flag.Bool("progress", false, "print throttled per-artifact progress on stderr")
-		listen    = flag.String("listen", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
+		logFormat = flag.String("log", "", "mirror structured events to stderr as \"text\" or \"json\"")
+		listen    = flag.String("listen", "", "serve /metrics, /runtime, /logs, /dashboard, /debug/vars, and /debug/pprof on this address during the run")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <fig3|fig4|table1|table2|table3|census|fig5left|fig5middle|fig5right|ensembles|missing|ingest|huge|all>\n")
@@ -87,9 +93,14 @@ func main() {
 		Workers:       *workers,
 		Shards:        *shards,
 	}
+	if *logFormat != "" && *logFormat != "text" && *logFormat != "json" {
+		fmt.Fprintf(os.Stderr, "experiments: -log: unknown format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
 	rep := &reporter{
 		enabled:      *report != "",
 		collectTrace: *tracefile != "",
+		logFormat:    *logFormat,
 	}
 	if *listen != "" {
 		srv, err := obs.Serve(*listen, nil)
@@ -99,7 +110,12 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "# metrics: http://%s/metrics\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "# dashboard: http://%s/dashboard\n", srv.Addr())
 		rep.server = srv
+		// Profiles scraped from /debug/pprof should attribute CPU to the
+		// artifact and phase currently running.
+		obs.EnableProfileLabels(true)
+		defer obs.EnableProfileLabels(false)
 	}
 	if *progress {
 		rep.progress = obs.NewProgress(func(e obs.ProgressEvent) {
@@ -137,8 +153,9 @@ func main() {
 // the new recorder at every begin, so a scrape always follows the artifact
 // currently running.
 type reporter struct {
-	enabled      bool // -report: accumulate RunReports
-	collectTrace bool // -tracefile: accumulate TraceProcesses
+	enabled      bool   // -report: accumulate RunReports
+	collectTrace bool   // -tracefile: accumulate TraceProcesses
+	logFormat    string // -log: mirror events to stderr ("text" or "json")
 	server       *obs.MetricsServer
 	progress     *obs.Progress
 	reports      []obs.RunReport
@@ -147,7 +164,7 @@ type reporter struct {
 
 // collect reports whether any consumer needs a per-artifact Recorder.
 func (r *reporter) collect() bool {
-	return r.enabled || r.collectTrace || r.server != nil
+	return r.enabled || r.collectTrace || r.server != nil || r.logFormat != ""
 }
 
 // begin attaches a fresh Recorder to cfg and returns a done func that
@@ -160,20 +177,36 @@ func (r *reporter) begin(artifact string, cfg experiments.Config) (experiments.C
 	rec := obs.New()
 	cfg.Recorder = rec
 	r.server.SetRecorder(rec)
+	if r.logFormat != "" {
+		var h slog.Handler
+		if r.logFormat == "json" {
+			h = slog.NewJSONHandler(os.Stderr, nil)
+		} else {
+			h = slog.NewTextHandler(os.Stderr, nil)
+		}
+		rec.Events().Attach(h)
+	}
+	rec.Event("artifact.start", "artifact", artifact,
+		"workers", cfg.Workers, "shards", cfg.Shards, "seed", cfg.Seed)
 	// Per-artifact allocation telemetry: TotalAlloc/Mallocs deltas plus a
 	// background-sampled peak heap, reported in the alloc section and
-	// ratio-gated by benchdiff.
+	// ratio-gated by benchdiff. The runtime sampler rides the same stop
+	// channel; the synchronous Sample() guarantees runtime.* gauges exist
+	// even for artifacts that finish inside one sampling interval.
 	tracker := obs.StartAllocTracker(nil)
+	sampler := obs.NewRuntimeSampler(rec)
+	sampler.Sample()
 	stopSampling := make(chan struct{})
 	tracker.SampleEvery(100*time.Millisecond, stopSampling)
+	sampler.SampleEvery(100*time.Millisecond, stopSampling)
 	start := time.Now()
 	return cfg, func(metrics map[string]float64) {
 		close(stopSampling)
 		alloc := tracker.Finish()
+		sampler.Sample()
+		rec.Event("artifact.done", "artifact", artifact, "metrics", len(metrics))
 		if r.collectTrace {
-			r.traces = append(r.traces, obs.TraceProcess{
-				Name: artifact, Spans: rec.Spans(), Series: rec.AllSeries(),
-			})
+			r.traces = append(r.traces, rec.TraceProcess(artifact))
 		}
 		if !r.enabled {
 			return
@@ -190,7 +223,18 @@ func (r *reporter) begin(artifact string, cfg experiments.Config) (experiments.C
 	}
 }
 
-func run(artifact string, cfg experiments.Config, plot, asJSON bool, rep *reporter) error {
+// run labels the goroutine for CPU attribution (profiles taken while an
+// artifact runs resolve to artifact=<name> under pprof -tagfocus) and
+// delegates to runArtifact. The "all" driver recurses through run, so each
+// sub-artifact re-labels itself.
+func run(artifact string, cfg experiments.Config, plot, asJSON bool, rep *reporter) (err error) {
+	obs.Do(obs.ProfLabels{Phase: "artifact", Artifact: artifact}, func() {
+		err = runArtifact(artifact, cfg, plot, asJSON, rep)
+	})
+	return err
+}
+
+func runArtifact(artifact string, cfg experiments.Config, plot, asJSON bool, rep *reporter) error {
 	emit := func(v any) error {
 		if asJSON {
 			enc := json.NewEncoder(os.Stdout)

@@ -48,6 +48,7 @@ import (
 	"sync"
 
 	"clusteragg/internal/dataset"
+	"clusteragg/internal/obs"
 )
 
 // genConfig carries the parsed generator flags.
@@ -247,29 +248,31 @@ func streamPlantedChunked(w io.Writer, cfg genConfig, names plantedNames) error 
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			record := make([]string, cfg.attrs+1)
-			for i := range jobs {
-				lo := i * plantedChunkRows
-				hi := min(lo+plantedChunkRows, cfg.rows)
-				var buf bytes.Buffer
-				cw := csv.NewWriter(&buf)
-				rng := rand.New(rand.NewSource(plantedChunkSeed(cfg.seed, i)))
-				var err error
-				for row := lo; row < hi; row++ {
-					plantedRow(cfg, rng, row, record, names)
-					if err = cw.Write(record); err != nil {
-						break
+			obs.Do(obs.ProfLabels{Phase: "gendata", Worker: strconv.Itoa(worker)}, func() {
+				record := make([]string, cfg.attrs+1)
+				for i := range jobs {
+					lo := i * plantedChunkRows
+					hi := min(lo+plantedChunkRows, cfg.rows)
+					var buf bytes.Buffer
+					cw := csv.NewWriter(&buf)
+					rng := rand.New(rand.NewSource(plantedChunkSeed(cfg.seed, i)))
+					var err error
+					for row := lo; row < hi; row++ {
+						plantedRow(cfg, rng, row, record, names)
+						if err = cw.Write(record); err != nil {
+							break
+						}
 					}
+					if err == nil {
+						cw.Flush()
+						err = cw.Error()
+					}
+					results <- chunkOut{i, buf.Bytes(), err}
 				}
-				if err == nil {
-					cw.Flush()
-					err = cw.Error()
-				}
-				results <- chunkOut{i, buf.Bytes(), err}
-			}
-		}()
+			})
+		}(wk)
 	}
 	go func() {
 		wg.Wait()

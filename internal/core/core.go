@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 
 	"clusteragg/internal/corrclust"
@@ -389,15 +390,17 @@ func (p *Problem) bestClusteringFast(workers int) (partition.Labels, int, float6
 			wg.Add(1)
 			go func(stripe int) {
 				defer wg.Done()
-				pi := 0
-				for i := 0; i < m; i++ {
-					for j := i + 1; j < m; j++ {
-						if pi%workers == stripe {
-							fillPair(i, j)
+				obs.Do(obs.ProfLabels{Phase: "bestclustering", Worker: strconv.Itoa(stripe)}, func() {
+					pi := 0
+					for i := 0; i < m; i++ {
+						for j := i + 1; j < m; j++ {
+							if pi%workers == stripe {
+								fillPair(i, j)
+							}
+							pi++
 						}
-						pi++
 					}
-				}
+				})
 			}(w)
 		}
 		wg.Wait()

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -177,18 +178,22 @@ func (f *SampleFeed) seal() error {
 	}
 	out := &feedShardOut{}
 	f.outs = append(f.outs, out)
+	shard := len(f.segs) - 1
+	f.rec.Event("ingest.seal", "shard", shard, "rows", f.curRows)
 	lane := f.shardsSpan.StartChild("sample:shard")
 	f.wg.Add(1)
 	f.sem <- struct{}{}
 	go func() {
 		defer f.wg.Done()
 		defer func() { <-f.sem }()
-		labels, err := shardSample(sp, f.method, f.aggOpts, f.sOpts, seed)
-		if err != nil {
-			out.err = err
-		} else {
-			out.reps = shardReps(labels, lo)
-		}
+		obs.Do(obs.ProfLabels{Phase: "sample:shards", Worker: strconv.Itoa(shard)}, func() {
+			labels, err := shardSample(sp, f.method, f.aggOpts, f.sOpts, seed)
+			if err != nil {
+				out.err = err
+			} else {
+				out.reps = shardReps(labels, lo)
+			}
+		})
 		lane.End()
 		f.aggOpts.Progress.Emit(obs.ProgressEvent{
 			Stage: "sample:shards", Done: f.done.Add(1), Total: 0, // total unknown until EOF
@@ -266,6 +271,7 @@ func (f *SampleFeed) Finish() (partition.Labels, error) {
 
 	rec := f.rec
 	rec.Add("sample.shards", int64(shards))
+	rec.Event("sample.shards", "shards", shards, "n", n, "auto", true)
 	kSeries := rec.Series("sample.shard.k")
 	var reps []int
 	for i, out := range f.outs {
@@ -276,6 +282,7 @@ func (f *SampleFeed) Finish() (partition.Labels, error) {
 		reps = append(reps, out.reps...) // seal order is row order, so reps stay sorted
 	}
 	rec.Add("sample.shard.reps", int64(len(reps)))
+	rec.Event("sample.shard.reps", "reps", len(reps), "shards", shards)
 	f.shardsSpan.End()
 
 	// Representative level + shared back half, exactly as sampleSharded.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -164,7 +165,9 @@ func (p *Problem) materialize(rec *obs.Recorder, workers int) *corrclust.Matrix 
 		wg.Add(1)
 		go func(stripe int) {
 			defer wg.Done()
-			p.materializeStripe(mx, blocks, votes, missCnt, stripe, workers)
+			obs.Do(obs.ProfLabels{Phase: "materialize", Worker: strconv.Itoa(stripe)}, func() {
+				p.materializeStripe(mx, blocks, votes, missCnt, stripe, workers)
+			})
 		}(w)
 	}
 	wg.Wait()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -156,25 +157,33 @@ func EffectiveWorkers(w int) int {
 func effectiveWorkers(w int) int { return EffectiveWorkers(w) }
 
 // Aggregate runs the chosen aggregation method on the problem and returns
-// the aggregate clustering with normalized labels.
-func (p *Problem) Aggregate(method Method, opts AggregateOptions) (partition.Labels, error) {
-	rec := opts.Recorder
-	span := rec.Start("aggregate:" + method.Slug())
-	defer span.End()
-	var inst corrclust.Instance
-	if opts.Materialize {
-		ms := rec.Start("materialize")
-		inst = p.materialize(rec, opts.Workers)
-		ms.End()
-	} else {
-		// Matrix-free runs probe through the columnar label kernel: the
-		// same distances, bit for bit, from contiguous label compares
-		// instead of Problem.Dist's slice-of-slices walk, with bulk row
-		// gathers where the algorithm's inner loop supports them (see
-		// corrclust.RowDistancer).
-		inst = p.kernel()
-	}
-	return p.aggregateOn(inst, method, opts, nil)
+// the aggregate clustering with normalized labels. The whole run carries
+// phase/method pprof labels (obs.Do) when profile labels are enabled, so a
+// -cpuprofile slices by method with `go tool pprof -tagfocus`; worker
+// goroutines spawned inside inherit them.
+func (p *Problem) Aggregate(method Method, opts AggregateOptions) (labels partition.Labels, err error) {
+	obs.Do(obs.ProfLabels{Phase: "aggregate", Method: method.Slug()}, func() {
+		rec := opts.Recorder
+		span := rec.Start("aggregate:" + method.Slug())
+		defer span.End()
+		var inst corrclust.Instance
+		if opts.Materialize {
+			ms := rec.Start("materialize")
+			inst = p.materialize(rec, opts.Workers)
+			ms.End()
+		} else {
+			// Matrix-free runs probe through the columnar label kernel: the
+			// same distances, bit for bit, from contiguous label compares
+			// instead of Problem.Dist's slice-of-slices walk, with bulk row
+			// gathers where the algorithm's inner loop supports them (see
+			// corrclust.RowDistancer).
+			k := p.kernel()
+			rec.Event("kernel.width", "bytes", k.width, "n", p.n, "m", p.M())
+			inst = k
+		}
+		labels, err = p.aggregateOn(inst, method, opts, nil)
+	})
+	return labels, err
 }
 
 // aggregateOn is Aggregate against an explicit distance oracle, shared by
@@ -257,7 +266,9 @@ func (p *Problem) BestOf(methods []Method, opts AggregateOptions) (partition.Lab
 		ms.End()
 		opts.Materialize = false // reuse the shared matrix below
 	} else {
-		inst = p.kernel() // shared matrix-free kernel oracle
+		k := p.kernel() // shared matrix-free kernel oracle
+		rec.Event("kernel.width", "bytes", k.width, "n", p.n, "m", p.M())
+		inst = k
 	}
 
 	// Pre-draw one rand per randomized method so concurrent methods never
@@ -285,20 +296,25 @@ func (p *Problem) BestOf(methods []Method, opts AggregateOptions) (partition.Lab
 	}
 	results := make([]raced, len(methods))
 	run := func(i int, method Method) {
-		mopts := opts
-		mopts.Rand = rngs[i] // nil for the deterministic methods, which ignore it
-		start := time.Now()
-		msp := span.StartChild("method:" + method.Slug())
-		defer msp.End()
-		labels, err := p.aggregateOn(inst, method, mopts, msp)
-		if err != nil {
-			results[i] = raced{err: err}
-			return
-		}
-		// The per-candidate cost evaluation is part of racing this method,
-		// so its probes are charged to the method's dist_probes counter.
-		cost := corrclust.Cost(counting(inst, rec, method.Slug()+".dist_probes"), labels)
-		results[i] = raced{labels: labels, cost: cost, elapsed: time.Since(start)}
+		// Each racer re-labels itself (phase + method): pprof.Do replaces
+		// rather than merges, and the goroutine otherwise inherits only the
+		// spawner's generic bestof labels.
+		obs.Do(obs.ProfLabels{Phase: "bestof", Method: method.Slug(), Worker: strconv.Itoa(i)}, func() {
+			mopts := opts
+			mopts.Rand = rngs[i] // nil for the deterministic methods, which ignore it
+			start := time.Now()
+			msp := span.StartChild("method:" + method.Slug())
+			defer msp.End()
+			labels, err := p.aggregateOn(inst, method, mopts, msp)
+			if err != nil {
+				results[i] = raced{err: err}
+				return
+			}
+			// The per-candidate cost evaluation is part of racing this method,
+			// so its probes are charged to the method's dist_probes counter.
+			cost := corrclust.Cost(counting(inst, rec, method.Slug()+".dist_probes"), labels)
+			results[i] = raced{labels: labels, cost: cost, elapsed: time.Since(start)}
+		})
 	}
 
 	workers := effectiveWorkers(opts.Workers)
@@ -338,6 +354,7 @@ func (p *Problem) BestOf(methods []Method, opts AggregateOptions) (partition.Lab
 			best, bestMethod, bestCost = r.labels, method, r.cost
 		}
 	}
+	rec.Event("bestof.winner", "method", bestMethod.Slug(), "cost", bestCost, "methods", len(methods))
 	if rec != nil {
 		// Race trajectory, appended in method order after the race so the
 		// points are deterministic regardless of scheduling: each method's

@@ -267,6 +267,65 @@ func TestConcurrentMetricWrites(t *testing.T) {
 	}
 }
 
+// TestObsLayersDoNotChangeResults flips on every observability layer at
+// once — pprof phase/worker labels, the runtime sampler polling on a tight
+// interval, and the structured event log — and demands BestOf labels (and
+// winner) bit-identical to the bare run at Workers 0, 1 and 8: telemetry
+// must observe, never steer, even with the full stack live.
+func TestObsLayersDoNotChangeResults(t *testing.T) {
+	p := recorderProblem(t, 200, 4, 31)
+	run := func(rec *obs.Recorder, workers int) (partition.Labels, Method) {
+		t.Helper()
+		labels, winner, err := p.BestOf(nil, AggregateOptions{
+			Materialize: true,
+			Refine:      true,
+			Workers:     workers,
+			Rand:        rand.New(rand.NewSource(9)),
+			Recorder:    rec,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return labels, winner
+	}
+	for _, workers := range []int{0, 1, 8} {
+		plain, plainWinner := run(nil, workers)
+
+		obs.EnableProfileLabels(true)
+		rec := obs.New()
+		sampler := obs.NewRuntimeSampler(rec)
+		sampler.Sample() // one synchronous poll so gauges exist even on a fast run
+		stop := make(chan struct{})
+		sampler.SampleEvery(time.Millisecond, stop)
+		full, fullWinner := run(rec, workers)
+		close(stop)
+		obs.EnableProfileLabels(false)
+
+		if plainWinner != fullWinner {
+			t.Fatalf("workers=%d: winner %v bare, %v instrumented", workers, plainWinner, fullWinner)
+		}
+		sameLabels(t, fmt.Sprintf("obs-layers workers=%d", workers), plain, full)
+
+		ev := rec.EventsSnapshot()
+		if ev == nil || ev.Count == 0 {
+			t.Errorf("workers=%d: no events recorded", workers)
+		} else {
+			found := false
+			for _, e := range ev.Entries {
+				if e.Msg == "bestof.winner" {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("workers=%d: bestof.winner event missing from %d entries", workers, len(ev.Entries))
+			}
+		}
+		if _, ok := rec.Gauges()["runtime.goroutines"]; !ok {
+			t.Errorf("workers=%d: runtime.goroutines gauge missing", workers)
+		}
+	}
+}
+
 // TestSamplingRecorderFallback verifies SamplingOptions.Recorder falls back
 // to the AggregateOptions recorder and takes precedence when both are set.
 func TestSamplingRecorderFallback(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -115,6 +116,7 @@ func (p *Problem) Sample(method Method, aggOpts AggregateOptions, sOpts Sampling
 	span := rec.Start("sample")
 	defer span.End()
 	rec.Add("sample.size", int64(s))
+	rec.Event("sample.plan", "size", s, "n", n, "auto", sOpts.SampleSize == 0)
 
 	sample := rng.Perm(n)[:s]
 	sort.Ints(sample)
@@ -288,7 +290,9 @@ func (p *Problem) assignReference(rec *obs.Recorder, progress *obs.Progress, lab
 			wg.Add(1)
 			go func(stripe int) {
 				defer wg.Done()
-				assignStripe(stripe)
+				obs.Do(obs.ProfLabels{Phase: "sample:assign", Worker: strconv.Itoa(stripe)}, func() {
+					assignStripe(stripe)
+				})
 			}(w)
 		}
 		wg.Wait()
@@ -440,7 +444,9 @@ func (p *Problem) assignKernel(rec *obs.Recorder, progress *obs.Progress, labels
 			wg.Add(1)
 			go func(stripe, lo, hi int) {
 				defer wg.Done()
-				assignChunk(stripe, lo, hi)
+				obs.Do(obs.ProfLabels{Phase: "sample:assign", Worker: strconv.Itoa(stripe)}, func() {
+					assignChunk(stripe, lo, hi)
+				})
 			}(w, lo, hi)
 		}
 		wg.Wait()
@@ -581,6 +587,9 @@ func (p *Problem) sampleSharded(method Method, aggOpts AggregateOptions, sOpts S
 	span := rec.Start("sample")
 	defer span.End()
 	rec.Add("sample.shards", int64(shards))
+	// Auto-sizing decision, narrated: requested 0 means the count came from
+	// the fixed shardTarget segmentation.
+	rec.Event("sample.shards", "shards", shards, "n", n, "auto", sOpts.Shards == 0)
 
 	// Pre-draw the per-shard seeds plus the representative-level seed in
 	// shard order, before anything runs: the randomness each level consumes
@@ -637,7 +646,9 @@ func (p *Problem) sampleSharded(method Method, aggOpts AggregateOptions, sOpts S
 			sem <- struct{}{}
 			go func(i int) {
 				defer wg.Done()
-				runShard(i)
+				obs.Do(obs.ProfLabels{Phase: "sample:shards", Worker: strconv.Itoa(i)}, func() {
+					runShard(i)
+				})
 				<-sem
 			}(i)
 		}
@@ -653,6 +664,7 @@ func (p *Problem) sampleSharded(method Method, aggOpts AggregateOptions, sOpts S
 		reps = append(reps, outs[i].reps...) // shard ranges are ordered, so reps stay sorted
 	}
 	rec.Add("sample.shard.reps", int64(len(reps)))
+	rec.Event("sample.shard.reps", "reps", len(reps), "shards", shards)
 	shardSpan.End()
 
 	// Aggregate the representatives: exactly when they fit the materialized

@@ -54,8 +54,8 @@ func TestKernelWidthSelection(t *testing.T) {
 		maxLabel, want int
 	}{
 		{1, width8},
-		{254, width8},   // bound 255: sentinel 255 still free
-		{255, width16},  // bound 256: label 255 would collide with the sentinel
+		{254, width8},  // bound 255: sentinel 255 still free
+		{255, width16}, // bound 256: label 255 would collide with the sentinel
 		{65534, width16},
 		{65535, width32},
 		{70000, width32},

@@ -163,6 +163,7 @@ func LocalSearch(inst Instance, opts LocalSearchOptions) partition.Labels {
 	}
 
 	var sweeps int64
+	var prevRefreshes int64
 	converged := false
 	for pass := 0; pass < maxPasses; pass++ {
 		sweeps++
@@ -183,6 +184,14 @@ func LocalSearch(inst Instance, opts LocalSearchOptions) partition.Labels {
 			costSeries.Append(sweeps, initialCost-ker.improvement)
 			movesSeries.Append(sweeps, float64(ker.moves))
 			refreshSeries.Append(sweeps, float64(ker.refreshes))
+			// Refresh-guard narrative: one event per sweep that tripped the
+			// staleness guard. The cadence is a worker-count-independent
+			// property of the move sequence, so event content is
+			// deterministic at a fixed seed.
+			if d := ker.refreshes - prevRefreshes; d > 0 {
+				rec.Event("localsearch.refresh", "sweep", sweeps, "refreshes", d)
+				prevRefreshes = ker.refreshes
+			}
 		}
 		if !improved {
 			converged = true

@@ -2,8 +2,10 @@ package corrclust
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 
+	"clusteragg/internal/obs"
 	"clusteragg/internal/partition"
 )
 
@@ -46,16 +48,18 @@ func MatrixFromInstanceParallel(inst Instance, workers int) *Matrix {
 		wg.Add(1)
 		go func(start int) {
 			defer wg.Done()
-			for u := start; u < n; u += workers {
-				row := m.Row(u)
-				if rd != nil {
-					rd.DistRowTo(u, ids[u+1:], row)
-					continue
+			obs.Do(obs.ProfLabels{Phase: "materialize", Worker: strconv.Itoa(start)}, func() {
+				for u := start; u < n; u += workers {
+					row := m.Row(u)
+					if rd != nil {
+						rd.DistRowTo(u, ids[u+1:], row)
+						continue
+					}
+					for j := range row {
+						row[j] = inst.Dist(u, u+1+j)
+					}
 				}
-				for j := range row {
-					row[j] = inst.Dist(u, u+1+j)
-				}
-			}
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -90,38 +94,40 @@ func CostParallel(inst Instance, labels partition.Labels, workers int) float64 {
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			var sum float64
-			var buf []float64
-			if rd != nil {
-				buf = make([]float64, n)
-			}
-			for u := idx; u < n; u += workers {
-				lu := labels[u]
+			obs.Do(obs.ProfLabels{Phase: "cost", Worker: strconv.Itoa(idx)}, func() {
+				var sum float64
+				var buf []float64
 				if rd != nil {
-					// Bulk-evaluate the tail; same values and addition
-					// order as the per-pair loop below.
-					row := buf[:n-1-u]
-					rd.DistRowTo(u, ids[u+1:], row)
-					tail := labels[u+1:]
-					for j, x := range row {
-						if lu == tail[j] {
+					buf = make([]float64, n)
+				}
+				for u := idx; u < n; u += workers {
+					lu := labels[u]
+					if rd != nil {
+						// Bulk-evaluate the tail; same values and addition
+						// order as the per-pair loop below.
+						row := buf[:n-1-u]
+						rd.DistRowTo(u, ids[u+1:], row)
+						tail := labels[u+1:]
+						for j, x := range row {
+							if lu == tail[j] {
+								sum += x
+							} else {
+								sum += 1 - x
+							}
+						}
+						continue
+					}
+					for v := u + 1; v < n; v++ {
+						x := inst.Dist(u, v)
+						if lu == labels[v] {
 							sum += x
 						} else {
 							sum += 1 - x
 						}
 					}
-					continue
 				}
-				for v := u + 1; v < n; v++ {
-					x := inst.Dist(u, v)
-					if lu == labels[v] {
-						sum += x
-					} else {
-						sum += 1 - x
-					}
-				}
-			}
-			partial[idx] = sum
+				partial[idx] = sum
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -162,34 +168,36 @@ func (k *lsKernel) proposeMoves(props []int, gains []float64, workers int) {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(worker, lo, hi int) {
 			defer wg.Done()
-			var row, m []float64
-			if !k.tableBuilt {
-				row = make([]float64, k.n)
-				if !k.growing {
-					m = make([]float64, len(k.size))
+			obs.Do(obs.ProfLabels{Phase: "localsearch:propose", Worker: strconv.Itoa(worker)}, func() {
+				var row, m []float64
+				if !k.tableBuilt {
+					row = make([]float64, k.n)
+					if !k.growing {
+						m = make([]float64, len(k.size))
+					}
 				}
-			}
-			for v := lo; v < hi; v++ {
-				var target int
-				var gain float64
-				var ok bool
-				switch {
-				case k.tableBuilt:
-					target, gain, ok = k.evaluate(v)
-				case k.growing:
-					target, gain, ok = k.evaluateGrowing(v, k.readRowInto(v, row))
-				default:
-					target, gain, ok = k.evaluateRebuild(v, k.readRowInto(v, row), m)
+				for v := lo; v < hi; v++ {
+					var target int
+					var gain float64
+					var ok bool
+					switch {
+					case k.tableBuilt:
+						target, gain, ok = k.evaluate(v)
+					case k.growing:
+						target, gain, ok = k.evaluateGrowing(v, k.readRowInto(v, row))
+					default:
+						target, gain, ok = k.evaluateRebuild(v, k.readRowInto(v, row), m)
+					}
+					if ok {
+						props[v], gains[v] = target, gain
+					} else {
+						props[v] = lsNoMove
+					}
 				}
-				if ok {
-					props[v], gains[v] = target, gain
-				} else {
-					props[v] = lsNoMove
-				}
-			}
-		}(lo, hi)
+			})
+		}(w, lo, hi)
 	}
 	wg.Wait()
 	k.proposals += int64(k.n)

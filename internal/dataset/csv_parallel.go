@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"clusteragg/internal/obs"
 )
 
 // defaultChunkBytes is the target size of one parse chunk. Big enough that
@@ -701,12 +703,14 @@ func readCSVChunked(r io.Reader, opts CSVOptions, chunkSize int, sink CSVSink) (
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			for job := range jobs {
-				results <- parseChunk(sc, job)
-			}
-		}()
+			obs.Do(obs.ProfLabels{Phase: "ingest", Worker: strconv.Itoa(worker)}, func() {
+				for job := range jobs {
+					results <- parseChunk(sc, job)
+				}
+			})
+		}(w)
 	}
 	go func() {
 		wg.Wait()

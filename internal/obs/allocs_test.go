@@ -45,6 +45,26 @@ func TestNilProgressZeroAllocs(t *testing.T) {
 	})
 }
 
+// TestDisabledObsZeroAllocs pins the disabled paths added with the runtime
+// telemetry layer: a nil sampler, a nil recorder's Event, and Do with
+// profiling labels off must all be allocation-free — they sit on spawn sites
+// and progress ticks of every run, instrumented or not.
+func TestDisabledObsZeroAllocs(t *testing.T) {
+	var s *RuntimeSampler
+	pinAllocs(t, "nil RuntimeSampler.Sample", func() { s.Sample() })
+	var r *Recorder
+	pinAllocs(t, "nil Recorder.Event", func() { r.Event("e", "k", 1) })
+	var l *EventLog
+	pinAllocs(t, "nil EventLog.Info", func() { l.Info("e", "k", 1) })
+	if ProfileLabelsEnabled() {
+		t.Fatal("profiling labels unexpectedly enabled")
+	}
+	f := func() {}
+	pinAllocs(t, "Do with labels disabled", func() {
+		Do(ProfLabels{Phase: "p", Method: "m", Worker: "0"}, f)
+	})
+}
+
 func TestLiveMetricsZeroAllocs(t *testing.T) {
 	r := New()
 	c := r.Counter("c")

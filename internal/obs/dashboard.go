@@ -1,0 +1,167 @@
+package obs
+
+// This file is the /dashboard endpoint's payload: a single self-contained
+// HTML page — no external scripts, styles, or fonts, so it renders from an
+// air-gapped batch job as well as from the future clusteraggd daemon — that
+// polls the JSON endpoints already on the server (/series, /runtime, /logs,
+// /healthz) and draws live sparklines for every recorded series, stat tiles
+// for the runtime gauges, and the structured event tail. All drawing is
+// inline canvas 2D; the page degrades to empty sections when a section has
+// no data (nil recorder, no events), mirroring the scrape-safe endpoints.
+
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>clusteragg dashboard</title>
+<style>
+  :root { color-scheme: dark; }
+  body { margin: 0; padding: 1rem 1.5rem; background: #14161a; color: #d8dee9;
+         font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace; }
+  h1 { font-size: 1rem; margin: 0 0 .25rem; color: #88c0d0; }
+  h2 { font-size: .8rem; margin: 1.25rem 0 .5rem; color: #81a1c1;
+       text-transform: uppercase; letter-spacing: .08em; }
+  #meta { color: #616e88; }
+  #tiles { display: flex; flex-wrap: wrap; gap: .6rem; }
+  .tile { background: #1c2026; border: 1px solid #2e3440; border-radius: 6px;
+          padding: .5rem .8rem; min-width: 9rem; }
+  .tile .v { font-size: 1.25rem; color: #a3be8c; }
+  .tile .k { color: #616e88; font-size: .7rem; }
+  #charts { display: flex; flex-wrap: wrap; gap: .6rem; }
+  .chart { background: #1c2026; border: 1px solid #2e3440; border-radius: 6px;
+           padding: .5rem .8rem; }
+  .chart .k { color: #616e88; font-size: .7rem; }
+  .chart .last { color: #ebcb8b; float: right; font-size: .7rem; }
+  canvas { display: block; margin-top: .25rem; }
+  #events { background: #1c2026; border: 1px solid #2e3440; border-radius: 6px;
+            padding: .5rem .8rem; max-height: 22rem; overflow-y: auto; }
+  .ev { white-space: nowrap; }
+  .ev .t { color: #616e88; }
+  .ev .l { color: #81a1c1; }
+  .ev .l.WARN { color: #ebcb8b; }
+  .ev .l.ERROR { color: #bf616a; }
+  .ev .m { color: #d8dee9; }
+  .ev .a { color: #a3be8c; }
+  .empty { color: #4c566a; }
+</style>
+</head>
+<body>
+<h1>clusteragg <span id="meta"></span></h1>
+<h2>runtime</h2>
+<div id="tiles"></div>
+<h2>series</h2>
+<div id="charts"></div>
+<h2>events</h2>
+<div id="events"><div class="empty">no events yet</div></div>
+<script>
+"use strict";
+const POLL_MS = 1000, W = 220, H = 48;
+const charts = new Map(); // name -> {canvas, last}
+
+function fmt(v) {
+  if (!isFinite(v)) return String(v);
+  const a = Math.abs(v);
+  if (a >= 1e9) return (v / 1e9).toFixed(2) + "G";
+  if (a >= 1e6) return (v / 1e6).toFixed(2) + "M";
+  if (a >= 1e3) return (v / 1e3).toFixed(2) + "k";
+  if (a !== 0 && a < 0.01) return v.toExponential(2);
+  return Number.isInteger(v) ? String(v) : v.toFixed(3);
+}
+
+function tile(key, value) {
+  return '<div class="tile"><div class="v">' + value + '</div><div class="k">' + key + "</div></div>";
+}
+
+function spark(canvas, points) {
+  const ctx = canvas.getContext("2d");
+  ctx.clearRect(0, 0, W, H);
+  if (points.length < 2) return;
+  let lo = Infinity, hi = -Infinity;
+  for (const p of points) { lo = Math.min(lo, p.value); hi = Math.max(hi, p.value); }
+  if (hi === lo) { hi += 1; lo -= 1; }
+  ctx.strokeStyle = "#88c0d0"; ctx.lineWidth = 1.25; ctx.beginPath();
+  points.forEach((p, i) => {
+    const x = (i / (points.length - 1)) * (W - 2) + 1;
+    const y = H - 3 - ((p.value - lo) / (hi - lo)) * (H - 6);
+    i === 0 ? ctx.moveTo(x, y) : ctx.lineTo(x, y);
+  });
+  ctx.stroke();
+}
+
+function renderSeries(all) {
+  const names = Object.keys(all).sort();
+  for (const name of names) {
+    const snap = all[name];
+    if (!snap.points || !snap.points.length) continue;
+    let c = charts.get(name);
+    if (!c) {
+      const div = document.createElement("div");
+      div.className = "chart";
+      div.innerHTML = '<span class="k">' + name + '</span><span class="last"></span>';
+      const canvas = document.createElement("canvas");
+      canvas.width = W; canvas.height = H;
+      div.appendChild(canvas);
+      document.getElementById("charts").appendChild(div);
+      c = { canvas: canvas, last: div.querySelector(".last") };
+      charts.set(name, c);
+    }
+    c.last.textContent = fmt(snap.points[snap.points.length - 1].value);
+    spark(c.canvas, snap.points);
+  }
+}
+
+function renderRuntime(rt) {
+  document.getElementById("tiles").innerHTML =
+    tile("goroutines", fmt(rt.goroutines)) +
+    tile("heap bytes", fmt(rt.heap_bytes)) +
+    tile("heap objects", fmt(rt.heap_objects)) +
+    tile("gc cycles", fmt(rt.gc_cycles)) +
+    tile("gc pause p99 (s)", fmt(rt.gc_pause_p99_seconds)) +
+    tile("cpu total (s)", fmt(rt.cpu_total_seconds));
+}
+
+function renderEvents(snap) {
+  const box = document.getElementById("events");
+  if (!snap || !snap.entries || !snap.entries.length) return;
+  const rows = snap.entries.slice(-100).reverse().map(e => {
+    const when = new Date(e.wall_ns / 1e6).toLocaleTimeString();
+    const attrs = e.attrs
+      ? Object.keys(e.attrs).sort().map(k => k + "=" + e.attrs[k]).join(" ")
+      : "";
+    return '<div class="ev"><span class="t">' + when + '</span> <span class="l ' + e.level +
+      '">' + e.level + '</span> <span class="m">' + e.msg + '</span> <span class="a">' +
+      attrs + "</span></div>";
+  });
+  const head = snap.dropped
+    ? '<div class="empty">' + snap.count + " events, " + snap.dropped + " dropped</div>"
+    : "";
+  box.innerHTML = head + rows.join("");
+}
+
+async function getJSON(path) {
+  const resp = await fetch(path);
+  if (!resp.ok) throw new Error(path + ": " + resp.status);
+  return resp.json();
+}
+
+async function poll() {
+  try {
+    const [series, rt, logs, health] = await Promise.all([
+      getJSON("/series"), getJSON("/runtime"), getJSON("/logs"), getJSON("/healthz"),
+    ]);
+    renderSeries(series.series || {});
+    renderRuntime(rt);
+    renderEvents(logs.events);
+    document.getElementById("meta").textContent =
+      "up " + fmt(health.uptime_seconds) + "s";
+  } catch (err) {
+    document.getElementById("meta").textContent = "(disconnected: " + err.message + ")";
+  }
+}
+
+poll();
+setInterval(poll, POLL_MS);
+</script>
+</body>
+</html>
+`

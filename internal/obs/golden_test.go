@@ -26,6 +26,9 @@ func populate(r *Recorder, order []string) {
 			s := r.Series("localsearch.cost")
 			s.Append(0, 9)
 			s.Append(1, 5)
+		case "events":
+			r.Event("sample.shards", "shards", 2, "target", 8)
+			r.Event("ls.refresh", "sweep", 1)
 		}
 	}
 }
@@ -44,10 +47,13 @@ histograms:
   lat count=2 sum=4 mean=2
 series:
   localsearch.cost points=2 count=2 last=5
+events (2 total, 2 retained):
+  INFO  sample.shards shards=2 target=8
+  INFO  ls.refresh sweep=1
 `
 	a, b := New(), New()
-	populate(a, []string{"moves", "merges", "alpha", "z", "lat", "cost"})
-	populate(b, []string{"cost", "lat", "z", "alpha", "merges", "moves"})
+	populate(a, []string{"moves", "merges", "alpha", "z", "lat", "cost", "events"})
+	populate(b, []string{"events", "cost", "lat", "z", "alpha", "merges", "moves"})
 	var outA, outB strings.Builder
 	if err := a.WriteText(&outA); err != nil {
 		t.Fatal(err)
@@ -68,29 +74,38 @@ series:
 // metric values always produce the same bytes regardless of how the
 // recorder was populated.
 func TestRunReportJSONGolden(t *testing.T) {
-	const want = `{"schema_version":4,"n":4,"cost":9,"wall_ns":0,` +
+	const want = `{"schema_version":5,"n":4,"cost":9,"wall_ns":0,` +
 		`"alloc":{"bytes":4096,"mallocs":17,"peak_heap_bytes":65536},` +
 		`"counters":{"agglomerative.merges":3,"localsearch.moves":12},` +
 		`"gauges":{"alpha":-2,"z":1.5},` +
 		`"histograms":{"lat":{"bounds":[1,2],"counts":[1,0,1],"count":2,"sum":4}},` +
 		`"series":{"localsearch.cost":{"points":` +
 		`[{"step":0,"wall_ns":0,"value":9},{"step":1,"wall_ns":0,"value":5}],` +
-		`"count":2,"stride":1}}}`
+		`"count":2,"stride":1}},` +
+		`"events":{"count":2,"entries":[` +
+		`{"seq":1,"wall_ns":0,"level":"INFO","msg":"sample.shards",` +
+		`"attrs":{"shards":"2","target":"8"}},` +
+		`{"seq":2,"wall_ns":0,"level":"INFO","msg":"ls.refresh",` +
+		`"attrs":{"sweep":"1"}}]}}`
 	for _, order := range [][]string{
-		{"moves", "merges", "alpha", "z", "lat", "cost"},
-		{"cost", "lat", "z", "alpha", "merges", "moves"},
+		{"moves", "merges", "alpha", "z", "lat", "cost", "events"},
+		{"events", "cost", "lat", "z", "alpha", "merges", "moves"},
 	} {
 		r := New()
 		populate(r, order)
 		rep := RunReport{N: 4, Cost: 9,
 			Alloc: &AllocStats{Bytes: 4096, Mallocs: 17, PeakHeapBytes: 65536}}
 		rep.FillFrom(r)
-		// Point wall offsets are wall clock and cannot be golden; zero them.
+		// Point wall offsets and event stamps are wall clock and cannot be
+		// golden; zero them.
 		for k, ss := range rep.Series {
 			for i := range ss.Points {
 				ss.Points[i].WallNS = 0
 			}
 			rep.Series[k] = ss
+		}
+		for i := range rep.Events.Entries {
+			rep.Events.Entries[i].WallNS = 0
 		}
 		data, err := json.Marshal(rep)
 		if err != nil {
@@ -102,7 +117,7 @@ func TestRunReportJSONGolden(t *testing.T) {
 	}
 }
 
-// TestReportBackCompat pins that schema-1, -2, and -3 report bytes still
+// TestReportBackCompat pins that schema-1 through -4 report bytes still
 // decode: sections those versions predate come back as their zero values.
 func TestReportBackCompat(t *testing.T) {
 	const v1 = `{"schema_version":1,"n":4,"cost":9,"wall_ns":7,` +
@@ -115,7 +130,10 @@ func TestReportBackCompat(t *testing.T) {
 		`"counters":{"localsearch.moves":12},` +
 		`"series":{"localsearch.cost":{"points":` +
 		`[{"step":0,"wall_ns":0,"value":9}],"count":1,"stride":1}}}`
-	for name, data := range map[string]string{"v1": v1, "v2": v2, "v3": v3} {
+	const v4 = `{"schema_version":4,"n":4,"cost":9,"wall_ns":7,` +
+		`"alloc":{"bytes":4096,"mallocs":17,"peak_heap_bytes":65536},` +
+		`"counters":{"localsearch.moves":12}}`
+	for name, data := range map[string]string{"v1": v1, "v2": v2, "v3": v3, "v4": v4} {
 		var r RunReport
 		if err := json.Unmarshal([]byte(data), &r); err != nil {
 			t.Fatalf("%s report no longer parses: %v", name, err)
@@ -126,8 +144,11 @@ func TestReportBackCompat(t *testing.T) {
 		if name != "v3" && r.Series != nil {
 			t.Errorf("%s report grew a series section from nowhere: %+v", name, r.Series)
 		}
-		if r.Alloc != nil {
+		if name != "v4" && r.Alloc != nil {
 			t.Errorf("%s report grew an alloc section from nowhere: %+v", name, r.Alloc)
+		}
+		if r.Events != nil {
+			t.Errorf("%s report grew an events section from nowhere: %+v", name, r.Events)
 		}
 	}
 }

@@ -138,6 +138,28 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveN records n observations of value v in one update — the bulk path
+// the RuntimeSampler uses to fold runtime/metrics histogram deltas in
+// without n separate bucket walks. n ≤ 0 is a no-op.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	atomic.AddInt64(&h.counts[i], n)
+	atomic.AddInt64(&h.count, n)
+	for {
+		old := atomic.LoadUint64(&h.sumBit)
+		next := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if atomic.CompareAndSwapUint64(&h.sumBit, old, next) {
+			return
+		}
+	}
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {

@@ -40,6 +40,7 @@ type Recorder struct {
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 	series     map[string]*Series
+	events     *EventLog // lazily created on first Events/Event call
 }
 
 // New returns an empty Recorder. Its construction time is the epoch all span
@@ -189,6 +190,47 @@ func (r *Recorder) Counters() map[string]int64 {
 	return out
 }
 
+// Events returns the recorder's event log, creating it (capacity
+// DefaultEventsCap) on first use. It returns nil on a nil Recorder, so the
+// result can be used unconditionally.
+func (r *Recorder) Events() *EventLog {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.events == nil {
+		r.events = NewEventLog(DefaultEventsCap)
+	}
+	return r.events
+}
+
+// Event appends an info-level event to the recorder's event log. kv is
+// alternating key/value pairs; see EventLog.Log. Nil-safe.
+func (r *Recorder) Event(msg string, kv ...any) {
+	if r == nil {
+		return
+	}
+	r.Events().Info(msg, kv...)
+}
+
+// EventsSnapshot snapshots the event log without creating one: a recorder
+// that never emitted an event reports nil (the report's events section is
+// then omitted entirely, matching pre-v5 bytes).
+func (r *Recorder) EventsSnapshot() *EventsSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	l := r.events
+	r.mu.Unlock()
+	if l == nil {
+		return nil
+	}
+	s := l.Snapshot()
+	return &s
+}
+
 // SpanSnapshot is an immutable copy of a span subtree for reporting. A span
 // still open at snapshot time reports its duration so far. StartNS is the
 // span's start offset from the Recorder's construction time (the epoch the
@@ -264,6 +306,7 @@ func (r *Recorder) WriteText(w io.Writer) error {
 	gauges := r.Gauges()
 	histograms := r.Histograms()
 	series := r.AllSeries()
+	events := r.EventsSnapshot()
 	if len(spans) > 0 {
 		if _, err := fmt.Fprintln(w, "spans (wall clock):"); err != nil {
 			return err
@@ -320,6 +363,27 @@ func (r *Recorder) WriteText(w io.Writer) error {
 			}
 			if _, err := fmt.Fprintf(w, "  %-*s points=%d count=%d last=%g\n",
 				keyWidth(series), name, len(ss.Points), ss.Count, last); err != nil {
+				return err
+			}
+		}
+	}
+	if events != nil && len(events.Entries) > 0 {
+		// Timestamps are omitted so the section is deterministic at a fixed
+		// seed, like the rest of the text output.
+		if _, err := fmt.Fprintf(w, "events (%d total, %d retained):\n",
+			events.Count, len(events.Entries)); err != nil {
+			return err
+		}
+		for _, e := range events.Entries {
+			if _, err := fmt.Fprintf(w, "  %-5s %s", e.Level, e.Msg); err != nil {
+				return err
+			}
+			for _, k := range sortedKeys(e.Attrs) {
+				if _, err := fmt.Fprintf(w, " %s=%s", k, e.Attrs[k]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,70 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsOverhead is the cost sheet for the instrumentation layer
+// (`make bench-obs`). The *Disabled benchmarks are the prices every
+// uninstrumented run pays at the hooks compiled into the algorithms — each
+// must be a few nanoseconds and 0 B/op — and the *Enabled ones are the
+// live-run prices for comparison.
+
+func BenchmarkObsOverheadDoDisabled(b *testing.B) {
+	f := func() {}
+	l := ProfLabels{Phase: "bench", Method: "m", Worker: "0"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Do(l, f)
+	}
+}
+
+func BenchmarkObsOverheadDoEnabled(b *testing.B) {
+	EnableProfileLabels(true)
+	defer EnableProfileLabels(false)
+	f := func() {}
+	l := ProfLabels{Phase: "bench", Method: "m", Worker: "0"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Do(l, f)
+	}
+}
+
+func BenchmarkObsOverheadEventNilRecorder(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Event("e", "k", 1)
+	}
+}
+
+func BenchmarkObsOverheadEventLive(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Event("e", "k", 1)
+	}
+}
+
+func BenchmarkObsOverheadSamplerNil(b *testing.B) {
+	var s *RuntimeSampler
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Sample()
+	}
+}
+
+func BenchmarkObsOverheadSamplerLive(b *testing.B) {
+	s := NewRuntimeSampler(New())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Sample()
+	}
+}
+
+func BenchmarkObsOverheadCounterNil(b *testing.B) {
+	var r *Recorder
+	c := r.Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}

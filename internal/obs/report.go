@@ -24,7 +24,11 @@ import (
 //	4 — adds the alloc section (heap-allocation deltas + peak live heap
 //	    per run, see AllocStats). Versions 1–3 remain readable: alloc
 //	    decodes to nil and consumers treat that as "no memory telemetry".
-const ReportSchemaVersion = 4
+//	5 — adds the events section (the structured event log's retained tail,
+//	    see EventsSnapshot). Versions 1–4 remain readable: events decodes
+//	    to nil and consumers treat that as "no event log". cmd/benchdiff
+//	    compares event content but never the wall_ns timestamps.
+const ReportSchemaVersion = 5
 
 // RunReport is the machine-readable record of one run: problem shape,
 // method, objective values, wall time, and everything the Recorder
@@ -65,17 +69,23 @@ type RunReport struct {
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	Series     map[string]SeriesSnapshot    `json:"series,omitempty"`
-	Spans      []SpanSnapshot               `json:"spans,omitempty"`
+	// Events is the structured event log's retained tail (schema_version
+	// ≥ 5; nil on older reports and runs that emitted no events). Event
+	// attributes are deterministic at a fixed seed; wall_ns is not and is
+	// never compared.
+	Events *EventsSnapshot `json:"events,omitempty"`
+	Spans  []SpanSnapshot  `json:"spans,omitempty"`
 }
 
-// FillFrom copies the recorder's counters, gauges, histograms, series, and
-// spans into the report.
+// FillFrom copies the recorder's counters, gauges, histograms, series,
+// events, and spans into the report.
 func (r *RunReport) FillFrom(rec *Recorder) {
 	r.SchemaVersion = ReportSchemaVersion
 	r.Counters = rec.Counters()
 	r.Gauges = rec.Gauges()
 	r.Histograms = rec.Histograms()
 	r.Series = rec.AllSeries()
+	r.Events = rec.EventsSnapshot()
 	r.Spans = rec.Spans()
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -35,6 +36,10 @@ type MetricsServer struct {
 	ln  net.Listener
 	srv *http.Server
 	rec atomic.Pointer[Recorder]
+	// scrapeDelay, when set, runs inside the /metrics handler before the
+	// response is written. Test hook: the graceful-Close test uses it to
+	// hold a scrape in flight across Close.
+	scrapeDelay atomic.Pointer[func()]
 }
 
 // expvarOnce guards the process-global expvar publication: expvar.Publish
@@ -53,6 +58,13 @@ var (
 //	/series       JSON convergence time-series of the bound recorder
 //	              ({"series": {name: {points, count, stride}}}); safe to
 //	              scrape while the run is appending
+//	/runtime      JSON point-in-time runtime health (goroutines, heap, GC
+//	              cycles and pause quantiles, total CPU); reads
+//	              runtime/metrics directly, so it works with a nil recorder
+//	/logs         JSON structured event log ({"events": {count, entries}});
+//	              safe to scrape while the run is emitting
+//	/dashboard    self-contained live HTML console polling /series,
+//	              /runtime, and /logs (no external assets)
 //	/healthz      liveness: 200 with {"status", "uptime_seconds"}
 //	/buildinfo    Go version, module path, and VCS revision of the binary
 //	/debug/vars   expvar JSON (cmdline, memstats, and a "clusteragg" var
@@ -73,6 +85,9 @@ func Serve(addr string, rec *Recorder) (*MetricsServer, error) {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if delay := s.scrapeDelay.Load(); delay != nil {
+			(*delay)()
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WritePrometheus(w, s.Recorder())
 	})
@@ -83,6 +98,22 @@ func Serve(addr string, rec *Recorder) (*MetricsServer, error) {
 			all = map[string]SeriesSnapshot{}
 		}
 		writeJSONBody(w, map[string]any{"series": all})
+	})
+	mux.HandleFunc("/runtime", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSONBody(w, ReadRuntimeStats())
+	})
+	mux.HandleFunc("/logs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		ev := s.Recorder().EventsSnapshot()
+		if ev == nil {
+			ev = &EventsSnapshot{}
+		}
+		writeJSONBody(w, map[string]any{"events": ev})
+	})
+	mux.HandleFunc("/dashboard", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		io.WriteString(w, dashboardHTML) //nolint:errcheck // dropped connection, no recovery
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -146,13 +177,27 @@ func (s *MetricsServer) SetRecorder(rec *Recorder) {
 	s.rec.Store(rec)
 }
 
-// Close shuts the server down. A nil receiver is a no-op, so CLIs can defer
-// Close unconditionally.
+// closeDrainTimeout bounds how long Close waits for in-flight scrapes: long
+// enough for any real /metrics or /dashboard response, short enough that a
+// CLI's deferred Close never hangs noticeably on a stuck client.
+const closeDrainTimeout = 2 * time.Second
+
+// Close shuts the server down gracefully: the listener closes immediately
+// (no new scrapes) and in-flight requests get closeDrainTimeout to finish
+// before the remaining connections are force-closed — a Prometheus scrape
+// racing a run's exit completes instead of seeing a mid-response reset. A
+// nil receiver is a no-op, so CLIs can defer Close unconditionally.
 func (s *MetricsServer) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), closeDrainTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// The drain deadline expired; fall back to the hard close.
+		return s.srv.Close()
+	}
+	return nil
 }
 
 // writeJSONBody encodes v to w; encoding a marshalable value to an HTTP

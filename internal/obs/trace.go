@@ -17,13 +17,17 @@ import (
 // keeping every span on its parent's track unless it overlaps an earlier
 // sibling there. A process's series render as counter ("C") events after
 // its spans, so convergence trajectories plot as counter tracks alongside
-// the span lanes.
+// the span lanes, and its structured events render as instant ("i") marks
+// on lane 0, so a refresh-guard trigger or shard seal pins to the moment it
+// happened in the span timeline.
 
 // traceEvent is one trace_event entry. Ph "X" is a complete event with a
 // duration; Ph "M" is metadata (process/thread names); Ph "C" is a counter
-// sample. Dur is a pointer so complete events always carry an explicit
-// "dur" — a zero-duration span must still say "dur":0, which viewers accept
-// and omission breaks — while metadata and counter events omit the field.
+// sample; Ph "i" is an instant event (S scopes it to its process). Dur is a
+// pointer so complete events always carry an explicit "dur" — a
+// zero-duration span must still say "dur":0, which viewers accept and
+// omission breaks — while metadata, counter, and instant events omit the
+// field.
 type traceEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
@@ -31,6 +35,7 @@ type traceEvent struct {
 	Dur  *float64       `json:"dur,omitempty"` // microseconds
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope ("p")
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -95,11 +100,33 @@ func WriteTrace(w io.Writer, name string, spans []SpanSnapshot) error {
 // TraceProcess is one named timeline in a multi-process trace export —
 // cmd/experiments exports each artifact as its own process so Perfetto
 // shows them stacked. Series (if any) render as counter tracks on the same
-// timeline.
+// timeline, and Events (if any) as instant marks pinned to the span
+// timeline via EventEpochNS.
 type TraceProcess struct {
 	Name   string
 	Spans  []SpanSnapshot
 	Series map[string]SeriesSnapshot
+	// Events is the structured event tail; entries stamp wall-clock Unix
+	// nanoseconds, so EventEpochNS (the Recorder's construction time in
+	// Unix nanoseconds) anchors them to the span timeline's zero.
+	Events       *EventsSnapshot
+	EventEpochNS int64
+}
+
+// TraceProcess bundles the recorder's span forest, series, and event tail
+// into one named trace timeline, carrying the epoch that anchors event
+// wall-clock stamps to the span timeline. A nil recorder yields an empty
+// process (name only).
+func (r *Recorder) TraceProcess(name string) TraceProcess {
+	p := TraceProcess{Name: name}
+	if r == nil {
+		return p
+	}
+	p.Spans = r.Spans()
+	p.Series = r.AllSeries()
+	p.Events = r.EventsSnapshot()
+	p.EventEpochNS = r.epoch.UnixNano()
+	return p
 }
 
 // WriteTraceProcesses writes several span forests as one trace, one process
@@ -137,6 +164,30 @@ func writeTraceProcesses(w io.Writer, procs []TraceProcess) error {
 					PID:  pid,
 					TID:  0,
 					Args: map[string]any{"value": pt.Value},
+				})
+			}
+		}
+		// Structured events render last, as process-scoped instant marks on
+		// lane 0; attributes ride along in args. Wall stamps translate onto
+		// the span epoch so the marks land inside the spans they narrate.
+		if p.Events != nil {
+			for _, e := range p.Events.Entries {
+				ts := float64(e.WallNS-p.EventEpochNS) / 1e3
+				if ts < 0 {
+					ts = 0
+				}
+				args := map[string]any{"level": e.Level}
+				for k, v := range e.Attrs {
+					args[k] = v
+				}
+				events = append(events, traceEvent{
+					Name: e.Msg,
+					Ph:   "i",
+					TS:   ts,
+					PID:  pid,
+					TID:  0,
+					S:    "p",
+					Args: args,
 				})
 			}
 		}
